@@ -1,0 +1,60 @@
+//! Criterion bench for Figure 5: synthetic Erdős–Rényi / Barabási–Albert
+//! graphs, sweeping the number of vertices (panels a/b) and the edge density
+//! (panels c/d), comparing HBBMC++ with the strongest baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbbmc::SolverConfig;
+use mce_bench::runner::measure;
+use mce_gen::{barabasi_albert, erdos_renyi};
+
+fn algorithms() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        ("HBBMC++", SolverConfig::hbbmc_pp()),
+        ("RDegen", SolverConfig::r_degen()),
+        ("RRcd", SolverConfig::r_rcd()),
+    ]
+}
+
+fn bench_fig5_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_scalability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[1_000usize, 2_000, 4_000] {
+        let er = erdos_renyi(n, n * 20, 42);
+        let ba = barabasi_albert(n, 20, 42);
+        for (name, config) in algorithms() {
+            group.bench_with_input(BenchmarkId::new(format!("ER/{name}"), n), &er, |b, g| {
+                b.iter(|| measure(g, &config).cliques)
+            });
+            group.bench_with_input(BenchmarkId::new(format!("BA/{name}"), n), &ba, |b, g| {
+                b.iter(|| measure(g, &config).cliques)
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig5_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_density");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let n = 2_000usize;
+    for &rho in &[5usize, 10, 20, 30] {
+        let er = erdos_renyi(n, n * rho, 7);
+        let ba = barabasi_albert(n, rho, 7);
+        for (name, config) in algorithms() {
+            group.bench_with_input(BenchmarkId::new(format!("ER/{name}"), rho), &er, |b, g| {
+                b.iter(|| measure(g, &config).cliques)
+            });
+            group.bench_with_input(BenchmarkId::new(format!("BA/{name}"), rho), &ba, |b, g| {
+                b.iter(|| measure(g, &config).cliques)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_scalability, bench_fig5_density);
+criterion_main!(benches);

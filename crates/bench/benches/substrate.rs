@@ -1,0 +1,36 @@
+//! Microbenchmarks of the graph substrate used by every framework: degeneracy
+//! ordering, truss-based edge ordering, triangle counting and the graph
+//! reduction. These are the `O(δm)` preprocessing terms of Theorems 1 and 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mce_gen::{barabasi_albert, erdos_renyi};
+use mce_graph::{degeneracy_ordering, triangle_count, truss_ordering, Graph};
+
+fn inputs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("er_n4000_rho10", erdos_renyi(4_000, 40_000, 3)),
+        ("ba_n4000_k10", barabasi_albert(4_000, 10, 3)),
+    ]
+}
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, g) in inputs() {
+        group.bench_with_input(BenchmarkId::new("degeneracy", name), &g, |b, g| {
+            b.iter(|| degeneracy_ordering(g).degeneracy)
+        });
+        group.bench_with_input(BenchmarkId::new("truss_ordering", name), &g, |b, g| {
+            b.iter(|| truss_ordering(g).tau)
+        });
+        group.bench_with_input(BenchmarkId::new("triangle_count", name), &g, |b, g| {
+            b.iter(|| triangle_count(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Table II: HBBMC++ against the reduction-enhanced VBBMC
+//! baselines (RRef, RDegen, RRcd, RFac) on the surrogate datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mce_bench::algorithms::baseline_algorithms;
+use mce_bench::datasets::bench_datasets;
+use mce_bench::runner::measure;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_baselines");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dataset in bench_datasets() {
+        let graph = dataset.build_scaled(0.35);
+        for algo in baseline_algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name, dataset.short),
+                &graph,
+                |b, g| b.iter(|| measure(g, &algo.config).cliques),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

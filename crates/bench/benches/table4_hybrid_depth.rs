@@ -1,0 +1,28 @@
+//! Criterion bench for Table IV: the depth d at which the hybrid framework
+//! switches from edge-oriented to vertex-oriented branching (d = 1 is HBBMC++).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbbmc::SolverConfig;
+use mce_bench::datasets::bench_datasets;
+use mce_bench::runner::measure;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_hybrid_depth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dataset in bench_datasets() {
+        let graph = dataset.build_scaled(0.3);
+        for depth in [1usize, 2, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{depth}"), dataset.short),
+                &graph,
+                |b, g| b.iter(|| measure(g, &SolverConfig::hbbmc_pp_depth(depth)).cliques),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for Table V: the early-termination parameter t ∈ {0,1,2,3}
+//! (t = 0 is HBBMC+ without the technique, t = 3 is the default HBBMC++).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hbbmc::SolverConfig;
+use mce_bench::datasets::bench_datasets;
+use mce_bench::runner::measure;
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_early_termination");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dataset in bench_datasets() {
+        let graph = dataset.build_scaled(0.35);
+        for t in 0..=3usize {
+            group.bench_with_input(
+                BenchmarkId::new(format!("t{t}"), dataset.short),
+                &graph,
+                |b, g| b.iter(|| measure(g, &SolverConfig::hbbmc_pp_et(t)).cliques),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

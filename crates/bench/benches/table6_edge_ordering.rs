@@ -1,0 +1,29 @@
+//! Criterion bench for Table VI: the truss-based edge ordering against the
+//! degeneracy vertex ordering (VBBMC-dgn) and two alternative edge orderings
+//! (HBBMC-dgn, HBBMC-mdg).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mce_bench::algorithms::ordering_algorithms;
+use mce_bench::datasets::bench_datasets;
+use mce_bench::runner::measure;
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_edge_ordering");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dataset in bench_datasets() {
+        let graph = dataset.build_scaled(0.35);
+        for algo in ordering_algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name, dataset.short),
+                &graph,
+                |b, g| b.iter(|| measure(g, &algo.config).cliques),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Named algorithm registry mapping the paper's algorithm names to solver
+//! configurations.
+
+use hbbmc::SolverConfig;
+
+/// A named algorithm, exactly as it appears in the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Algorithm {
+    /// The paper's name (e.g. `HBBMC++`, `RDegen`).
+    pub name: &'static str,
+    /// The solver configuration implementing it.
+    pub config: SolverConfig,
+}
+
+/// Looks up an algorithm by its paper name.
+pub fn algorithm(name: &str) -> Option<Algorithm> {
+    SolverConfig::named_presets()
+        .into_iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(n, config)| Algorithm { name: n, config })
+}
+
+/// The competitor set of Table II: `HBBMC++` against the four state-of-the-art
+/// reduction-enhanced VBBMC baselines.
+pub fn baseline_algorithms() -> Vec<Algorithm> {
+    ["HBBMC++", "RRef", "RDegen", "RRcd", "RFac"]
+        .iter()
+        .map(|n| algorithm(n).expect("preset exists"))
+        .collect()
+}
+
+/// The ablation / hybrid-variant set of Table III.
+pub fn ablation_algorithms() -> Vec<Algorithm> {
+    ["HBBMC++", "HBBMC+", "RDegen", "Ref++", "Rcd++", "Fac++"]
+        .iter()
+        .map(|n| algorithm(n).expect("preset exists"))
+        .collect()
+}
+
+/// The edge-ordering comparison set of Table VI.
+pub fn ordering_algorithms() -> Vec<Algorithm> {
+    ["HBBMC++", "VBBMC-dgn", "HBBMC-dgn", "HBBMC-mdg"]
+        .iter()
+        .map(|n| algorithm(n).expect("preset exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(algorithm("hbbmc++").unwrap().name, "HBBMC++");
+        assert!(algorithm("unknown").is_none());
+    }
+
+    #[test]
+    fn table2_set_has_five_entries_led_by_hbbmc() {
+        let algos = baseline_algorithms();
+        assert_eq!(algos.len(), 5);
+        assert_eq!(algos[0].name, "HBBMC++");
+    }
+
+    #[test]
+    fn table3_set_has_six_entries() {
+        assert_eq!(ablation_algorithms().len(), 6);
+    }
+
+    #[test]
+    fn table6_set_has_four_entries() {
+        assert_eq!(ordering_algorithms().len(), 4);
+    }
+}

@@ -1,0 +1,76 @@
+//! Experiment harness binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p mce-bench --release --bin experiments -- [--quick] <experiment>...
+//!
+//! experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d all
+//! ```
+
+use std::time::Instant;
+
+use mce_bench::experiments::{
+    ext_et_orthogonality, fig5_density, fig5_scalability, table1, table2, table3, table4, table5,
+    table6, ExperimentScale, SyntheticModel,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--quick] <experiment>...\n\
+         experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d ext1 all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut requested: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--help" | "-h" => usage(),
+            other => requested.push(other.to_ascii_lowercase()),
+        }
+    }
+    if requested.is_empty() {
+        usage();
+    }
+    if requested.iter().any(|r| r == "all") {
+        requested = vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig5a", "fig5b", "fig5c",
+            "fig5d",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::full() };
+    println!(
+        "# HBBMC reproduction experiments ({} scale)\n",
+        if quick { "quick" } else { "full" }
+    );
+
+    for experiment in requested {
+        let start = Instant::now();
+        let table = match experiment.as_str() {
+            "table1" => table1(&scale),
+            "table2" => table2(&scale),
+            "table3" => table3(&scale),
+            "table4" => table4(&scale),
+            "table5" => table5(&scale),
+            "table6" => table6(&scale),
+            "fig5a" => fig5_scalability(SyntheticModel::ErdosRenyi, &scale),
+            "fig5b" => fig5_scalability(SyntheticModel::BarabasiAlbert, &scale),
+            "fig5c" => fig5_density(SyntheticModel::ErdosRenyi, &scale),
+            "fig5d" => fig5_density(SyntheticModel::BarabasiAlbert, &scale),
+            "ext1" => ext_et_orthogonality(&scale),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                usage();
+            }
+        };
+        println!("{table}");
+        println!("(generated in {:.1}s)\n", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,360 @@
+//! Early termination: constructing maximal cliques of a dense candidate graph
+//! directly from its complement (Algorithms 5–8 of the paper).
+//!
+//! When a branch `(S, gC, gX)` reaches a state where `gC` is a t-plex
+//! (`t ≤ 3`) and `gX` is empty, the complement of `gC` has maximum degree at
+//! most 2 and therefore decomposes into isolated vertices `F`, simple paths
+//! and simple cycles. Every maximal clique of `gC` is obtained by taking all
+//! of `F` plus, independently for each path and each cycle, one *maximal
+//! independent set* of that path/cycle (an independent set in the complement
+//! is a clique in `gC`). The paths' and cycles' maximal independent sets are
+//! enumerated by the +2/+3 expansion of Algorithm 6 and the three-case
+//! reduction of Algorithm 7; the cross product of the per-component choices
+//! (lines 5–8 of Algorithm 8) yields every maximal clique of the branch in
+//! time proportional to the output.
+
+use mce_graph::{BitSet, ComplementStructure, VertexId};
+
+use crate::local::LocalGraph;
+
+/// Enumerates all maximal cliques of the branch `(S, C, ∅)` assuming the
+/// candidate set `C` induces (in the true graph adjacency) a t-plex with
+/// `t ≤ 3` and that no candidate edge was excluded. Each clique is passed to
+/// `emit` as `S ∪ F ∪ (per-component choice)`.
+///
+/// Returns the number of cliques emitted, or `None` if the complement of `C`
+/// turned out to have a vertex of degree > 2 (the precondition did not hold),
+/// in which case nothing was emitted and the caller should fall back to
+/// regular branching.
+pub(crate) fn enumerate_plex_branch(
+    lg: &LocalGraph,
+    c: &BitSet,
+    s: &mut Vec<VertexId>,
+    emit: &mut dyn FnMut(&[VertexId]),
+) -> Option<u64> {
+    let members: Vec<usize> = c.iter().collect();
+    let k = members.len();
+    if k == 0 {
+        return Some(0);
+    }
+
+    // Complement adjacency among the members, using member *positions* as ids.
+    let mut complement: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for (i, &vi) in members.iter().enumerate() {
+        for (j, &vj) in members.iter().enumerate().skip(i + 1) {
+            if !lg.gadj(vi).contains(vj) {
+                complement[i].push(j as VertexId);
+                complement[j].push(i as VertexId);
+            }
+        }
+    }
+
+    let structure = ComplementStructure::from_adjacency(&complement)?;
+    debug_assert_eq!(structure.total_vertices(), k);
+
+    // Per-component choice lists (positions into `members`).
+    let mut component_choices: Vec<Vec<Vec<VertexId>>> = Vec::new();
+    for path in &structure.paths {
+        component_choices.push(path_choices(path));
+    }
+    for cycle in &structure.cycles {
+        component_choices.push(cycle_choices(cycle));
+    }
+
+    let base_len = s.len();
+    // F is part of every maximal clique.
+    for &f in &structure.isolated {
+        s.push(lg.orig[members[f as usize]]);
+    }
+
+    let mut emitted = 0u64;
+    cross_product(lg, &members, &component_choices, 0, s, emit, &mut emitted);
+
+    s.truncate(base_len);
+    Some(emitted)
+}
+
+/// Recursively walks the cross product of the per-component choices.
+fn cross_product(
+    lg: &LocalGraph,
+    members: &[usize],
+    component_choices: &[Vec<Vec<VertexId>>],
+    idx: usize,
+    s: &mut Vec<VertexId>,
+    emit: &mut dyn FnMut(&[VertexId]),
+    emitted: &mut u64,
+) {
+    if idx == component_choices.len() {
+        emit(s);
+        *emitted += 1;
+        return;
+    }
+    for choice in &component_choices[idx] {
+        let before = s.len();
+        for &pos in choice {
+            s.push(lg.orig[members[pos as usize]]);
+        }
+        cross_product(lg, members, component_choices, idx + 1, s, emit, emitted);
+        s.truncate(before);
+    }
+}
+
+/// Algorithm 6: the maximal independent sets of a simple (complement) path,
+/// returned as lists of the path's vertex labels.
+pub(crate) fn path_choices(path: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    match path.len() {
+        0 => {}
+        1 => out.push(vec![path[0]]),
+        _ => {
+            let mut acc = Vec::new();
+            expand_path(path, 0, &mut acc, &mut out);
+            expand_path(path, 1, &mut acc, &mut out);
+        }
+    }
+    out
+}
+
+/// The +2 / +3 expansion step of Algorithm 6 (0-based indices).
+fn expand_path(path: &[VertexId], idx: usize, acc: &mut Vec<VertexId>, out: &mut Vec<Vec<VertexId>>) {
+    acc.push(path[idx]);
+    if idx + 2 >= path.len() {
+        out.push(acc.clone());
+    } else {
+        expand_path(path, idx + 2, acc, out);
+        if idx + 3 < path.len() {
+            expand_path(path, idx + 3, acc, out);
+        }
+    }
+    acc.pop();
+}
+
+/// Algorithm 7: the maximal independent sets of a simple (complement) cycle.
+pub(crate) fn cycle_choices(cycle: &[VertexId]) -> Vec<Vec<VertexId>> {
+    let l = cycle.len();
+    match l {
+        0 | 1 | 2 => path_choices(cycle),
+        3 => vec![vec![cycle[0]], vec![cycle[1]], vec![cycle[2]]],
+        4 => vec![vec![cycle[0], cycle[2]], vec![cycle[1], cycle[3]]],
+        5 => vec![
+            vec![cycle[0], cycle[2]],
+            vec![cycle[0], cycle[3]],
+            vec![cycle[1], cycle[3]],
+            vec![cycle[1], cycle[4]],
+            vec![cycle[2], cycle[4]],
+        ],
+        _ => {
+            let mut out = Vec::new();
+            let mut acc = Vec::new();
+            // Case 1: v1 in the clique — walk the path v1 … v_{l-1}.
+            expand_path(&cycle[0..l - 1], 0, &mut acc, &mut out);
+            // Case 2: v2 in the clique — walk the path v2 … v_l.
+            expand_path(&cycle[1..l], 0, &mut acc, &mut out);
+            // Case 3: neither v1 nor v2 — v_l and v3 are forced, walk v3 … v_{l-2}.
+            acc.push(cycle[l - 1]);
+            expand_path(&cycle[2..l - 2], 0, &mut acc, &mut out);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_graph::Graph;
+
+    fn choices_sorted(mut v: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
+        for c in v.iter_mut() {
+            c.sort_unstable();
+        }
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn path_choices_small_lengths() {
+        assert!(path_choices(&[]).is_empty());
+        assert_eq!(path_choices(&[7]), vec![vec![7]]);
+        assert_eq!(choices_sorted(path_choices(&[0, 1])), vec![vec![0], vec![1]]);
+        assert_eq!(choices_sorted(path_choices(&[0, 1, 2])), vec![vec![0, 2], vec![1]]);
+        assert_eq!(
+            choices_sorted(path_choices(&[0, 1, 2, 3])),
+            vec![vec![0, 2], vec![0, 3], vec![1, 3]]
+        );
+    }
+
+    /// Reference: maximal independent sets of a path/cycle by brute force.
+    fn brute_force_mis(n: usize, cycle: bool) -> Vec<Vec<VertexId>> {
+        let adjacent = |a: usize, b: usize| {
+            (a + 1 == b || b + 1 == a) || (cycle && ((a == 0 && b == n - 1) || (b == 0 && a == n - 1)))
+        };
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << n) {
+            let set: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            let independent =
+                set.iter().all(|&a| set.iter().all(|&b| a == b || !adjacent(a, b)));
+            if !independent || set.is_empty() {
+                continue;
+            }
+            let maximal = (0..n)
+                .filter(|i| !set.contains(i))
+                .all(|v| set.iter().any(|&a| adjacent(a, v)));
+            if maximal {
+                out.push(set.iter().map(|&v| v as VertexId).collect());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn path_choices_match_brute_force_up_to_ten() {
+        for n in 2..=10usize {
+            let path: Vec<VertexId> = (0..n as VertexId).collect();
+            let got = choices_sorted(path_choices(&path));
+            let want = brute_force_mis(n, false);
+            assert_eq!(got, want, "path length {n}");
+        }
+    }
+
+    #[test]
+    fn cycle_choices_match_brute_force_up_to_ten() {
+        for n in 3..=10usize {
+            let cycle: Vec<VertexId> = (0..n as VertexId).collect();
+            let got = choices_sorted(cycle_choices(&cycle));
+            let want = brute_force_mis(n, true);
+            assert_eq!(got, want, "cycle length {n}");
+        }
+    }
+
+    #[test]
+    fn clique_candidate_emits_single_clique() {
+        let g = Graph::complete(5);
+        let lg = LocalGraph::from_vertices(&g, &[0, 1, 2, 3, 4]);
+        let c = BitSet::full(5);
+        let mut s = vec![100];
+        let mut got = Vec::new();
+        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |cl| {
+            let mut v = cl.to_vec();
+            v.sort_unstable();
+            got.push(v);
+        })
+        .unwrap();
+        assert_eq!(count, 1);
+        assert_eq!(got, vec![vec![0, 1, 2, 3, 4, 100]]);
+        assert_eq!(s, vec![100], "partial clique restored");
+    }
+
+    #[test]
+    fn two_plex_figure3_example() {
+        // Paper Figure 3: complement is the matching {(2,4), (3,5)} → 4 maximal cliques.
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                if (u, v) != (2, 4) && (u, v) != (3, 5) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(6, edges).unwrap();
+        let lg = LocalGraph::from_vertices(&g, &[0, 1, 2, 3, 4, 5]);
+        let c = BitSet::full(6);
+        let mut s = Vec::new();
+        let mut got = Vec::new();
+        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |cl| {
+            let mut v = cl.to_vec();
+            v.sort_unstable();
+            got.push(v);
+        })
+        .unwrap();
+        got.sort();
+        assert_eq!(count, 4);
+        assert_eq!(
+            got,
+            vec![vec![0, 1, 2, 3], vec![0, 1, 2, 5], vec![0, 1, 3, 4], vec![0, 1, 4, 5]]
+        );
+    }
+
+    #[test]
+    fn three_plex_figure4_example() {
+        // Paper Figure 4: complement has path 0-1-2 and triangle 3-4-5 → 6 maximal cliques.
+        let complement_edges = [(0u32, 1u32), (1, 2), (3, 4), (4, 5), (3, 5)];
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                if !complement_edges.contains(&(u, v)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(6, edges).unwrap();
+        let lg = LocalGraph::from_vertices(&g, &[0, 1, 2, 3, 4, 5]);
+        let c = BitSet::full(6);
+        let mut s = Vec::new();
+        let mut got = Vec::new();
+        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |cl| {
+            let mut v = cl.to_vec();
+            v.sort_unstable();
+            got.push(v);
+        })
+        .unwrap();
+        got.sort();
+        assert_eq!(count, 6);
+        assert_eq!(
+            got,
+            vec![
+                vec![0, 2, 3],
+                vec![0, 2, 4],
+                vec![0, 2, 5],
+                vec![1, 3],
+                vec![1, 4],
+                vec![1, 5]
+            ]
+        );
+    }
+
+    #[test]
+    fn non_plex_candidate_returns_none() {
+        // A path on 6 vertices is far from a 3-plex: complement has high degree.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let lg = LocalGraph::from_vertices(&g, &[0, 1, 2, 3, 4, 5]);
+        let c = BitSet::full(6);
+        let mut s = Vec::new();
+        let mut calls = 0;
+        let result = enumerate_plex_branch(&lg, &c, &mut s, &mut |_| calls += 1);
+        assert!(result.is_none());
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn empty_candidate_emits_nothing() {
+        let g = Graph::complete(3);
+        let lg = LocalGraph::from_vertices(&g, &[0, 1, 2]);
+        let c = BitSet::with_capacity(3);
+        let mut s = vec![9];
+        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |_| {}).unwrap();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn cross_product_counts_match_component_product() {
+        // Complement = two disjoint matchings (2-plex) on 8 vertices → 2*2 = 4 cliques…
+        // plus a 5-cycle complement (3-plex) on 5 more → 4 * 5 = 20 cliques.
+        let comp_edges = [(0u32, 1u32), (2, 3), (4, 5), (5, 6), (6, 7), (7, 8), (4, 8)];
+        let n = 9;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if !comp_edges.contains(&(u, v)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, edges).unwrap();
+        let lg = LocalGraph::from_vertices(&g, &(0..n as u32).collect::<Vec<_>>());
+        let c = BitSet::full(n);
+        let mut s = Vec::new();
+        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |_| {}).unwrap();
+        assert_eq!(count, 2 * 2 * 5);
+    }
+}

@@ -1,0 +1,192 @@
+//! Working representation of a branch's vertex universe.
+//!
+//! After the initial (root) branching step the recursion only ever touches the
+//! vertices of `C ∪ X` of that root branch — a set bounded by the degeneracy δ
+//! (vertex-oriented roots) or the truss parameter τ (edge-oriented roots),
+//! plus the exclusion side. [`LocalGraph`] relabels those vertices to a dense
+//! `0..k` id space and stores their adjacency as bitset rows, so that branch
+//! refinement (`C ∩ N(v)`), pivot scoring and the early-termination check are
+//! all word-parallel.
+//!
+//! Two adjacency relations are kept:
+//!
+//! * `g_adj` — the true adjacency of the input graph restricted to the local
+//!   vertices. Used for maximality checking (moving vertices to `X`) and for
+//!   the early-termination plex test.
+//! * `cand_adj` — the *candidate* adjacency: `g_adj` minus the edges excluded
+//!   by earlier sibling branches of an edge-oriented branching step (Eq. 2 of
+//!   the paper removes processed edges from the candidate graph). When no edge
+//!   has been excluded this is exactly `g_adj` and is not materialised.
+
+use mce_graph::{BitSet, Graph, VertexId};
+
+/// Dense local view of a branch's vertex universe (`C ∪ X` of the root branch).
+#[derive(Clone, Debug)]
+pub(crate) struct LocalGraph {
+    /// Local id → original vertex id.
+    pub orig: Vec<VertexId>,
+    /// True graph adjacency between local vertices.
+    pub g_adj: Vec<BitSet>,
+    /// Candidate adjacency (excluded edges removed); `None` means identical to
+    /// [`LocalGraph::g_adj`].
+    pub cand_adj: Option<Vec<BitSet>>,
+}
+
+impl LocalGraph {
+    /// Number of local vertices.
+    pub fn len(&self) -> usize {
+        self.orig.len()
+    }
+
+    /// Candidate adjacency row of local vertex `v`.
+    #[inline]
+    pub fn cand(&self, v: usize) -> &BitSet {
+        match &self.cand_adj {
+            Some(adj) => &adj[v],
+            None => &self.g_adj[v],
+        }
+    }
+
+    /// True-graph adjacency row of local vertex `v`.
+    #[inline]
+    pub fn gadj(&self, v: usize) -> &BitSet {
+        &self.g_adj[v]
+    }
+
+    /// Builds the local graph over `vertices` (in the given order) using the
+    /// plain graph adjacency for both relations.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn from_vertices(g: &Graph, vertices: &[VertexId]) -> Self {
+        Self::from_vertices_filtered(g, vertices, |_, _| true)
+    }
+
+    /// Builds the local graph over `vertices`, keeping in the *candidate*
+    /// adjacency only those edges for which `keep(u, v)` returns `true`
+    /// (`u`/`v` are original vertex ids). The true adjacency always contains
+    /// every edge of the input graph.
+    pub fn from_vertices_filtered<F>(g: &Graph, vertices: &[VertexId], keep: F) -> Self
+    where
+        F: Fn(VertexId, VertexId) -> bool,
+    {
+        let k = vertices.len();
+        let orig = vertices.to_vec();
+        let mut g_adj: Vec<BitSet> = (0..k).map(|_| BitSet::with_capacity(k)).collect();
+        let mut cand_adj: Vec<BitSet> = (0..k).map(|_| BitSet::with_capacity(k)).collect();
+        let mut filtered_any = false;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if g.has_edge(orig[i], orig[j]) {
+                    g_adj[i].insert(j);
+                    g_adj[j].insert(i);
+                    if keep(orig[i], orig[j]) {
+                        cand_adj[i].insert(j);
+                        cand_adj[j].insert(i);
+                    } else {
+                        filtered_any = true;
+                    }
+                }
+            }
+        }
+        LocalGraph { orig, g_adj, cand_adj: if filtered_any { Some(cand_adj) } else { None } }
+    }
+
+    /// Returns a copy of this local graph whose candidate adjacency
+    /// additionally drops every edge for which `keep(u, v)` is `false`
+    /// (`u`/`v` original ids). Used when descending another edge-oriented
+    /// branching level: the sub-branch must exclude the sibling edges already
+    /// processed at the current level.
+    pub fn restrict_candidate<F>(&self, keep: F) -> Self
+    where
+        F: Fn(VertexId, VertexId) -> bool,
+    {
+        let k = self.len();
+        let mut cand_adj: Vec<BitSet> = (0..k).map(|_| BitSet::with_capacity(k)).collect();
+        let mut filtered_any = self.cand_adj.is_some();
+        for i in 0..k {
+            for j in self.cand(i).iter() {
+                if j <= i {
+                    continue;
+                }
+                if keep(self.orig[i], self.orig[j]) {
+                    cand_adj[i].insert(j);
+                    cand_adj[j].insert(i);
+                } else {
+                    filtered_any = true;
+                }
+            }
+        }
+        LocalGraph {
+            orig: self.orig.clone(),
+            g_adj: self.g_adj.clone(),
+            cand_adj: if filtered_any { Some(cand_adj) } else { None },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0-1-2-3 cycle plus chord (0,2).
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn from_vertices_builds_relabelled_adjacency() {
+        let g = diamond();
+        let lg = LocalGraph::from_vertices(&g, &[2, 0, 3]);
+        assert_eq!(lg.len(), 3);
+        assert_eq!(lg.orig, vec![2, 0, 3]);
+        // local 0=orig2, 1=orig0, 2=orig3: edges (2,0),(2,3),(0,3) all exist.
+        assert!(lg.gadj(0).contains(1));
+        assert!(lg.gadj(0).contains(2));
+        assert!(lg.gadj(1).contains(2));
+        assert!(lg.cand_adj.is_none());
+        assert_eq!(lg.cand(0), lg.gadj(0));
+    }
+
+    #[test]
+    fn filtered_construction_separates_candidate_from_graph_adjacency() {
+        let g = diamond();
+        // Drop the chord (0,2) from the candidate adjacency only.
+        let lg = LocalGraph::from_vertices_filtered(&g, &[0, 1, 2, 3], |u, v| {
+            !((u, v) == (0, 2) || (u, v) == (2, 0))
+        });
+        assert!(lg.cand_adj.is_some());
+        assert!(lg.gadj(0).contains(2));
+        assert!(!lg.cand(0).contains(2));
+        assert!(lg.cand(0).contains(1));
+    }
+
+    #[test]
+    fn no_filtering_keeps_shared_adjacency() {
+        let g = diamond();
+        let lg = LocalGraph::from_vertices_filtered(&g, &[0, 1, 2], |_, _| true);
+        assert!(lg.cand_adj.is_none());
+    }
+
+    #[test]
+    fn restrict_candidate_composes_filters() {
+        let g = Graph::complete(4);
+        let lg = LocalGraph::from_vertices_filtered(&g, &[0, 1, 2, 3], |u, v| {
+            (u, v) != (0, 1) && (v, u) != (0, 1)
+        });
+        let lg2 = lg.restrict_candidate(|u, v| (u, v) != (2, 3) && (v, u) != (2, 3));
+        // Both (0,1) and (2,3) are gone from the candidate adjacency…
+        assert!(!lg2.cand(0).contains(1));
+        assert!(!lg2.cand(2).contains(3));
+        // …but the true adjacency still has them.
+        assert!(lg2.gadj(0).contains(1));
+        assert!(lg2.gadj(2).contains(3));
+        // Untouched edges survive.
+        assert!(lg2.cand(0).contains(2));
+    }
+
+    #[test]
+    fn empty_local_graph() {
+        let g = Graph::complete(3);
+        let lg = LocalGraph::from_vertices(&g, &[]);
+        assert_eq!(lg.len(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Parallel enumeration over root branches.
+//!
+//! The paper's algorithms are sequential, but its root branching step (Eq. 1 /
+//! Eq. 2) produces a large number of independent branches, which is exactly
+//! the structure that shared-memory parallel MCE implementations exploit. The
+//! [`Solver::run_partition`](crate::Solver::run_partition) API exposes that
+//! independence: each worker processes every `k`-th root branch, and the union
+//! of the workers' outputs is the exact set of maximal cliques. This module
+//! wires the partitions to `crossbeam` scoped threads; it is used by the
+//! `parallel_enumeration` example and is a natural extension point rather than
+//! part of the paper's evaluation.
+
+use crossbeam::thread;
+use mce_graph::{Graph, VertexId};
+use parking_lot::Mutex;
+
+use crate::config::SolverConfig;
+use crate::report::{CliqueReporter, CollectReporter, CountReporter};
+use crate::solver::Solver;
+use crate::stats::EnumerationStats;
+
+/// Counts maximal cliques using `threads` workers. Returns the total count and
+/// the merged statistics (wall time is the maximum over workers).
+pub fn par_count_maximal_cliques(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+) -> (u64, EnumerationStats) {
+    let threads = threads.max(1);
+    let solver = Solver::new(g, *config).expect("invalid solver configuration");
+    let results: Mutex<Vec<(u64, EnumerationStats)>> = Mutex::new(Vec::new());
+
+    thread::scope(|scope| {
+        for part in 0..threads {
+            let solver = &solver;
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut reporter = CountReporter::new();
+                let stats = solver.run_partition(part, threads, &mut reporter);
+                results.lock().push((reporter.count, stats));
+            });
+        }
+    })
+    .expect("a parallel enumeration worker panicked");
+
+    let mut total = 0u64;
+    let mut merged = EnumerationStats::default();
+    for (count, stats) in results.into_inner() {
+        total += count;
+        merged.merge(&stats);
+    }
+    (total, merged)
+}
+
+/// Collects all maximal cliques using `threads` workers, in canonical order.
+pub fn par_enumerate_collect(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+) -> (Vec<Vec<VertexId>>, EnumerationStats) {
+    let threads = threads.max(1);
+    let solver = Solver::new(g, *config).expect("invalid solver configuration");
+    let results: Mutex<(Vec<Vec<VertexId>>, EnumerationStats)> =
+        Mutex::new((Vec::new(), EnumerationStats::default()));
+
+    thread::scope(|scope| {
+        for part in 0..threads {
+            let solver = &solver;
+            let results = &results;
+            scope.spawn(move |_| {
+                let mut reporter = CollectReporter::new();
+                let stats = solver.run_partition(part, threads, &mut reporter);
+                let mut guard = results.lock();
+                guard.0.extend(reporter.cliques);
+                guard.1.merge(&stats);
+            });
+        }
+    })
+    .expect("a parallel enumeration worker panicked");
+
+    let (mut cliques, stats) = results.into_inner();
+    cliques.sort();
+    (cliques, stats)
+}
+
+/// Streams maximal cliques to a shared reporter from `threads` workers. The
+/// reporter is locked per clique, so use this with cheap reporters (counters,
+/// writers) rather than heavy computations.
+pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    reporter: &mut R,
+) -> EnumerationStats {
+    struct SharedReporter<'a, R: CliqueReporter> {
+        inner: &'a Mutex<&'a mut R>,
+    }
+    impl<R: CliqueReporter> CliqueReporter for SharedReporter<'_, R> {
+        fn report(&mut self, clique: &[VertexId]) {
+            self.inner.lock().report(clique);
+        }
+    }
+
+    let threads = threads.max(1);
+    let solver = Solver::new(g, *config).expect("invalid solver configuration");
+    let shared = Mutex::new(reporter);
+    let merged: Mutex<EnumerationStats> = Mutex::new(EnumerationStats::default());
+
+    thread::scope(|scope| {
+        for part in 0..threads {
+            let solver = &solver;
+            let shared = &shared;
+            let merged = &merged;
+            scope.spawn(move |_| {
+                let mut local = SharedReporter { inner: shared };
+                let stats = solver.run_partition(part, threads, &mut local);
+                merged.lock().merge(&stats);
+            });
+        }
+    })
+    .expect("a parallel enumeration worker panicked");
+
+    merged.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_maximal_cliques;
+    use crate::solver::count_maximal_cliques;
+
+    fn test_graph() -> Graph {
+        // Two overlapping communities plus sparse periphery.
+        Graph::from_edges(
+            12,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (6, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (9, 11),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        let g = test_graph();
+        let (seq, _) = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp());
+        for threads in [1, 2, 4, 7] {
+            let (par, stats) = par_count_maximal_cliques(&g, &SolverConfig::hbbmc_pp(), threads);
+            assert_eq!(par, seq, "threads = {threads}");
+            assert_eq!(stats.maximal_cliques, seq);
+        }
+    }
+
+    #[test]
+    fn parallel_collect_matches_reference() {
+        let g = test_graph();
+        let expected = naive_maximal_cliques(&g);
+        let (got, _) = par_enumerate_collect(&g, &SolverConfig::r_degen(), 3);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn streaming_reporter_sees_every_clique() {
+        let g = test_graph();
+        let expected = naive_maximal_cliques(&g).len() as u64;
+        let mut counter = CountReporter::new();
+        let stats = par_enumerate_streaming(&g, &SolverConfig::hbbmc_pp(), 4, &mut counter);
+        assert_eq!(counter.count, expected);
+        assert_eq!(stats.maximal_cliques, expected);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let g = Graph::complete(4);
+        let (count, _) = par_count_maximal_cliques(&g, &SolverConfig::hbbmc_pp(), 0);
+        assert_eq!(count, 1);
+    }
+}

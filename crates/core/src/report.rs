@@ -1,0 +1,258 @@
+//! Clique reporters: how enumerated maximal cliques are consumed.
+//!
+//! Enumeration frameworks produce cliques one at a time; a [`CliqueReporter`]
+//! decides what happens to them (count, collect, stream to a callback, …).
+//! Keeping this behind a trait lets the benchmark harness count millions of
+//! cliques without materialising them while the tests collect and compare
+//! exact sets.
+
+use mce_graph::VertexId;
+
+/// Consumer of maximal cliques produced by the enumeration frameworks.
+pub trait CliqueReporter {
+    /// Called once per maximal clique. `clique` is unsorted and only valid for
+    /// the duration of the call.
+    fn report(&mut self, clique: &[VertexId]);
+}
+
+/// Counts cliques and tracks size statistics without storing them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CountReporter {
+    /// Number of maximal cliques reported.
+    pub count: u64,
+    /// Size of the largest maximal clique seen.
+    pub max_size: usize,
+    /// Sum of clique sizes (for computing the average).
+    pub total_size: u64,
+}
+
+impl CountReporter {
+    /// Creates a fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average clique size (0.0 when nothing was reported).
+    pub fn average_size(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_size as f64 / self.count as f64
+        }
+    }
+}
+
+impl CliqueReporter for CountReporter {
+    fn report(&mut self, clique: &[VertexId]) {
+        self.count += 1;
+        self.max_size = self.max_size.max(clique.len());
+        self.total_size += clique.len() as u64;
+    }
+}
+
+/// Collects every clique as a sorted vector (intended for tests and small graphs).
+#[derive(Clone, Debug, Default)]
+pub struct CollectReporter {
+    /// All reported cliques, each sorted ascending.
+    pub cliques: Vec<Vec<VertexId>>,
+}
+
+impl CollectReporter {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the collected cliques sorted canonically (each clique sorted,
+    /// cliques sorted lexicographically) — convenient for equality checks.
+    pub fn into_sorted(mut self) -> Vec<Vec<VertexId>> {
+        self.cliques.sort();
+        self.cliques
+    }
+}
+
+impl CliqueReporter for CollectReporter {
+    fn report(&mut self, clique: &[VertexId]) {
+        let mut c = clique.to_vec();
+        c.sort_unstable();
+        self.cliques.push(c);
+    }
+}
+
+/// Streams every clique to a user callback.
+pub struct CallbackReporter<F: FnMut(&[VertexId])> {
+    callback: F,
+}
+
+impl<F: FnMut(&[VertexId])> CallbackReporter<F> {
+    /// Wraps `callback` as a reporter.
+    pub fn new(callback: F) -> Self {
+        CallbackReporter { callback }
+    }
+}
+
+impl<F: FnMut(&[VertexId])> CliqueReporter for CallbackReporter<F> {
+    fn report(&mut self, clique: &[VertexId]) {
+        (self.callback)(clique)
+    }
+}
+
+/// Keeps only the largest clique seen (ties broken by first occurrence).
+#[derive(Clone, Debug, Default)]
+pub struct MaximumCliqueReporter {
+    /// The largest maximal clique reported so far, sorted ascending.
+    pub best: Vec<VertexId>,
+}
+
+impl MaximumCliqueReporter {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CliqueReporter for MaximumCliqueReporter {
+    fn report(&mut self, clique: &[VertexId]) {
+        if clique.len() > self.best.len() {
+            self.best = clique.to_vec();
+            self.best.sort_unstable();
+        }
+    }
+}
+
+/// Retains only cliques with at least `min_size` vertices, forwarding them to
+/// an inner reporter. Useful for the community-detection style applications in
+/// the examples.
+pub struct MinSizeFilter<R: CliqueReporter> {
+    inner: R,
+    min_size: usize,
+}
+
+impl<R: CliqueReporter> MinSizeFilter<R> {
+    /// Wraps `inner`, dropping cliques smaller than `min_size`.
+    pub fn new(inner: R, min_size: usize) -> Self {
+        MinSizeFilter { inner, min_size }
+    }
+
+    /// Unwraps the inner reporter.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: CliqueReporter> CliqueReporter for MinSizeFilter<R> {
+    fn report(&mut self, clique: &[VertexId]) {
+        if clique.len() >= self.min_size {
+            self.inner.report(clique);
+        }
+    }
+}
+
+/// Builds a histogram of clique sizes (`histogram[s]` = number of maximal
+/// cliques with exactly `s` vertices).
+#[derive(Clone, Debug, Default)]
+pub struct SizeHistogramReporter {
+    /// Clique counts indexed by clique size (index 0 is unused).
+    pub histogram: Vec<u64>,
+}
+
+impl SizeHistogramReporter {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of cliques recorded.
+    pub fn total(&self) -> u64 {
+        self.histogram.iter().sum()
+    }
+
+    /// Size of the largest clique recorded (0 when empty).
+    pub fn max_size(&self) -> usize {
+        self.histogram.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+}
+
+impl CliqueReporter for SizeHistogramReporter {
+    fn report(&mut self, clique: &[VertexId]) {
+        let size = clique.len();
+        if self.histogram.len() <= size {
+            self.histogram.resize(size + 1, 0);
+        }
+        self.histogram[size] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_reporter_tracks_sizes() {
+        let mut r = CountReporter::new();
+        r.report(&[1, 2, 3]);
+        r.report(&[4]);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.max_size, 3);
+        assert_eq!(r.total_size, 4);
+        assert!((r.average_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_reporter_empty_average() {
+        assert_eq!(CountReporter::new().average_size(), 0.0);
+    }
+
+    #[test]
+    fn collect_reporter_sorts_members_and_canonical_order() {
+        let mut r = CollectReporter::new();
+        r.report(&[3, 1, 2]);
+        r.report(&[0, 5]);
+        let sorted = r.into_sorted();
+        assert_eq!(sorted, vec![vec![0, 5], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn callback_reporter_invokes_closure() {
+        let mut seen = Vec::new();
+        {
+            let mut r = CallbackReporter::new(|c: &[VertexId]| seen.push(c.len()));
+            r.report(&[1, 2]);
+            r.report(&[1, 2, 3]);
+        }
+        assert_eq!(seen, vec![2, 3]);
+    }
+
+    #[test]
+    fn maximum_clique_reporter_keeps_largest() {
+        let mut r = MaximumCliqueReporter::new();
+        r.report(&[5, 4]);
+        r.report(&[9, 7, 8]);
+        r.report(&[1, 2]);
+        assert_eq!(r.best, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn size_histogram_counts_by_size() {
+        let mut r = SizeHistogramReporter::new();
+        r.report(&[1, 2, 3]);
+        r.report(&[4, 5, 6]);
+        r.report(&[7]);
+        assert_eq!(r.histogram[3], 2);
+        assert_eq!(r.histogram[1], 1);
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.max_size(), 3);
+        assert_eq!(SizeHistogramReporter::new().max_size(), 0);
+    }
+
+    #[test]
+    fn min_size_filter_drops_small_cliques() {
+        let mut f = MinSizeFilter::new(CountReporter::new(), 3);
+        f.report(&[1, 2]);
+        f.report(&[1, 2, 3]);
+        f.report(&[1, 2, 3, 4]);
+        let inner = f.into_inner();
+        assert_eq!(inner.count, 2);
+        assert_eq!(inner.max_size, 4);
+    }
+}

@@ -1,0 +1,792 @@
+//! The enumeration engine: initial branching, vertex-oriented recursion
+//! (with every pivot variant), edge-oriented recursion and their hybrid.
+//!
+//! A single [`Solver`] drives every named algorithm of the paper — the choice
+//! of initial branching, pivot strategy, early-termination level and graph
+//! reduction is all carried by [`SolverConfig`]. The engine follows the
+//! two-phase structure of the paper's Algorithms 1–4:
+//!
+//! 1. **Root phase.** The universal branch `(∅, G, ∅)` is partitioned either
+//!    vertex-wise (Eq. 1, over a chosen vertex ordering) or edge-wise
+//!    (Eq. 2 + Eq. 3, over a chosen edge ordering). Each root branch extracts
+//!    the relevant neighbourhood into a dense [`LocalGraph`] — bounded by the
+//!    degeneracy δ (vertex roots) or the truss parameter τ (edge roots).
+//! 2. **Recursive phase.** Inside the local graph the branch `(S, C, X)` is
+//!    refined by vertex-oriented branching with pivoting (Algorithm 1), the
+//!    `BK_Rcd` top-down rule, or — for hybrid depths `d ≥ 2` (Table IV) —
+//!    further edge-oriented levels before switching.
+//!
+//! Early termination (Section IV) and graph reduction are hooked into both
+//! phases exactly as the paper describes: the t-plex test rides along the
+//! pivot scan, and reduction-removed vertices act as permanent exclusion
+//! members of every branch they touch.
+
+use std::time::Instant;
+
+use mce_graph::ordering::{edge_ordering, vertex_ordering, EdgeOrdering};
+use mce_graph::{BitSet, Graph, VertexId};
+
+use crate::config::{InitialBranching, PivotStrategy, RecursionStrategy, SolverConfig};
+use crate::early_term::enumerate_plex_branch;
+use crate::local::LocalGraph;
+use crate::pivot::{plex_condition, scan_branch};
+use crate::reduction::{reduce, Reduction};
+use crate::report::{CliqueReporter, CollectReporter, CountReporter};
+use crate::stats::EnumerationStats;
+
+/// Maximal clique enumeration driver for a fixed graph and configuration.
+pub struct Solver<'g> {
+    graph: &'g Graph,
+    config: SolverConfig,
+}
+
+struct Ctx<'a> {
+    config: SolverConfig,
+    stats: EnumerationStats,
+    reporter: &'a mut dyn CliqueReporter,
+}
+
+impl Ctx<'_> {
+    fn report(&mut self, clique: &[VertexId]) {
+        self.stats.maximal_cliques += 1;
+        self.stats.max_clique_size = self.stats.max_clique_size.max(clique.len());
+        self.reporter.report(clique);
+    }
+}
+
+impl<'g> Solver<'g> {
+    /// Creates a solver after validating the configuration.
+    pub fn new(graph: &'g Graph, config: SolverConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Solver { graph, config })
+    }
+
+    /// The configuration this solver runs with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Enumerates every maximal clique of the graph, streaming them to
+    /// `reporter`, and returns the run statistics.
+    pub fn run(&self, reporter: &mut dyn CliqueReporter) -> EnumerationStats {
+        self.run_partition(0, 1, reporter)
+    }
+
+    /// Processes only the root branches whose rank `r` satisfies
+    /// `r % parts == part` (plus, for `part == 0`, the cliques emitted by graph
+    /// reduction and by isolated vertices). Running every part exactly once
+    /// over the same graph and configuration — in any order or in parallel —
+    /// reports every maximal clique exactly once. Used by the parallel driver.
+    pub fn run_partition(
+        &self,
+        part: usize,
+        parts: usize,
+        reporter: &mut dyn CliqueReporter,
+    ) -> EnumerationStats {
+        assert!(parts > 0 && part < parts, "invalid partition {part}/{parts}");
+        let start = Instant::now();
+        let mut ctx = Ctx { config: self.config, stats: EnumerationStats::default(), reporter };
+        let g = self.graph;
+
+        let reduction =
+            if self.config.graph_reduction { reduce(g) } else { Reduction::disabled(g.n()) };
+        ctx.stats.gr_removed_vertices = reduction.removed_count() as u64;
+        if part == 0 {
+            for clique in &reduction.cliques {
+                ctx.stats.gr_cliques += 1;
+                ctx.report(clique);
+            }
+        }
+
+        match self.config.initial {
+            InitialBranching::Vertex(kind) => {
+                self.run_vertex_root(kind, &reduction, part, parts, &mut ctx)
+            }
+            InitialBranching::Edge { ordering, depth } => {
+                self.run_edge_root(ordering, depth, &reduction, part, parts, &mut ctx)
+            }
+        }
+
+        ctx.stats.elapsed = start.elapsed();
+        ctx.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Root phase
+    // ------------------------------------------------------------------
+
+    fn run_vertex_root(
+        &self,
+        kind: mce_graph::VertexOrderingKind,
+        reduction: &Reduction,
+        part: usize,
+        parts: usize,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let g = self.graph;
+        let ordering_start = Instant::now();
+        let order = vertex_ordering(g, kind);
+        let mut position = vec![0usize; g.n()];
+        for (i, &v) in order.iter().enumerate() {
+            position[v as usize] = i;
+        }
+        ctx.stats.ordering_time = ordering_start.elapsed();
+
+        for (rank, &v) in order.iter().enumerate() {
+            if rank % parts != part || reduction.removed[v as usize] {
+                continue;
+            }
+            let mut candidates = Vec::new();
+            let mut excluded = Vec::new();
+            for &u in g.neighbors(v) {
+                if reduction.removed[u as usize] || position[u as usize] < rank {
+                    excluded.push(u);
+                } else {
+                    candidates.push(u);
+                }
+            }
+            ctx.stats.initial_branches += 1;
+            let (lg, c, x) = build_branch(g, &candidates, &excluded, |_, _| true);
+            let mut partial = vec![v];
+            self.dispatch(&lg, &mut partial, c, x, 0, None, ctx);
+        }
+    }
+
+    fn run_edge_root(
+        &self,
+        kind: mce_graph::EdgeOrderingKind,
+        depth: usize,
+        reduction: &Reduction,
+        part: usize,
+        parts: usize,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let g = self.graph;
+        let ordering_start = Instant::now();
+        let eo = edge_ordering(g, kind);
+        ctx.stats.ordering_time = ordering_start.elapsed();
+
+        let mut common = Vec::new();
+        for (rank, &edge) in eo.order.iter().enumerate() {
+            if rank % parts != part {
+                continue;
+            }
+            let (u, v) = eo.index.endpoints(edge);
+            if reduction.removed[u as usize] || reduction.removed[v as usize] {
+                continue;
+            }
+            g.common_neighbors_into(u, v, &mut common);
+            let mut candidates = Vec::new();
+            let mut excluded = Vec::new();
+            for &w in &common {
+                if reduction.removed[w as usize] {
+                    excluded.push(w);
+                    continue;
+                }
+                let uw = eo.index.edge_id(u, w).expect("triangle edge (u,w) exists");
+                let vw = eo.index.edge_id(v, w).expect("triangle edge (v,w) exists");
+                if eo.position[uw as usize] > rank && eo.position[vw as usize] > rank {
+                    candidates.push(w);
+                } else {
+                    excluded.push(w);
+                }
+            }
+            ctx.stats.initial_branches += 1;
+            // Eq. (2): edges already processed at the root are removed from the
+            // candidate graph of this branch.
+            let (lg, c, x) = build_branch(g, &candidates, &excluded, |a, b| {
+                match eo.index.edge_id(a, b) {
+                    Some(e) => eo.position[e as usize] > rank,
+                    None => true,
+                }
+            });
+            let mut partial = vec![u, v];
+            self.dispatch(&lg, &mut partial, c, x, depth.saturating_sub(1), Some(&eo), ctx);
+        }
+
+        // Eq. (3) at the root: isolated vertices are maximal 1-cliques.
+        if part == 0 {
+            for v in g.vertices() {
+                if g.degree(v) == 0 && !reduction.removed[v as usize] {
+                    ctx.stats.initial_branches += 1;
+                    ctx.report(&[v]);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recursive phase
+    // ------------------------------------------------------------------
+
+    fn dispatch(
+        &self,
+        lg: &LocalGraph,
+        partial: &mut Vec<VertexId>,
+        c: BitSet,
+        x: BitSet,
+        edge_levels: usize,
+        eo: Option<&EdgeOrdering>,
+        ctx: &mut Ctx<'_>,
+    ) {
+        if edge_levels > 0 {
+            if let Some(eo) = eo {
+                self.edge_branch_step(lg, partial, c, x, edge_levels, eo, ctx);
+                return;
+            }
+        }
+        match self.config.recursion {
+            RecursionStrategy::Pivoting(strategy) => {
+                self.pivot_rec(lg, partial, c, x, strategy, ctx)
+            }
+            RecursionStrategy::Rcd => self.rcd_rec(lg, partial, c, x, ctx),
+        }
+    }
+
+    /// One edge-oriented branching level (Eq. 2 + Eq. 3) inside a local graph.
+    fn edge_branch_step(
+        &self,
+        lg: &LocalGraph,
+        partial: &mut Vec<VertexId>,
+        c: BitSet,
+        x: BitSet,
+        edge_levels: usize,
+        eo: &EdgeOrdering,
+        ctx: &mut Ctx<'_>,
+    ) {
+        ctx.stats.recursive_calls += 1;
+        if c.is_empty() && x.is_empty() {
+            ctx.report(partial);
+            return;
+        }
+
+        let members: Vec<usize> = c.iter().collect();
+        // Candidate edges, ordered by their global position (the branch inherits π_τ).
+        let mut edges: Vec<(usize, usize, usize)> = Vec::new();
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if lg.cand(a).contains(b) {
+                    if let Some(e) = eo.index.edge_id(lg.orig[a], lg.orig[b]) {
+                        edges.push((eo.position[e as usize], a, b));
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+
+        for &(pos, a, b) in &edges {
+            // Earlier sibling edges of this level (and the current one) are
+            // excluded from the child's candidate graph (Eq. 2), so candidacy
+            // must be evaluated against the restricted adjacency: a common
+            // neighbour whose edge to `a` or `b` was already processed belongs
+            // to the exclusion side.
+            let child_lg = lg.restrict_candidate(|pu, pv| match eo.index.edge_id(pu, pv) {
+                Some(e) => eo.position[e as usize] > pos,
+                None => true,
+            });
+            let mut c_child = c.clone();
+            c_child.intersect_with(child_lg.cand(a));
+            c_child.intersect_with(child_lg.cand(b));
+            let mut x_child = c.clone();
+            x_child.union_with(&x);
+            x_child.intersect_with(lg.gadj(a));
+            x_child.intersect_with(lg.gadj(b));
+            x_child.difference_with(&c_child);
+            partial.push(lg.orig[a]);
+            partial.push(lg.orig[b]);
+            self.dispatch(&child_lg, partial, c_child, x_child, edge_levels.saturating_sub(1), Some(eo), ctx);
+            partial.truncate(partial.len() - 2);
+        }
+
+        // Eq. (3): candidates with no candidate edge can only extend S by themselves.
+        for &w in &members {
+            if lg.cand(w).intersection_len(&c) == 0 {
+                ctx.stats.recursive_calls += 1;
+                let extendable = lg.gadj(w).intersection_len(&c) > 0
+                    || lg.gadj(w).intersection_len(&x) > 0;
+                if !extendable {
+                    partial.push(lg.orig[w]);
+                    ctx.report(partial);
+                    partial.pop();
+                }
+            }
+        }
+    }
+
+    /// Vertex-oriented branching with pivoting (Algorithm 1 with the strategy's
+    /// pivot rule), plus the early-termination hook of Section IV.
+    fn pivot_rec(
+        &self,
+        lg: &LocalGraph,
+        partial: &mut Vec<VertexId>,
+        c: BitSet,
+        x: BitSet,
+        strategy: PivotStrategy,
+        ctx: &mut Ctx<'_>,
+    ) {
+        ctx.stats.recursive_calls += 1;
+        if c.is_empty() {
+            if x.is_empty() {
+                ctx.report(partial);
+            }
+            return;
+        }
+        let t = ctx.config.early_termination_t;
+        let need_scan =
+            t >= 1 || matches!(strategy, PivotStrategy::Classic | PivotStrategy::Refined);
+        let scan = if need_scan { Some(scan_branch(lg, &c, &x)) } else { None };
+
+        if let Some(scan) = &scan {
+            if t >= 1 && plex_condition(scan, c.len(), t) {
+                ctx.stats.et_eligible += 1;
+                if x.is_empty() && self.try_early_terminate(lg, &c, partial, ctx) {
+                    return;
+                }
+            }
+        }
+
+        let mut c = c;
+        let mut x = x;
+        match strategy {
+            PivotStrategy::None => {
+                let branch_set: Vec<usize> = c.iter().collect();
+                self.branch_on(lg, partial, &mut c, &mut x, &branch_set, strategy, ctx);
+            }
+            PivotStrategy::Classic => {
+                let scan = scan.as_ref().expect("classic pivot requires a scan");
+                let branch_set = prune_by_pivot(lg, &c, scan.pivot);
+                self.branch_on(lg, partial, &mut c, &mut x, &branch_set, strategy, ctx);
+            }
+            PivotStrategy::Refined => {
+                let scan = scan.as_ref().expect("refined pivot requires a scan");
+                if scan.dominated_by_exclusion {
+                    return;
+                }
+                if let Some(u) = scan.universal_candidate {
+                    // `u` is adjacent to every other candidate: it belongs to every
+                    // maximal clique of this branch, so absorb it without branching.
+                    partial.push(lg.orig[u]);
+                    let mut c_child = c.clone();
+                    c_child.remove(u);
+                    let mut x_child = x.clone();
+                    x_child.intersect_with(lg.gadj(u));
+                    self.pivot_rec(lg, partial, c_child, x_child, strategy, ctx);
+                    partial.pop();
+                    return;
+                }
+                let branch_set = prune_by_pivot(lg, &c, scan.pivot);
+                self.branch_on(lg, partial, &mut c, &mut x, &branch_set, strategy, ctx);
+            }
+            PivotStrategy::Factor => {
+                self.factor_branching(lg, partial, &mut c, &mut x, ctx);
+            }
+        }
+    }
+
+    /// Branches on every vertex of `branch_set`, moving each to `X` afterwards.
+    fn branch_on(
+        &self,
+        lg: &LocalGraph,
+        partial: &mut Vec<VertexId>,
+        c: &mut BitSet,
+        x: &mut BitSet,
+        branch_set: &[usize],
+        strategy: PivotStrategy,
+        ctx: &mut Ctx<'_>,
+    ) {
+        for &v in branch_set {
+            if !c.contains(v) {
+                continue;
+            }
+            let (c_child, x_child) = make_child(lg, c, x, v);
+            partial.push(lg.orig[v]);
+            self.pivot_rec(lg, partial, c_child, x_child, strategy, ctx);
+            partial.pop();
+            c.remove(v);
+            x.insert(v);
+        }
+    }
+
+    /// The `BK_Fac` loop (Algorithm 10): start from an arbitrary pivot and shrink
+    /// the branching set whenever a processed vertex offers a smaller one.
+    fn factor_branching(
+        &self,
+        lg: &LocalGraph,
+        partial: &mut Vec<VertexId>,
+        c: &mut BitSet,
+        x: &mut BitSet,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let Some(v0) = c.iter().next() else { return };
+        let mut branching: Vec<usize> =
+            c.iter().filter(|&w| !lg.cand(v0).contains(w)).collect();
+        while let Some(&u) = branching.first() {
+            if c.contains(u) {
+                let (c_child, x_child) = make_child(lg, c, x, u);
+                partial.push(lg.orig[u]);
+                self.pivot_rec(lg, partial, c_child, x_child, PivotStrategy::Factor, ctx);
+                partial.pop();
+                c.remove(u);
+                x.insert(u);
+            }
+            branching.retain(|&w| w != u && c.contains(w));
+            let alternative: Vec<usize> =
+                c.iter().filter(|&w| !lg.cand(u).contains(w)).collect();
+            if alternative.len() < branching.len() {
+                branching = alternative;
+            }
+        }
+    }
+
+    /// The `BK_Rcd` recursion (Algorithm 9): keep branching on the minimum-degree
+    /// candidate until the candidate graph becomes a clique, then report directly.
+    fn rcd_rec(
+        &self,
+        lg: &LocalGraph,
+        partial: &mut Vec<VertexId>,
+        c: BitSet,
+        x: BitSet,
+        ctx: &mut Ctx<'_>,
+    ) {
+        ctx.stats.recursive_calls += 1;
+        if c.is_empty() && x.is_empty() {
+            ctx.report(partial);
+            return;
+        }
+        let t = ctx.config.early_termination_t;
+        let mut c = c;
+        let mut x = x;
+        loop {
+            if c.is_empty() {
+                return;
+            }
+            let scan = scan_branch(lg, &c, &x);
+            if t >= 1 && plex_condition(&scan, c.len(), t) {
+                ctx.stats.et_eligible += 1;
+                if x.is_empty() && self.try_early_terminate(lg, &c, partial, ctx) {
+                    return;
+                }
+            }
+            let candidate_is_clique =
+                scan.candidate_matches_graph && scan.min_candidate_gdegree + 1 == c.len();
+            if candidate_is_clique {
+                if !scan.dominated_by_exclusion {
+                    let before = partial.len();
+                    for v in c.iter() {
+                        partial.push(lg.orig[v]);
+                    }
+                    ctx.report(partial);
+                    partial.truncate(before);
+                }
+                return;
+            }
+            let v = scan.min_degree_candidate;
+            let (c_child, x_child) = make_child(lg, &c, &x, v);
+            partial.push(lg.orig[v]);
+            self.rcd_rec(lg, partial, c_child, x_child, ctx);
+            partial.pop();
+            c.remove(v);
+            x.insert(v);
+        }
+    }
+
+    /// Attempts to early-terminate the branch `(S, C, ∅)`. Returns `true` when
+    /// the cliques were emitted (the caller must then stop branching).
+    fn try_early_terminate(
+        &self,
+        lg: &LocalGraph,
+        c: &BitSet,
+        partial: &mut Vec<VertexId>,
+        ctx: &mut Ctx<'_>,
+    ) -> bool {
+        // Split borrows: the emit closure updates clique statistics and streams to
+        // the reporter while the remaining counters are updated afterwards.
+        let stats = &mut ctx.stats;
+        let reporter = &mut *ctx.reporter;
+        let mut emitted_sizes_max = 0usize;
+        let mut emit = |clique: &[VertexId]| {
+            emitted_sizes_max = emitted_sizes_max.max(clique.len());
+            reporter.report(clique);
+        };
+        match enumerate_plex_branch(lg, c, partial, &mut emit) {
+            Some(count) => {
+                stats.et_terminated += 1;
+                stats.et_cliques += count;
+                stats.maximal_cliques += count;
+                stats.max_clique_size = stats.max_clique_size.max(emitted_sizes_max);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Builds the local graph and the `C`/`X` bitsets of a root branch.
+fn build_branch<F>(
+    g: &Graph,
+    candidates: &[VertexId],
+    excluded: &[VertexId],
+    keep_edge: F,
+) -> (LocalGraph, BitSet, BitSet)
+where
+    F: Fn(VertexId, VertexId) -> bool,
+{
+    let mut vertices = Vec::with_capacity(candidates.len() + excluded.len());
+    vertices.extend_from_slice(candidates);
+    vertices.extend_from_slice(excluded);
+    let lg = LocalGraph::from_vertices_filtered(g, &vertices, keep_edge);
+    let k = vertices.len();
+    let mut c = BitSet::with_capacity(k);
+    for i in 0..candidates.len() {
+        c.insert(i);
+    }
+    let mut x = BitSet::with_capacity(k);
+    for i in candidates.len()..k {
+        x.insert(i);
+    }
+    (lg, c, x)
+}
+
+/// Creates the child branch obtained by adding local vertex `v` to the partial
+/// clique: `C' = C ∩ N_cand(v)`, `X' = ((C ∪ X) ∩ N_G(v)) \ C'`.
+///
+/// Candidates that are graph-adjacent but candidate-non-adjacent to `v` (their
+/// edge was excluded by an edge-oriented ancestor) move to the exclusion side,
+/// preserving maximality checks against the original graph.
+fn make_child(lg: &LocalGraph, c: &BitSet, x: &BitSet, v: usize) -> (BitSet, BitSet) {
+    let mut c_child = c.clone();
+    c_child.intersect_with(lg.cand(v));
+    let mut x_child = c.clone();
+    x_child.union_with(x);
+    x_child.intersect_with(lg.gadj(v));
+    x_child.difference_with(&c_child);
+    (c_child, x_child)
+}
+
+/// Candidates to branch on after pruning the pivot's candidate neighbourhood.
+fn prune_by_pivot(lg: &LocalGraph, c: &BitSet, pivot: usize) -> Vec<usize> {
+    if pivot == usize::MAX {
+        return c.iter().collect();
+    }
+    let adjacency = if c.contains(pivot) { lg.cand(pivot) } else { lg.gadj(pivot) };
+    c.iter().filter(|&w| !adjacency.contains(w)).collect()
+}
+
+// ----------------------------------------------------------------------
+// Convenience entry points
+// ----------------------------------------------------------------------
+
+/// Enumerates every maximal clique of `g` under `config`, streaming cliques to
+/// `reporter`. Panics on invalid configurations (use [`Solver::new`] for a
+/// fallible API).
+pub fn enumerate(
+    g: &Graph,
+    config: &SolverConfig,
+    reporter: &mut dyn CliqueReporter,
+) -> EnumerationStats {
+    Solver::new(g, *config).expect("invalid solver configuration").run(reporter)
+}
+
+/// Enumerates and collects every maximal clique (each sorted ascending).
+pub fn enumerate_collect(g: &Graph, config: &SolverConfig) -> (Vec<Vec<VertexId>>, EnumerationStats) {
+    let mut reporter = CollectReporter::new();
+    let stats = enumerate(g, config, &mut reporter);
+    (reporter.into_sorted(), stats)
+}
+
+/// Counts the maximal cliques of `g` without materialising them.
+pub fn count_maximal_cliques(g: &Graph, config: &SolverConfig) -> (u64, EnumerationStats) {
+    let mut reporter = CountReporter::new();
+    let stats = enumerate(g, config, &mut reporter);
+    (reporter.count, stats)
+}
+
+/// Returns one maximum clique of `g` (largest maximal clique), enumerated with
+/// the given configuration.
+pub fn maximum_clique(g: &Graph, config: &SolverConfig) -> Vec<VertexId> {
+    let mut reporter = crate::report::MaximumCliqueReporter::new();
+    enumerate(g, config, &mut reporter);
+    reporter.best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_maximal_cliques;
+    use crate::verify::verify_cliques;
+
+    fn all_presets() -> Vec<(&'static str, SolverConfig)> {
+        SolverConfig::named_presets()
+    }
+
+    fn check_graph(g: &Graph) {
+        let expected = naive_maximal_cliques(g);
+        for (name, config) in all_presets() {
+            let (got, stats) = enumerate_collect(g, &config);
+            assert_eq!(got, expected, "{name} differs from reference on n={}", g.n());
+            assert_eq!(stats.maximal_cliques as usize, expected.len(), "{name} count");
+            assert!(verify_cliques(g, &got).is_empty(), "{name} verification");
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        check_graph(&Graph::empty(0));
+        check_graph(&Graph::empty(1));
+        check_graph(&Graph::empty(4));
+        check_graph(&Graph::from_edges(2, [(0, 1)]).unwrap());
+    }
+
+    #[test]
+    fn paths_cycles_and_stars() {
+        check_graph(&Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap());
+        check_graph(&Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap());
+        check_graph(&Graph::from_edges(6, (1..6).map(|v| (0, v))).unwrap());
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for n in 1..=7 {
+            check_graph(&Graph::complete(n));
+        }
+    }
+
+    #[test]
+    fn moon_moser_k9() {
+        let mut edges = Vec::new();
+        for u in 0..9u32 {
+            for v in (u + 1)..9 {
+                if u / 3 != v / 3 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(9, edges).unwrap();
+        check_graph(&g);
+        let (count, _) = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp());
+        assert_eq!(count, 27);
+    }
+
+    #[test]
+    fn two_triangles_with_bridge() {
+        let g = Graph::from_edges(
+            7,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6), (5, 3)],
+        )
+        .unwrap();
+        check_graph(&g);
+    }
+
+    #[test]
+    fn clique_with_pendants_and_isolated_vertices() {
+        let g = Graph::from_edges(
+            9,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (0, 6)],
+        )
+        .unwrap();
+        // vertices 7, 8 isolated
+        check_graph(&g);
+    }
+
+    #[test]
+    fn hybrid_depths_agree_with_reference() {
+        let g = Graph::from_edges(
+            8,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (6, 7), (5, 7), (4, 6)],
+        )
+        .unwrap();
+        let expected = naive_maximal_cliques(&g);
+        for d in 1..=4 {
+            let (got, _) = enumerate_collect(&g, &SolverConfig::hbbmc_pp_depth(d));
+            assert_eq!(got, expected, "depth {d}");
+        }
+    }
+
+    #[test]
+    fn et_levels_agree_with_reference() {
+        let g = Graph::from_edges(
+            10,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (5, 7),
+                (4, 6),
+                (7, 8),
+                (8, 9),
+                (7, 9),
+            ],
+        )
+        .unwrap();
+        let expected = naive_maximal_cliques(&g);
+        for t in 0..=3 {
+            let (got, stats) = enumerate_collect(&g, &SolverConfig::hbbmc_pp_et(t));
+            assert_eq!(got, expected, "t = {t}");
+            if t == 0 {
+                assert_eq!(stats.et_terminated, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_calls_and_branches() {
+        let g = Graph::complete(6);
+        let (_, stats) = enumerate_collect(&g, &SolverConfig::hbbmc_bare());
+        assert!(stats.recursive_calls > 0);
+        assert!(stats.initial_branches > 0);
+        assert_eq!(stats.maximal_cliques, 1);
+        assert_eq!(stats.max_clique_size, 6);
+    }
+
+    #[test]
+    fn graph_reduction_reports_pendant_cliques() {
+        // Star: every maximal clique is an edge; all leaves are simplicial.
+        let g = Graph::from_edges(5, (1..5).map(|v| (0, v))).unwrap();
+        let (got, stats) = enumerate_collect(&g, &SolverConfig::hbbmc_pp());
+        assert_eq!(got.len(), 4);
+        assert!(stats.gr_cliques > 0);
+        assert!(stats.gr_removed_vertices > 0);
+    }
+
+    #[test]
+    fn partitioned_runs_cover_all_cliques_exactly_once() {
+        let g = Graph::from_edges(
+            9,
+            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (6, 7), (5, 7), (4, 6), (7, 8)],
+        )
+        .unwrap();
+        let expected = naive_maximal_cliques(&g);
+        for parts in [1usize, 2, 3, 5] {
+            let solver = Solver::new(&g, SolverConfig::hbbmc_pp()).unwrap();
+            let mut all = Vec::new();
+            for part in 0..parts {
+                let mut collector = CollectReporter::new();
+                solver.run_partition(part, parts, &mut collector);
+                all.extend(collector.cliques);
+            }
+            all.sort();
+            assert_eq!(all, expected, "parts = {parts}");
+        }
+    }
+
+    #[test]
+    fn maximum_clique_helper() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)]).unwrap();
+        let best = maximum_clique(&g, &SolverConfig::hbbmc_pp());
+        assert_eq!(best.len(), 3);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let g = Graph::complete(3);
+        let mut cfg = SolverConfig::hbbmc_pp();
+        cfg.early_termination_t = 9;
+        assert!(Solver::new(&g, cfg).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: every framework configuration must agree with the
+//! reference enumerator on randomly generated graphs, and the structural
+//! invariants of the output (clique-ness, maximality, uniqueness) must hold.
+
+use hbbmc::{
+    enumerate_collect, naive_maximal_cliques, par_enumerate_collect, verify_cliques, SolverConfig,
+};
+use mce_gen::{barabasi_albert, erdos_renyi, moon_moser, random_t_plex};
+use mce_graph::Graph;
+use proptest::prelude::*;
+
+/// Strategy: a random graph given as (n, edge list) with n ≤ 28.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..28).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(120))
+            .prop_map(move |edges| Graph::from_edges(n, edges).expect("endpoints in range"))
+    })
+}
+
+/// The configurations exercised by the agreement properties (kept to the most
+/// structurally distinct ones so the property tests stay fast).
+fn core_configs() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        ("HBBMC++", SolverConfig::hbbmc_pp()),
+        ("HBBMC+", SolverConfig::hbbmc_plus()),
+        ("HBBMC d=2", SolverConfig::hbbmc_pp_depth(2)),
+        ("EBBMC", SolverConfig::ebbmc()),
+        ("RRef", SolverConfig::r_ref()),
+        ("RDegen", SolverConfig::r_degen()),
+        ("RRcd", SolverConfig::r_rcd()),
+        ("RFac", SolverConfig::r_fac()),
+        ("BK", SolverConfig::bk_plain()),
+        ("BK_Degree", SolverConfig::bk_degree()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_frameworks_agree_with_reference_on_random_graphs(g in arb_graph()) {
+        let expected = naive_maximal_cliques(&g);
+        for (name, config) in core_configs() {
+            let (got, stats) = enumerate_collect(&g, &config);
+            prop_assert_eq!(&got, &expected, "{} on n={} m={}", name, g.n(), g.m());
+            prop_assert_eq!(stats.maximal_cliques as usize, expected.len());
+        }
+    }
+
+    #[test]
+    fn output_invariants_hold_on_random_graphs(g in arb_graph()) {
+        let (got, _) = enumerate_collect(&g, &SolverConfig::hbbmc_pp());
+        prop_assert!(verify_cliques(&g, &got).is_empty());
+        // Every vertex belongs to at least one maximal clique.
+        for v in g.vertices() {
+            prop_assert!(got.iter().any(|c| c.contains(&v)), "vertex {} uncovered", v);
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential(g in arb_graph(), threads in 1usize..5) {
+        let (seq, _) = enumerate_collect(&g, &SolverConfig::hbbmc_pp());
+        let (par, _) = par_enumerate_collect(&g, &SolverConfig::hbbmc_pp(), threads);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn early_termination_levels_are_equivalent(g in arb_graph()) {
+        let baseline = enumerate_collect(&g, &SolverConfig::hbbmc_pp_et(0)).0;
+        for t in 1..=3usize {
+            let (got, _) = enumerate_collect(&g, &SolverConfig::hbbmc_pp_et(t));
+            prop_assert_eq!(&got, &baseline, "t = {}", t);
+        }
+    }
+
+    #[test]
+    fn graph_reduction_does_not_change_the_result(g in arb_graph()) {
+        let with_gr = enumerate_collect(&g, &SolverConfig::hbbmc_pp()).0;
+        let mut cfg = SolverConfig::hbbmc_pp();
+        cfg.graph_reduction = false;
+        let without_gr = enumerate_collect(&g, &cfg).0;
+        prop_assert_eq!(with_gr, without_gr);
+    }
+
+    #[test]
+    fn random_er_graphs_agree(n in 10usize..60, density in 1usize..8, seed in 0u64..1000) {
+        let g = erdos_renyi(n, n * density, seed);
+        let expected = naive_maximal_cliques(&g);
+        let (got, _) = enumerate_collect(&g, &SolverConfig::hbbmc_pp());
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn random_ba_graphs_agree(n in 10usize..60, k in 1usize..6, seed in 0u64..1000) {
+        let g = barabasi_albert(n, k, seed);
+        let expected = naive_maximal_cliques(&g);
+        let (got, _) = enumerate_collect(&g, &SolverConfig::r_rcd());
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn random_plexes_agree_and_exercise_early_termination(
+        n in 4usize..16,
+        t in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let g = random_t_plex(n, t, seed);
+        let expected = naive_maximal_cliques(&g);
+        let (got, _) = enumerate_collect(&g, &SolverConfig::hbbmc_pp());
+        prop_assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn moon_moser_counts_match_formula_for_all_main_algorithms() {
+    for k in 1..=5usize {
+        let g = moon_moser(k);
+        let expected = 3u64.pow(k as u32);
+        for (name, config) in core_configs() {
+            let (got, stats) = enumerate_collect(&g, &config);
+            assert_eq!(got.len() as u64, expected, "{name} on Moon–Moser k={k}");
+            assert_eq!(stats.maximal_cliques, expected, "{name} stats on k={k}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Barabási–Albert preferential-attachment graphs.
+
+use mce_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Barabási–Albert graph on `n` vertices where every new vertex
+/// attaches to `k` existing vertices chosen with probability proportional to
+/// their degree.
+///
+/// The paper's synthetic experiments use this model with edge density
+/// ρ = m / n ≈ k, i.e. call `barabasi_albert(n, rho, seed)` to mirror a
+/// "ρ = 20" configuration. The process starts from a `k`-clique seed.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Graph {
+    if n == 0 {
+        return Graph::empty(0);
+    }
+    let k = k.max(1).min(n.saturating_sub(1).max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // Repeated-endpoint list: each vertex appears once per incident edge, so
+    // sampling uniformly from it realises preferential attachment.
+    let mut endpoint_pool: Vec<VertexId> = Vec::new();
+
+    let seed_size = (k + 1).min(n);
+    for u in 0..seed_size as VertexId {
+        for v in (u + 1)..seed_size as VertexId {
+            edges.push((u, v));
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+
+    for new in seed_size..n {
+        let new = new as VertexId;
+        let mut targets: Vec<VertexId> = Vec::with_capacity(k);
+        let mut guard = 0usize;
+        while targets.len() < k && guard < 50 * k + 100 {
+            guard += 1;
+            let t = if endpoint_pool.is_empty() {
+                rng.gen_range(0..new)
+            } else {
+                endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+            };
+            if t != new && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((new, t));
+            endpoint_pool.push(new);
+            endpoint_pool.push(t);
+        }
+    }
+
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_edge_count() {
+        let n = 200;
+        let k = 5;
+        let g = barabasi_albert(n, k, 9);
+        // seed clique has C(k+1, 2) edges; each later vertex adds k edges.
+        let expected = (k + 1) * k / 2 + (n - k - 1) * k;
+        assert_eq!(g.n(), n);
+        assert_eq!(g.m(), expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(barabasi_albert(80, 4, 1), barabasi_albert(80, 4, 1));
+        assert_ne!(barabasi_albert(80, 4, 1), barabasi_albert(80, 4, 2));
+    }
+
+    #[test]
+    fn graph_is_connected_for_positive_k() {
+        let g = barabasi_albert(120, 3, 5);
+        // BFS from vertex 0 reaches everything.
+        let mut seen = vec![false; g.n()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(400, 3, 13);
+        let max = g.max_degree();
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(max as f64 > 3.0 * avg, "hubs should emerge: max={max}, avg={avg}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(barabasi_albert(0, 3, 1).n(), 0);
+        let g1 = barabasi_albert(1, 3, 1);
+        assert_eq!(g1.n(), 1);
+        assert_eq!(g1.m(), 0);
+        let g2 = barabasi_albert(2, 5, 1);
+        assert_eq!(g2.n(), 2);
+        assert_eq!(g2.m(), 1);
+    }
+}

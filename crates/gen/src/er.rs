@@ -1,0 +1,118 @@
+//! Erdős–Rényi random graphs.
+
+use mce_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Generates a `G(n, m)` Erdős–Rényi graph: `m` distinct edges chosen
+/// uniformly at random among all vertex pairs.
+///
+/// This matches the paper's synthetic-data setup ("the model first generates
+/// n vertices and then randomly chooses m edges between pairs of vertices").
+/// If `m` exceeds the number of possible edges the complete graph is returned.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let m = m.min(possible);
+    if n == 0 {
+        return Graph::empty(0);
+    }
+    // Dense request: generate the complement instead for efficiency.
+    if m * 2 > possible {
+        let keep_out = sample_pairs(n, possible - m, seed);
+        let edges = (0..n as VertexId)
+            .flat_map(|u| ((u + 1)..n as VertexId).map(move |v| (u, v)))
+            .filter(|e| !keep_out.contains(e));
+        return Graph::from_edges(n, edges).expect("generated endpoints are in range");
+    }
+    let edges = sample_pairs(n, m, seed);
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+/// Generates a `G(n, p)` Erdős–Rényi graph where every pair is an edge
+/// independently with probability `p`.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+/// Samples `count` distinct unordered pairs over `0..n` uniformly at random.
+fn sample_pairs(n: usize, count: usize, seed: u64) -> HashSet<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: HashSet<(VertexId, VertexId)> = HashSet::with_capacity(count);
+    while chosen.len() < count {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let pair = if u < v { (u, v) } else { (v, u) };
+        chosen.insert(pair);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = erdos_renyi(100, 500, 7);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 500);
+    }
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        let a = erdos_renyi(50, 200, 42);
+        let b = erdos_renyi(50, 200, 42);
+        let c = erdos_renyi(50, 200, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = erdos_renyi(6, 1000, 1);
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn gnm_dense_request_uses_complement_path() {
+        let g = erdos_renyi(20, 180, 3); // 190 possible, 180 requested (> half)
+        assert_eq!(g.m(), 180);
+    }
+
+    #[test]
+    fn gnm_zero_vertices_or_edges() {
+        assert_eq!(erdos_renyi(0, 10, 1).n(), 0);
+        let g = erdos_renyi(10, 0, 1);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.n(), 10);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let empty = erdos_renyi_gnp(12, 0.0, 5);
+        assert_eq!(empty.m(), 0);
+        let full = erdos_renyi_gnp(12, 1.0, 5);
+        assert_eq!(full.m(), 66);
+    }
+
+    #[test]
+    fn gnp_mid_probability_reasonable_density() {
+        let g = erdos_renyi_gnp(60, 0.5, 11);
+        let possible = 60 * 59 / 2;
+        let frac = g.m() as f64 / possible as f64;
+        assert!(frac > 0.4 && frac < 0.6, "observed edge fraction {frac}");
+    }
+}

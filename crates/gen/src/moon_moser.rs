@@ -1,0 +1,82 @@
+//! Moon–Moser graphs: the worst case for maximal clique enumeration.
+
+use mce_graph::{Graph, VertexId};
+
+/// The Moon–Moser graph on `3k` vertices: the complete `k`-partite graph
+/// `K_{3,3,…,3}` with parts of size 3.
+///
+/// It has exactly `3^k` maximal cliques (one vertex from each part), which is
+/// the maximum possible for a graph on `3k` vertices and the source of the
+/// `3^{n/3}` terms in every worst-case bound of the paper.
+pub fn moon_moser(k: usize) -> Graph {
+    let n = 3 * k;
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            if u / 3 != v / 3 {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+/// The number of maximal cliques of `moon_moser(k)`, i.e. `3^k`.
+pub fn moon_moser_clique_count(k: usize) -> u64 {
+    3u64.pow(k as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_graph::degeneracy::degeneracy;
+
+    #[test]
+    fn sizes() {
+        let g = moon_moser(3);
+        assert_eq!(g.n(), 9);
+        // complete 3-partite with parts of 3: m = C(9,2) - 3*C(3,2) = 36 - 9 = 27
+        assert_eq!(g.m(), 27);
+    }
+
+    #[test]
+    fn zero_parts_is_empty() {
+        let g = moon_moser(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(moon_moser_clique_count(0), 1);
+    }
+
+    #[test]
+    fn vertices_in_same_part_are_non_adjacent() {
+        let g = moon_moser(4);
+        for p in 0..4u32 {
+            let base = 3 * p;
+            assert!(!g.has_edge(base, base + 1));
+            assert!(!g.has_edge(base, base + 2));
+            assert!(!g.has_edge(base + 1, base + 2));
+        }
+    }
+
+    #[test]
+    fn transversals_are_cliques() {
+        let g = moon_moser(3);
+        assert!(g.is_clique(&[0, 3, 6]));
+        assert!(g.is_clique(&[1, 4, 8]));
+        assert!(g.is_clique(&[2, 5, 7]));
+        assert!(!g.is_clique(&[0, 1, 6]));
+    }
+
+    #[test]
+    fn degeneracy_is_n_minus_three() {
+        for k in 2..5 {
+            let g = moon_moser(k);
+            assert_eq!(degeneracy(&g), 3 * k - 3);
+        }
+    }
+
+    #[test]
+    fn clique_count_formula() {
+        assert_eq!(moon_moser_clique_count(1), 3);
+        assert_eq!(moon_moser_clique_count(4), 81);
+    }
+}

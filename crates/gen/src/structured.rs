@@ -1,0 +1,118 @@
+//! Deterministic structured graphs used in tests, examples and benchmarks.
+
+use mce_graph::{Graph, VertexId};
+
+/// The path graph `P_n` (n-1 edges).
+pub fn path_graph(n: usize) -> Graph {
+    let edges = (0..n.saturating_sub(1)).map(|u| (u as VertexId, u as VertexId + 1));
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+/// The cycle graph `C_n` (requires `n >= 3` to contain a cycle; smaller `n`
+/// degenerates to a path / single edge / empty graph).
+pub fn cycle_graph(n: usize) -> Graph {
+    if n < 3 {
+        return path_graph(n);
+    }
+    let edges = (0..n).map(|u| (u as VertexId, ((u + 1) % n) as VertexId));
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+/// The star graph `K_{1,n-1}`: vertex 0 connected to all others.
+pub fn star_graph(n: usize) -> Graph {
+    let edges = (1..n).map(|v| (0 as VertexId, v as VertexId));
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+/// The complete bipartite graph `K_{a,b}` (left part `0..a`, right part `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let n = a + b;
+    let edges =
+        (0..a).flat_map(|u| (a..n).map(move |v| (u as VertexId, v as VertexId)));
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+/// The Turán graph `T(n, r)`: complete r-partite graph on `n` vertices with
+/// parts as equal as possible. `T(3k, k)` is the Moon–Moser graph.
+pub fn turan_graph(n: usize, r: usize) -> Graph {
+    if r == 0 {
+        return Graph::empty(n);
+    }
+    let part_of: Vec<usize> = (0..n).map(|v| v % r).collect();
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if part_of[u] != part_of[v] {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, edges).expect("generated endpoints are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(6);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 5);
+        assert_eq!(path_graph(0).n(), 0);
+        assert_eq!(path_graph(1).m(), 0);
+    }
+
+    #[test]
+    fn cycle_counts_and_degrees() {
+        let g = cycle_graph(7);
+        assert_eq!(g.m(), 7);
+        assert!((0..7).all(|v| g.degree(v as VertexId) == 2));
+        // Degenerate cases fall back to paths.
+        assert_eq!(cycle_graph(2).m(), 1);
+        assert_eq!(cycle_graph(1).m(), 0);
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star_graph(10);
+        assert_eq!(g.m(), 9);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10).all(|v| g.degree(v as VertexId) == 1));
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn turan_equals_moon_moser_for_equal_parts() {
+        let t = turan_graph(9, 3);
+        let mm = crate::moon_moser::moon_moser(3);
+        assert_eq!(t.n(), mm.n());
+        assert_eq!(t.m(), mm.m());
+    }
+
+    #[test]
+    fn turan_zero_parts_is_empty() {
+        let g = turan_graph(5, 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn turan_one_part_is_edgeless() {
+        let g = turan_graph(5, 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn turan_n_parts_is_complete() {
+        let g = turan_graph(5, 5);
+        assert_eq!(g.m(), 10);
+    }
+}

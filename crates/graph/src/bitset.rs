@@ -1,0 +1,250 @@
+//! A small, fixed-capacity bit set used for dense neighbourhood tests.
+//!
+//! The enumeration frameworks frequently need `O(1)` membership tests over
+//! vertex sets whose universe is the (small) candidate subgraph of a branch.
+//! [`BitSet`] is a plain `Vec<u64>` backed bit set with the handful of
+//! operations those hot loops need: insert/remove/contains, clear, union /
+//! intersection counting and iteration over set bits.
+
+/// A fixed-capacity bit set over the universe `0..capacity`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bit set able to hold values in `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity }
+    }
+
+    /// Creates a bit set with the given capacity and all bits in `0..capacity` set.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::with_capacity(capacity);
+        for v in 0..capacity {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// The capacity (universe size) of the set.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Inserts `value`. Returns `true` if the value was not previously present.
+    ///
+    /// # Panics
+    /// Panics if `value >= capacity`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `value`. Returns `true` if the value was present.
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Removes all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of elements present in both `self` and `other`.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place intersection with `other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+        // Bits beyond other's capacity are cleared if other is shorter.
+        for a in self.words.iter_mut().skip(other.words.len()) {
+            *a = 0;
+        }
+    }
+
+    /// In-place union with `other` (capacities must match or `other` be smaller).
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference: removes every element of `other` from `self`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// Iterates over the set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let values: Vec<usize> = iter.into_iter().collect();
+        let cap = values.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::with_capacity(cap);
+        for v in values {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let s = BitSet::with_capacity(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.capacity(), 100);
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::with_capacity(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already present");
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::with_capacity(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::with_capacity(10);
+        s.insert(10);
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!((0..70).all(|v| s.contains(v)));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::full(10);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn intersection_len_counts_common_bits() {
+        let a: BitSet = [1usize, 3, 5, 64, 65].into_iter().collect();
+        let b: BitSet = [3usize, 5, 65, 66].into_iter().collect();
+        assert_eq!(a.intersection_len(&b), 3);
+        assert_eq!(b.intersection_len(&a), 3);
+    }
+
+    #[test]
+    fn intersect_with_keeps_common() {
+        let mut a: BitSet = [1usize, 3, 5, 64].into_iter().collect();
+        let b: BitSet = [3usize, 64].into_iter().collect();
+        a.intersect_with(&b);
+        let got: Vec<usize> = a.iter().collect();
+        assert_eq!(got, vec![3, 64]);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a: BitSet = [1usize, 2].into_iter().collect();
+        let b: BitSet = [2usize].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn difference_with_removes_members() {
+        let mut a: BitSet = [1usize, 2, 65, 70].into_iter().collect();
+        let b: BitSet = [2usize, 70].into_iter().collect();
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 65]);
+    }
+
+    #[test]
+    fn iter_yields_sorted_values() {
+        let s: BitSet = [67usize, 2, 0, 128, 5].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5, 67, 128]);
+    }
+
+    #[test]
+    fn from_iter_empty() {
+        let s: BitSet = std::iter::empty().collect();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 0);
+    }
+}

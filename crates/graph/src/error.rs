@@ -1,0 +1,90 @@
+//! Error type shared across the graph substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing or parsing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex identifier referenced an index outside the declared range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A line of an input file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The graph is too large for the 32-bit vertex id space.
+    TooManyVertices(usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::TooManyVertices(n) => {
+                write!(f, "graph with {n} vertices exceeds the u32 vertex id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_range() {
+        let e = GraphError::VertexOutOfRange { vertex: 10, n: 5 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("5"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(e.to_string().contains("missing"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn too_many_vertices_display() {
+        let e = GraphError::TooManyVertices(5_000_000_000);
+        assert!(e.to_string().contains("5000000000"));
+    }
+}

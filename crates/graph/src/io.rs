@@ -1,0 +1,217 @@
+//! Text I/O: edge-list and DIMACS graph formats.
+//!
+//! Real-world MCE datasets (networkrepository / SNAP) are distributed as
+//! whitespace-separated edge lists, sometimes with `#`/`%` comment lines, or
+//! as DIMACS `.col`/`.clq` files (`p edge n m` header followed by `e u v`
+//! lines with 1-based vertices). Both are supported here so a user can run
+//! the library on the paper's original inputs when they have them locally.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Reads a whitespace-separated edge list from `reader`.
+///
+/// Lines starting with `#`, `%` or `//` and blank lines are ignored. Vertex
+/// labels may be arbitrary non-negative integers; they are densely relabelled
+/// in first-seen order.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty()
+            || trimmed.starts_with('#')
+            || trimmed.starts_with('%')
+            || trimmed.starts_with("//")
+        {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u = parse_token(it.next(), lineno + 1)?;
+        let v = parse_token(it.next(), lineno + 1)?;
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+/// Reads an edge list from a file path. See [`read_edge_list`].
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_edge_list(File::open(path)?)
+}
+
+/// Reads a DIMACS `.col` / `.clq` graph (`p edge n m` header, `e u v` edges,
+/// 1-based vertex ids).
+pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let buf = BufReader::new(reader);
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                let _format = it.next();
+                let nv = parse_token(it.next(), lineno + 1)? as usize;
+                n = Some(nv);
+            }
+            Some("e") => {
+                let u = parse_token(it.next(), lineno + 1)?;
+                let v = parse_token(it.next(), lineno + 1)?;
+                if u == 0 || v == 0 {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        message: "DIMACS vertices are 1-based; found 0".into(),
+                    });
+                }
+                edges.push((u - 1, v - 1));
+            }
+            Some(other) => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("unexpected record type '{other}'"),
+                })
+            }
+            None => continue,
+        }
+    }
+    let n = n.ok_or(GraphError::Parse { line: 0, message: "missing 'p edge n m' header".into() })?;
+    let mut builder = GraphBuilder::with_num_vertices(n);
+    for (u, v) in edges {
+        if u as usize >= n || v as usize >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u.max(v), n });
+        }
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+/// Reads a DIMACS graph from a file path. See [`read_dimacs`].
+pub fn read_dimacs_file<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_dimacs(File::open(path)?)
+}
+
+/// Writes `g` as a whitespace-separated edge list (one `u v` pair per line).
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# {} vertices, {} edges", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(out, "{u} {v}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes `g` as an edge list to a file path. See [`write_edge_list`].
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, File::create(path)?)
+}
+
+fn parse_token(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
+    let token = token.ok_or_else(|| GraphError::Parse { line, message: "missing field".into() })?;
+    token
+        .parse::<u64>()
+        .map_err(|_| GraphError::Parse { line, message: format!("'{token}' is not a vertex id") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_edge_list_with_comments_and_blank_lines() {
+        let text = "# a comment\n\n0 1\n1 2\n% other comment\n// c style\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert!(g.is_clique(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn edge_list_relabels_sparse_ids() {
+        let text = "1000 2000\n2000 3000\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn reads_dimacs_triangle() {
+        let text = "c sample\np edge 4 3\ne 1 2\ne 2 3\ne 1 3\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn dimacs_requires_header() {
+        let err = read_dimacs("e 1 2\n".as_bytes()).unwrap_err();
+        // Edge before header still parses the edge, but missing n fails at the end
+        // or the edge is out of range; either way it's an error.
+        assert!(matches!(err, GraphError::Parse { .. } | GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn dimacs_rejects_zero_based_vertices() {
+        let err = read_dimacs("p edge 3 1\ne 0 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn dimacs_rejects_unknown_records() {
+        let err = read_dimacs("p edge 3 1\nq 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn dimacs_rejects_out_of_range_vertex() {
+        let err = read_dimacs("p edge 2 1\ne 1 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = Graph::complete(5);
+        let mut bytes = Vec::new();
+        write_edge_list(&g, &mut bytes).unwrap();
+        let g2 = read_edge_list(bytes.as_slice()).unwrap();
+        assert_eq!(g2.n(), 5);
+        assert_eq!(g2.m(), 10);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mce_graph_io_roundtrip_test.txt");
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g2.m(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_edge_list_file("/definitely/not/a/path.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

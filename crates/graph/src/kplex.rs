@@ -1,0 +1,287 @@
+//! t-plex detection and complement-graph topology analysis.
+//!
+//! A graph `g` is a *t-plex* when every vertex has at most `t` non-neighbours,
+//! counting itself; equivalently `deg(v) ≥ |V(g)| − t` for every `v`. The
+//! paper's early-termination technique relies on the observation that the
+//! complement of a 2-plex or 3-plex has maximum degree ≤ 2, i.e. it decomposes
+//! into isolated vertices, simple paths and simple cycles. This module
+//! provides the plex test and that decomposition.
+
+use crate::graph::{Graph, VertexId};
+
+/// t-plex classification helpers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlexCheck;
+
+impl PlexCheck {
+    /// The smallest `t` such that `g` is a t-plex (0 for the empty graph).
+    ///
+    /// Equal to `n − min_degree(g)` on non-empty graphs: the vertex with the
+    /// fewest neighbours is the one missing the most, and it misses
+    /// `n − deg(v)` vertices counting itself.
+    pub fn plex_level(g: &Graph) -> usize {
+        let n = g.n();
+        if n == 0 {
+            return 0;
+        }
+        (0..n as VertexId).map(|v| n - g.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Whether `g` is a t-plex.
+    pub fn is_t_plex(g: &Graph, t: usize) -> bool {
+        Self::plex_level(g) <= t || g.n() == 0
+    }
+
+    /// Whether `g` is a clique (1-plex).
+    pub fn is_clique(g: &Graph) -> bool {
+        Self::is_t_plex(g, 1)
+    }
+}
+
+/// Decomposition of a maximum-degree-≤-2 graph into its connected components.
+///
+/// Used on the *complement* of a candidate subgraph: when the candidate is a
+/// 3-plex, its complement has maximum degree ≤ 2 and therefore consists of
+/// isolated vertices, simple paths and simple cycles only (West, *Introduction
+/// to Graph Theory*).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComplementStructure {
+    /// Vertices with no incident complement edge (adjacent to everything in the
+    /// original candidate subgraph).
+    pub isolated: Vec<VertexId>,
+    /// Simple paths, each listed endpoint-to-endpoint with consecutive
+    /// vertices adjacent (in the complement).
+    pub paths: Vec<Vec<VertexId>>,
+    /// Simple cycles, each listed in traversal order (length ≥ 3).
+    pub cycles: Vec<Vec<VertexId>>,
+}
+
+impl ComplementStructure {
+    /// Decomposes a graph of maximum degree ≤ 2 given as adjacency lists.
+    ///
+    /// Returns `None` if any vertex has degree > 2 (the caller's subgraph was
+    /// not a 3-plex).
+    pub fn from_adjacency(adjacency: &[Vec<VertexId>]) -> Option<Self> {
+        let n = adjacency.len();
+        if adjacency.iter().any(|a| a.len() > 2) {
+            return None;
+        }
+        let mut visited = vec![false; n];
+        let mut structure = ComplementStructure::default();
+
+        // Isolated vertices.
+        for v in 0..n {
+            if adjacency[v].is_empty() {
+                visited[v] = true;
+                structure.isolated.push(v as VertexId);
+            }
+        }
+
+        // Paths: start a walk from every unvisited degree-1 vertex.
+        for start in 0..n {
+            if visited[start] || adjacency[start].len() != 1 {
+                continue;
+            }
+            let path = walk(adjacency, start, &mut visited);
+            structure.paths.push(path);
+        }
+
+        // Cycles: whatever is left has degree exactly 2 everywhere.
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            let cycle = walk(adjacency, start, &mut visited);
+            debug_assert!(cycle.len() >= 3, "a simple cycle has at least 3 vertices");
+            structure.cycles.push(cycle);
+        }
+
+        Some(structure)
+    }
+
+    /// Decomposes the **complement** of `g`.
+    ///
+    /// Returns `None` when the complement has a vertex of degree > 2 (i.e. `g`
+    /// is not a 3-plex).
+    pub fn of_complement(g: &Graph) -> Option<Self> {
+        let n = g.n();
+        let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for u in 0..n as VertexId {
+            // Early exit: a vertex with more than 2 complement-neighbours.
+            if n - 1 - g.degree(u) > 2 {
+                return None;
+            }
+            for v in 0..n as VertexId {
+                if u != v && !g.has_edge(u, v) {
+                    adjacency[u as usize].push(v);
+                }
+            }
+        }
+        Self::from_adjacency(&adjacency)
+    }
+
+    /// Total number of vertices covered by the decomposition.
+    pub fn total_vertices(&self) -> usize {
+        self.isolated.len()
+            + self.paths.iter().map(Vec::len).sum::<usize>()
+            + self.cycles.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Walks a path or cycle component starting at `start`, marking vertices visited.
+fn walk(adjacency: &[Vec<VertexId>], start: usize, visited: &mut [bool]) -> Vec<VertexId> {
+    let mut component = vec![start as VertexId];
+    visited[start] = true;
+    let mut prev = usize::MAX;
+    let mut cur = start;
+    loop {
+        let next = adjacency[cur]
+            .iter()
+            .map(|&x| x as usize)
+            .find(|&x| x != prev && !visited[x]);
+        match next {
+            Some(nx) => {
+                visited[nx] = true;
+                component.push(nx as VertexId);
+                prev = cur;
+                cur = nx;
+            }
+            None => break,
+        }
+    }
+    component
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plex_level_of_special_graphs() {
+        assert_eq!(PlexCheck::plex_level(&Graph::empty(0)), 0);
+        assert_eq!(PlexCheck::plex_level(&Graph::complete(5)), 1);
+        assert_eq!(PlexCheck::plex_level(&Graph::empty(4)), 4);
+        // C5: every vertex misses 2 others plus itself => 3-plex but not 2-plex.
+        let c5 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(PlexCheck::plex_level(&c5), 3);
+        assert!(PlexCheck::is_t_plex(&c5, 3));
+        assert!(!PlexCheck::is_t_plex(&c5, 2));
+    }
+
+    #[test]
+    fn clique_detection() {
+        assert!(PlexCheck::is_clique(&Graph::complete(4)));
+        assert!(PlexCheck::is_clique(&Graph::complete(1)));
+        assert!(PlexCheck::is_clique(&Graph::empty(0)));
+        assert!(!PlexCheck::is_clique(&Graph::from_edges(3, [(0, 1)]).unwrap()));
+    }
+
+    #[test]
+    fn two_plex_complement_is_perfect_matching_plus_isolated() {
+        // Paper's Figure 3: 6-vertex 2-plex whose complement has edges (2,4),(3,5)
+        // (relabelled 0-based: complement edges between the two "L/R" pairs).
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                // complement pairs: (2,4) and (3,5)
+                if (u, v) == (2, 4) || (u, v) == (3, 5) {
+                    continue;
+                }
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(6, edges).unwrap();
+        assert_eq!(PlexCheck::plex_level(&g), 2);
+        let s = ComplementStructure::of_complement(&g).unwrap();
+        assert_eq!(s.isolated, vec![0, 1]);
+        assert_eq!(s.cycles.len(), 0);
+        assert_eq!(s.paths.len(), 2);
+        assert_eq!(s.total_vertices(), 6);
+    }
+
+    #[test]
+    fn three_plex_complement_path_and_cycle() {
+        // Paper's Figure 4: complement has path 0-1-2 and triangle 3-4-5.
+        let complement_edges = [(0u32, 1u32), (1, 2), (3, 4), (4, 5), (3, 5)];
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                if complement_edges.contains(&(u, v)) {
+                    continue;
+                }
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(6, edges).unwrap();
+        assert_eq!(PlexCheck::plex_level(&g), 3);
+        let s = ComplementStructure::of_complement(&g).unwrap();
+        assert!(s.isolated.is_empty());
+        assert_eq!(s.paths.len(), 1);
+        assert_eq!(s.paths[0].len(), 3);
+        assert_eq!(s.cycles.len(), 1);
+        assert_eq!(s.cycles[0].len(), 3);
+    }
+
+    #[test]
+    fn of_complement_rejects_non_three_plex() {
+        // A path graph: its complement has high degree for n >= 6.
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        assert!(ComplementStructure::of_complement(&g).is_none());
+    }
+
+    #[test]
+    fn from_adjacency_rejects_degree_three() {
+        let adjacency = vec![vec![1, 2, 3], vec![0], vec![0], vec![0]];
+        assert!(ComplementStructure::from_adjacency(&adjacency).is_none());
+    }
+
+    #[test]
+    fn from_adjacency_decomposes_mixed_structure() {
+        // isolated: 0; path: 1-2-3; cycle: 4-5-6-7.
+        let adjacency: Vec<Vec<VertexId>> = vec![
+            vec![],
+            vec![2],
+            vec![1, 3],
+            vec![2],
+            vec![5, 7],
+            vec![4, 6],
+            vec![5, 7],
+            vec![6, 4],
+        ];
+        let s = ComplementStructure::from_adjacency(&adjacency).unwrap();
+        assert_eq!(s.isolated, vec![0]);
+        assert_eq!(s.paths.len(), 1);
+        assert_eq!(s.paths[0].first(), Some(&1));
+        assert_eq!(s.paths[0].last(), Some(&3));
+        assert_eq!(s.cycles.len(), 1);
+        assert_eq!(s.cycles[0].len(), 4);
+        assert_eq!(s.total_vertices(), 8);
+    }
+
+    #[test]
+    fn paths_list_consecutive_adjacent_vertices() {
+        let adjacency: Vec<Vec<VertexId>> = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let s = ComplementStructure::from_adjacency(&adjacency).unwrap();
+        assert_eq!(s.paths.len(), 1);
+        let p = &s.paths[0];
+        assert_eq!(p.len(), 4);
+        for w in p.windows(2) {
+            assert!(adjacency[w[0] as usize].contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn complement_of_complete_graph_is_all_isolated() {
+        let g = Graph::complete(5);
+        let s = ComplementStructure::of_complement(&g).unwrap();
+        assert_eq!(s.isolated.len(), 5);
+        assert!(s.paths.is_empty() && s.cycles.is_empty());
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::empty(1);
+        let s = ComplementStructure::of_complement(&g).unwrap();
+        assert_eq!(s.isolated, vec![0]);
+    }
+}

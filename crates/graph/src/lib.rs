@@ -1,0 +1,54 @@
+//! # mce-graph — graph substrate for maximal clique enumeration
+//!
+//! This crate provides every graph-side building block used by the `hbbmc`
+//! crate (the reproduction of *"Maximal Clique Enumeration with Hybrid
+//! Branching and Early Termination"*, ICDE 2025):
+//!
+//! * a compact **CSR (compressed sparse row) undirected graph** with sorted
+//!   adjacency lists ([`Graph`]) and a forgiving [`GraphBuilder`] that
+//!   deduplicates edges and drops self-loops,
+//! * **degeneracy ordering / core decomposition** ([`degeneracy`]),
+//! * **triangle listing and per-edge support** ([`triangles`]),
+//! * **truss decomposition and the truss-based edge ordering** π_τ used by
+//!   the edge-oriented branching framework ([`truss`]),
+//! * alternative vertex/edge **orderings** used by the paper's baselines
+//!   ([`ordering`]),
+//! * the **complement-graph topology analysis** (isolated vertices, simple
+//!   paths, simple cycles) that powers the early-termination technique
+//!   ([`kplex`]),
+//! * simple **text I/O** for edge lists and DIMACS files ([`io`]),
+//! * aggregate **graph statistics** (n, m, δ, τ, ρ and the paper's
+//!   complexity condition) ([`stats`]).
+//!
+//! All structures are implemented from scratch on `std` only; identifiers are
+//! `u32` ([`VertexId`]) to keep hot data small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod builder;
+pub mod components;
+pub mod degeneracy;
+pub mod error;
+pub mod graph;
+pub mod hindex;
+pub mod io;
+pub mod kplex;
+pub mod ordering;
+pub mod stats;
+pub mod triangles;
+pub mod truss;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use components::{connected_components, largest_component, ConnectedComponents};
+pub use degeneracy::{core_numbers, degeneracy_ordering, DegeneracyOrdering};
+pub use error::GraphError;
+pub use graph::{Graph, VertexId};
+pub use hindex::h_index;
+pub use kplex::{ComplementStructure, PlexCheck};
+pub use ordering::{EdgeOrderingKind, VertexOrderingKind};
+pub use stats::GraphStats;
+pub use triangles::{edge_supports, triangle_count};
+pub use truss::{truss_ordering, TrussOrdering};

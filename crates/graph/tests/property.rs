@@ -1,0 +1,160 @@
+//! Property-based tests for the graph substrate: ordering invariants, the
+//! τ < δ relationship the paper's complexity argument relies on, and model
+//! checks of the bitset against a reference set.
+
+use std::collections::BTreeSet;
+
+use mce_graph::degeneracy::degeneracy_ordering;
+use mce_graph::triangles::{edge_supports, triangle_count};
+use mce_graph::truss::truss_ordering;
+use mce_graph::{BitSet, Graph, GraphStats, PlexCheck};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(200))
+            .prop_map(move |edges| Graph::from_edges(n, edges).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn degeneracy_ordering_is_valid_peeling(g in arb_graph()) {
+        let d = degeneracy_ordering(&g);
+        // The ordering is a permutation.
+        let mut sorted = d.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.n() as u32).collect::<Vec<_>>());
+        // Every vertex has at most δ neighbours later in the ordering.
+        for v in g.vertices() {
+            prop_assert!(d.later_neighbors(&g, v).len() <= d.degeneracy);
+        }
+        // δ is tight: some vertex attains it… unless the graph is edgeless.
+        if g.m() > 0 {
+            prop_assert!(d.degeneracy >= 1);
+        } else {
+            prop_assert_eq!(d.degeneracy, 0);
+        }
+    }
+
+    #[test]
+    fn truss_parameter_is_below_degeneracy(g in arb_graph()) {
+        let tau = truss_ordering(&g).tau;
+        let delta = degeneracy_ordering(&g).degeneracy;
+        // τ ≤ δ always; strictly smaller whenever the graph has an edge
+        // (matches the paper's τ < δ claim: a degeneracy-δ graph has an edge
+        // whose endpoints share at most δ − 1 neighbours).
+        prop_assert!(tau <= delta);
+        if g.m() > 0 {
+            prop_assert!(tau < delta.max(1) || delta == 0 || tau < delta,
+                "tau={} delta={}", tau, delta);
+        }
+    }
+
+    #[test]
+    fn truss_peeling_supports_bound_remaining_supports(g in arb_graph()) {
+        let t = truss_ordering(&g);
+        let mut buf = Vec::new();
+        for i in 0..t.len() {
+            let e = t.order[i];
+            let (u, v) = t.index.endpoints(e);
+            g.common_neighbors_into(u, v, &mut buf);
+            let later = buf
+                .iter()
+                .filter(|&&w| {
+                    let uw = t.index.edge_id(u, w).unwrap() as usize;
+                    let vw = t.index.edge_id(v, w).unwrap() as usize;
+                    t.position[uw] > i && t.position[vw] > i
+                })
+                .count();
+            prop_assert!(later <= t.tau);
+        }
+    }
+
+    #[test]
+    fn edge_support_sum_is_three_times_triangles(g in arb_graph()) {
+        let (_, supports) = edge_supports(&g);
+        let sum: u64 = supports.iter().map(|&s| s as u64).sum();
+        prop_assert_eq!(sum, 3 * triangle_count(&g));
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_adjacency(g in arb_graph(), keep in proptest::collection::vec(any::<bool>(), 0..40)) {
+        let vertices: Vec<u32> = g
+            .vertices()
+            .filter(|&v| keep.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let (sub, map) = g.induced_subgraph(&vertices);
+        prop_assert_eq!(sub.n(), vertices.len());
+        for a in 0..sub.n() as u32 {
+            for b in (a + 1)..sub.n() as u32 {
+                prop_assert_eq!(sub.has_edge(a, b), g.has_edge(map[a as usize], map[b as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn complement_involution_on_small_graphs(g in arb_graph()) {
+        if g.n() <= 20 {
+            prop_assert_eq!(g.complement().complement(), g);
+        }
+    }
+
+    #[test]
+    fn plex_level_matches_complement_max_degree(g in arb_graph()) {
+        let level = PlexCheck::plex_level(&g);
+        let complement_max = g.complement().max_degree();
+        if g.n() > 0 {
+            prop_assert_eq!(level, complement_max + 1);
+        }
+    }
+
+    #[test]
+    fn stats_condition_is_consistent(g in arb_graph()) {
+        let s = GraphStats::compute(&g);
+        prop_assert_eq!(s.n, g.n());
+        prop_assert_eq!(s.m, g.m());
+        prop_assert!(s.tau <= s.degeneracy);
+        let threshold = s.condition_threshold();
+        prop_assert!(threshold >= 3.0 - 1e-9);
+        prop_assert_eq!(s.hbbmc_condition_holds(), s.degeneracy as f64 >= threshold - 1e-12);
+    }
+
+    #[test]
+    fn bitset_behaves_like_btreeset(ops in proptest::collection::vec((0usize..128, any::<bool>()), 0..200)) {
+        let mut bits = BitSet::with_capacity(128);
+        let mut model = BTreeSet::new();
+        for (value, insert) in ops {
+            if insert {
+                prop_assert_eq!(bits.insert(value), model.insert(value));
+            } else {
+                prop_assert_eq!(bits.remove(value), model.remove(&value));
+            }
+        }
+        prop_assert_eq!(bits.len(), model.len());
+        prop_assert_eq!(bits.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bitset_intersection_matches_model(
+        a in proptest::collection::btree_set(0usize..96, 0..60),
+        b in proptest::collection::btree_set(0usize..96, 0..60),
+    ) {
+        let mut sa = BitSet::with_capacity(96);
+        for &v in &a { sa.insert(v); }
+        let mut sb = BitSet::with_capacity(96);
+        for &v in &b { sb.insert(v); }
+        let expected: Vec<usize> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(sa.intersection_len(&sb), expected.len());
+        let mut inter = sa.clone();
+        inter.intersect_with(&sb);
+        prop_assert_eq!(inter.iter().collect::<Vec<_>>(), expected);
+        let mut diff = sa.clone();
+        diff.difference_with(&sb);
+        let expected_diff: Vec<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(diff.iter().collect::<Vec<_>>(), expected_diff);
+    }
+}

@@ -1,0 +1,51 @@
+//! Parallel maximal clique enumeration over independent root branches.
+//!
+//! The root branching step of every framework (Eq. 1 / Eq. 2 of the paper)
+//! produces independent sub-problems; this example splits them across worker
+//! threads with [`hbbmc::par_count_maximal_cliques`] and compares wall-clock
+//! time against the sequential run for 1, 2, 4 and 8 workers.
+//!
+//! Run with: `cargo run --release --example parallel_enumeration`
+
+use std::time::Instant;
+
+use hbbmc::{count_maximal_cliques, par_count_maximal_cliques, SolverConfig};
+use mce_gen::{planted_communities, PlantedConfig};
+use mce_graph::GraphStats;
+
+fn main() {
+    let graph = planted_communities(&PlantedConfig {
+        n: 6_000,
+        communities: 700,
+        min_size: 6,
+        max_size: 14,
+        intra_probability: 0.9,
+        background_edges: 20_000,
+        seed: 5,
+    });
+    println!("workload: {}", GraphStats::compute(&graph));
+
+    let config = SolverConfig::hbbmc_pp();
+
+    let start = Instant::now();
+    let (sequential_count, stats) = count_maximal_cliques(&graph, &config);
+    let sequential_time = start.elapsed().as_secs_f64();
+    println!(
+        "\nsequential HBBMC++: {sequential_count} maximal cliques in {sequential_time:.3}s \
+         ({} recursive calls)",
+        stats.recursive_calls
+    );
+
+    println!("\nparallel runs (root branches split across workers):");
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let (count, _) = par_count_maximal_cliques(&graph, &config, threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(count, sequential_count, "parallel result must match sequential");
+        println!(
+            "  {threads} worker(s): {elapsed:.3}s  (speedup {:.2}x)",
+            sequential_time / elapsed.max(1e-9)
+        );
+    }
+    println!("\nall parallel runs reported exactly the sequential clique count ✓");
+}

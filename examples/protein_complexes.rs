@@ -1,0 +1,78 @@
+//! Predicting protein complexes in a protein–protein interaction (PPI)
+//! network — the paper's biological-network application.
+//!
+//! Real PPI data is proprietary-ish and noisy; here a synthetic interactome is
+//! simulated as planted complexes (dense modules) over a scale-free
+//! background, which exercises the same code path. Maximal cliques are treated
+//! as putative complexes ("completing defective cliques" à la Yu et al.), and
+//! the example also compares the running time of `HBBMC++` against the
+//! strongest vertex-oriented baseline on this workload.
+//!
+//! Run with: `cargo run --release --example protein_complexes`
+
+use hbbmc::{count_maximal_cliques, enumerate_collect, SolverConfig};
+use mce_gen::{barabasi_albert, planted_communities, PlantedConfig};
+use mce_graph::{GraphBuilder, GraphStats};
+
+fn main() {
+    // Scale-free interaction backbone (hub proteins) + planted complexes.
+    let backbone = barabasi_albert(1_500, 4, 7);
+    let complexes = planted_communities(&PlantedConfig {
+        n: 1_500,
+        communities: 120,
+        min_size: 4,
+        max_size: 9,
+        intra_probability: 0.85,
+        background_edges: 0,
+        seed: 11,
+    });
+
+    // Merge the two edge sets into one interactome.
+    let mut builder = GraphBuilder::with_num_vertices(1_500);
+    for (u, v) in backbone.edges() {
+        builder.add_edge(u as u64, v as u64);
+    }
+    for (u, v) in complexes.edges() {
+        builder.add_edge(u as u64, v as u64);
+    }
+    let interactome = builder.build().expect("merged interactome");
+    println!("simulated interactome: {}", GraphStats::compute(&interactome));
+
+    // Putative complexes = maximal cliques with at least 4 proteins.
+    let (cliques, stats) = enumerate_collect(&interactome, &SolverConfig::hbbmc_pp());
+    let complexes_found: Vec<_> = cliques.iter().filter(|c| c.len() >= 4).collect();
+    println!(
+        "\nHBBMC++: {} maximal cliques in {:.3}s, {} putative complexes (≥ 4 proteins), largest has {} proteins",
+        stats.maximal_cliques,
+        stats.elapsed.as_secs_f64(),
+        complexes_found.len(),
+        stats.max_clique_size
+    );
+
+    // Size histogram of putative complexes.
+    let mut histogram = std::collections::BTreeMap::new();
+    for c in &complexes_found {
+        *histogram.entry(c.len()).or_insert(0usize) += 1;
+    }
+    println!("\ncomplex size histogram:");
+    for (size, count) in histogram {
+        println!("  {size:>2} proteins: {count}");
+    }
+
+    // Head-to-head timing against the strongest VBBMC baseline on this workload.
+    println!("\nalgorithm comparison on the interactome:");
+    for (name, config) in [
+        ("HBBMC++", SolverConfig::hbbmc_pp()),
+        ("HBBMC+ (no ET)", SolverConfig::hbbmc_plus()),
+        ("RDegen", SolverConfig::r_degen()),
+        ("RRcd", SolverConfig::r_rcd()),
+    ] {
+        let (count, stats) = count_maximal_cliques(&interactome, &config);
+        println!(
+            "  {name:<15} {:>8.3}s  {:>9} cliques  {:>10} recursive calls",
+            stats.elapsed.as_secs_f64(),
+            count,
+            stats.recursive_calls
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the HBBMC reproduction workspace.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The actual library code lives in:
+//!
+//! * [`mce_graph`] — graph substrate (CSR graphs, degeneracy, truss ordering,
+//!   k-plex topology, I/O),
+//! * [`mce_gen`] — synthetic graph generators,
+//! * [`hbbmc`] — the maximal clique enumeration frameworks (VBBMC, EBBMC,
+//!   HBBMC) with early termination and graph reduction.
+
+pub use hbbmc;
+pub use mce_gen;
+pub use mce_graph;

