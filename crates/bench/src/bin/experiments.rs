@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p mce-bench --release --bin experiments -- [--quick] <experiment>...
 //!
-//! experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d all
+//! experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d ext1 all
 //! ```
 
 use std::time::Instant;
@@ -13,11 +13,11 @@ use mce_bench::experiments::{
     table6, ExperimentScale, SyntheticModel,
 };
 
+const USAGE: &str = "usage: experiments [--quick] <experiment>...\n\
+                     experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d ext1 all";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: experiments [--quick] <experiment>...\n\
-         experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d ext1 all"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -28,7 +28,10 @@ fn main() {
     for arg in args {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             other => requested.push(other.to_ascii_lowercase()),
         }
     }
@@ -45,7 +48,11 @@ fn main() {
         .collect();
     }
 
-    let scale = if quick { ExperimentScale::quick() } else { ExperimentScale::full() };
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::full()
+    };
     println!(
         "# HBBMC reproduction experiments ({} scale)\n",
         if quick { "quick" } else { "full" }

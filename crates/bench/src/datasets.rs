@@ -92,8 +92,7 @@ fn build_scaled(dataset: &Dataset, scale: f64) -> Graph {
             let mut config = config.clone();
             config.n = ((config.n as f64) * scale).round().max(16.0) as usize;
             config.communities = ((config.communities as f64) * scale).round().max(1.0) as usize;
-            config.background_edges =
-                ((config.background_edges as f64) * scale).round() as usize;
+            config.background_edges = ((config.background_edges as f64) * scale).round() as usize;
             config.seed = dataset.seed;
             planted_communities(&config)
         }
@@ -126,7 +125,10 @@ pub fn all_datasets() -> Vec<Dataset> {
             short: "NA",
             paper_name: "nasasrb",
             category: "Social Network",
-            spec: DatasetSpec::ErdosRenyi { n: 2_200, rho: 24.0 },
+            spec: DatasetSpec::ErdosRenyi {
+                n: 2_200,
+                rho: 24.0,
+            },
             seed: 101,
         },
         Dataset {
@@ -154,7 +156,10 @@ pub fn all_datasets() -> Vec<Dataset> {
             short: "SH",
             paper_name: "shipsec5",
             category: "Social Network",
-            spec: DatasetSpec::ErdosRenyi { n: 3_200, rho: 12.0 },
+            spec: DatasetSpec::ErdosRenyi {
+                n: 3_200,
+                rho: 12.0,
+            },
             seed: 105,
         },
         Dataset {
@@ -175,7 +180,10 @@ pub fn all_datasets() -> Vec<Dataset> {
             short: "DE",
             paper_name: "dielfilter",
             category: "Other",
-            spec: DatasetSpec::ErdosRenyi { n: 2_000, rho: 38.0 },
+            spec: DatasetSpec::ErdosRenyi {
+                n: 2_000,
+                rho: 38.0,
+            },
             seed: 108,
         },
         Dataset {
@@ -239,7 +247,9 @@ pub fn all_datasets() -> Vec<Dataset> {
 
 /// Looks up a dataset by its short name (case-insensitive).
 pub fn dataset_by_name(short: &str) -> Option<Dataset> {
-    all_datasets().into_iter().find(|d| d.short.eq_ignore_ascii_case(short))
+    all_datasets()
+        .into_iter()
+        .find(|d| d.short.eq_ignore_ascii_case(short))
 }
 
 /// A small subset of datasets used by the Criterion benches (kept small so a

@@ -56,7 +56,17 @@ impl ExperimentScale {
 pub fn table1(scale: &ExperimentScale) -> Table {
     let mut table = Table::new(
         "Table I — surrogate dataset statistics",
-        &["Graph", "Paper name", "Category", "|V|", "|E|", "δ", "τ", "ρ", "δ≥max{3,τ+3lnρ/ln3}"],
+        &[
+            "Graph",
+            "Paper name",
+            "Category",
+            "|V|",
+            "|E|",
+            "δ",
+            "τ",
+            "ρ",
+            "δ≥max{3,τ+3lnρ/ln3}",
+        ],
     );
     for dataset in all_datasets() {
         let g = scale.build(&dataset);
@@ -70,7 +80,11 @@ pub fn table1(scale: &ExperimentScale) -> Table {
             stats.degeneracy.to_string(),
             stats.tau.to_string(),
             format!("{:.1}", stats.rho),
-            if stats.hbbmc_condition_holds() { "yes".into() } else { "no".into() },
+            if stats.hbbmc_condition_holds() {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table
@@ -104,8 +118,10 @@ pub fn table3(scale: &ExperimentScale) -> Table {
     let algorithms = ablation_algorithms();
     let mut header: Vec<&str> = vec!["Graph"];
     header.extend(algorithms.iter().map(|a| a.name));
-    let mut table =
-        Table::new("Table III — ablation & hybrid framework implementations (seconds)", &header);
+    let mut table = Table::new(
+        "Table III — ablation & hybrid framework implementations (seconds)",
+        &header,
+    );
     for dataset in all_datasets() {
         let g = scale.build(&dataset);
         let mut row = vec![dataset.short.to_string()];
@@ -124,7 +140,15 @@ pub fn table4(scale: &ExperimentScale) -> Table {
     let depths = [1usize, 2, 3];
     let mut table = Table::new(
         "Table IV — hybrid switch depth d (seconds / #Calls)",
-        &["Graph", "d=1 time", "d=1 #Calls", "d=2 time", "d=2 #Calls", "d=3 time", "d=3 #Calls"],
+        &[
+            "Graph",
+            "d=1 time",
+            "d=1 #Calls",
+            "d=2 time",
+            "d=2 #Calls",
+            "d=3 time",
+            "d=3 #Calls",
+        ],
     );
     for dataset in all_datasets() {
         let g = scale.build(&dataset);
@@ -144,8 +168,18 @@ pub fn table5(scale: &ExperimentScale) -> Table {
     let mut table = Table::new(
         "Table V — early-termination level t (seconds / #Calls / ratio)",
         &[
-            "Graph", "t=0 time", "t=0 #Calls", "t=1 time", "t=1 #Calls", "t=1 ratio", "t=2 time",
-            "t=2 #Calls", "t=2 ratio", "t=3 time", "t=3 #Calls", "t=3 ratio",
+            "Graph",
+            "t=0 time",
+            "t=0 #Calls",
+            "t=1 time",
+            "t=1 #Calls",
+            "t=1 ratio",
+            "t=2 time",
+            "t=2 #Calls",
+            "t=2 ratio",
+            "t=3 time",
+            "t=3 #Calls",
+            "t=3 ratio",
         ],
     );
     for dataset in all_datasets() {
@@ -170,7 +204,10 @@ pub fn table6(scale: &ExperimentScale) -> Table {
     let algorithms = ordering_algorithms();
     let mut header: Vec<&str> = vec!["Graph"];
     header.extend(algorithms.iter().map(|a| a.name));
-    let mut table = Table::new("Table VI — effect of the truss-based edge ordering (seconds)", &header);
+    let mut table = Table::new(
+        "Table VI — effect of the truss-based edge ordering (seconds)",
+        &header,
+    );
     for dataset in all_datasets() {
         let g = scale.build(&dataset);
         let mut row = vec![dataset.short.to_string()];

@@ -10,7 +10,7 @@
 //! | Hybrid switch depth | Table IV | [`experiments::table4`] |
 //! | Early-termination level | Table V | [`experiments::table5`] |
 //! | Truss-based edge ordering | Table VI | [`experiments::table6`] |
-//! | Synthetic scalability / density | Fig. 5(a)–(d) | [`experiments::fig5`] |
+//! | Synthetic scalability / density | Fig. 5(a)–(d) | [`experiments::fig5_scalability`], [`experiments::fig5_density`] |
 //!
 //! The paper's 16 real-world graphs (networkrepository.com, up to 106M edges)
 //! are not redistributable and far exceed laptop scale, so each is replaced by

@@ -31,7 +31,11 @@ pub fn measure(g: &Graph, config: &SolverConfig) -> Measurement {
     let start = Instant::now();
     let stats = solver.run(&mut reporter);
     let seconds = start.elapsed().as_secs_f64();
-    Measurement { seconds, cliques: reporter.count, stats }
+    Measurement {
+        seconds,
+        cliques: reporter.count,
+        stats,
+    }
 }
 
 /// Formats a large count with the K / M / B suffixes used by the paper.

@@ -97,7 +97,10 @@ impl SolverConfig {
     /// vertex recursion) + early termination (t = 3) + graph reduction.
     pub fn hbbmc_pp() -> Self {
         SolverConfig {
-            initial: InitialBranching::Edge { ordering: EdgeOrderingKind::Truss, depth: 1 },
+            initial: InitialBranching::Edge {
+                ordering: EdgeOrderingKind::Truss,
+                depth: 1,
+            },
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Classic),
             early_termination_t: 3,
             graph_reduction: true,
@@ -106,32 +109,48 @@ impl SolverConfig {
 
     /// `HBBMC+`: HBBMC++ without the early-termination technique.
     pub fn hbbmc_plus() -> Self {
-        SolverConfig { early_termination_t: 0, ..Self::hbbmc_pp() }
+        SolverConfig {
+            early_termination_t: 0,
+            ..Self::hbbmc_pp()
+        }
     }
 
     /// Plain `HBBMC` (no ET, no GR): the bare hybrid framework of Algorithm 4.
     pub fn hbbmc_bare() -> Self {
-        SolverConfig { early_termination_t: 0, graph_reduction: false, ..Self::hbbmc_pp() }
+        SolverConfig {
+            early_termination_t: 0,
+            graph_reduction: false,
+            ..Self::hbbmc_pp()
+        }
     }
 
     /// `HBBMC++` with a different switch depth `d` (Table IV).
     pub fn hbbmc_pp_depth(depth: usize) -> Self {
         SolverConfig {
-            initial: InitialBranching::Edge { ordering: EdgeOrderingKind::Truss, depth },
+            initial: InitialBranching::Edge {
+                ordering: EdgeOrderingKind::Truss,
+                depth,
+            },
             ..Self::hbbmc_pp()
         }
     }
 
     /// `HBBMC++` with early-termination level `t` (Table V; `t = 0` is `HBBMC+`).
     pub fn hbbmc_pp_et(t: usize) -> Self {
-        SolverConfig { early_termination_t: t, ..Self::hbbmc_pp() }
+        SolverConfig {
+            early_termination_t: t,
+            ..Self::hbbmc_pp()
+        }
     }
 
     /// `EBBMC`: pure edge-oriented branching with truss ordering (no pivoting
     /// benefit below the root is expressed by an effectively unbounded depth).
     pub fn ebbmc() -> Self {
         SolverConfig {
-            initial: InitialBranching::Edge { ordering: EdgeOrderingKind::Truss, depth: usize::MAX },
+            initial: InitialBranching::Edge {
+                ordering: EdgeOrderingKind::Truss,
+                depth: usize::MAX,
+            },
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Classic),
             early_termination_t: 0,
             graph_reduction: false,
@@ -226,7 +245,10 @@ impl SolverConfig {
 
     /// `Rcd++`: edge-oriented root + Rcd recursion + ET + GR.
     pub fn rcd_pp() -> Self {
-        SolverConfig { recursion: RecursionStrategy::Rcd, ..Self::hbbmc_pp() }
+        SolverConfig {
+            recursion: RecursionStrategy::Rcd,
+            ..Self::hbbmc_pp()
+        }
     }
 
     /// `Fac++`: edge-oriented root + factor-pivot recursion + ET + GR.
@@ -250,7 +272,10 @@ impl SolverConfig {
     /// degeneracy positions of the endpoints (Table VI).
     pub fn hbbmc_dgn() -> Self {
         SolverConfig {
-            initial: InitialBranching::Edge { ordering: EdgeOrderingKind::DegeneracyLex, depth: 1 },
+            initial: InitialBranching::Edge {
+                ordering: EdgeOrderingKind::DegeneracyLex,
+                depth: 1,
+            },
             ..Self::hbbmc_pp()
         }
     }
@@ -259,7 +284,10 @@ impl SolverConfig {
     /// (Table VI).
     pub fn hbbmc_mdg() -> Self {
         SolverConfig {
-            initial: InitialBranching::Edge { ordering: EdgeOrderingKind::MinDegree, depth: 1 },
+            initial: InitialBranching::Edge {
+                ordering: EdgeOrderingKind::MinDegree,
+                depth: 1,
+            },
             ..Self::hbbmc_pp()
         }
     }
@@ -268,12 +296,18 @@ impl SolverConfig {
     /// vertex-oriented `RDegen` baseline — the paper's remark that ET is
     /// orthogonal to the branching framework.
     pub fn r_degen_et() -> Self {
-        SolverConfig { early_termination_t: 3, ..Self::r_degen() }
+        SolverConfig {
+            early_termination_t: 3,
+            ..Self::r_degen()
+        }
     }
 
     /// `RRcd+ET`: early termination on top of the `BK_Rcd` recursion.
     pub fn r_rcd_et() -> Self {
-        SolverConfig { early_termination_t: 3, ..Self::r_rcd() }
+        SolverConfig {
+            early_termination_t: 3,
+            ..Self::r_rcd()
+        }
     }
 
     /// All named presets with their paper names, useful for harnesses and tests.
@@ -316,9 +350,15 @@ mod tests {
         let c = SolverConfig::hbbmc_pp();
         assert_eq!(
             c.initial,
-            InitialBranching::Edge { ordering: EdgeOrderingKind::Truss, depth: 1 }
+            InitialBranching::Edge {
+                ordering: EdgeOrderingKind::Truss,
+                depth: 1
+            }
         );
-        assert_eq!(c.recursion, RecursionStrategy::Pivoting(PivotStrategy::Classic));
+        assert_eq!(
+            c.recursion,
+            RecursionStrategy::Pivoting(PivotStrategy::Classic)
+        );
         assert_eq!(c.early_termination_t, 3);
         assert!(c.graph_reduction);
         assert!(c.validate().is_ok());
@@ -339,7 +379,10 @@ mod tests {
         c.early_termination_t = 4;
         assert!(c.validate().is_err());
         let mut c = SolverConfig::hbbmc_pp();
-        c.initial = InitialBranching::Edge { ordering: EdgeOrderingKind::Truss, depth: 0 };
+        c.initial = InitialBranching::Edge {
+            ordering: EdgeOrderingKind::Truss,
+            depth: 0,
+        };
         assert!(c.validate().is_err());
     }
 
@@ -360,7 +403,11 @@ mod tests {
     #[test]
     fn table6_variants_differ_only_in_initial_branching() {
         let pp = SolverConfig::hbbmc_pp();
-        for cfg in [SolverConfig::vbbmc_dgn(), SolverConfig::hbbmc_dgn(), SolverConfig::hbbmc_mdg()] {
+        for cfg in [
+            SolverConfig::vbbmc_dgn(),
+            SolverConfig::hbbmc_dgn(),
+            SolverConfig::hbbmc_mdg(),
+        ] {
             assert_eq!(cfg.recursion, pp.recursion);
             assert_eq!(cfg.early_termination_t, pp.early_termination_t);
             assert_eq!(cfg.graph_reduction, pp.graph_reduction);
@@ -396,7 +443,13 @@ mod tests {
     fn depth_preset_sets_depth() {
         for d in 1..=3 {
             let c = SolverConfig::hbbmc_pp_depth(d);
-            assert_eq!(c.initial, InitialBranching::Edge { ordering: EdgeOrderingKind::Truss, depth: d });
+            assert_eq!(
+                c.initial,
+                InitialBranching::Edge {
+                    ordering: EdgeOrderingKind::Truss,
+                    depth: d
+                }
+            );
         }
     }
 }

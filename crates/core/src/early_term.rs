@@ -116,7 +116,12 @@ pub(crate) fn path_choices(path: &[VertexId]) -> Vec<Vec<VertexId>> {
 }
 
 /// The +2 / +3 expansion step of Algorithm 6 (0-based indices).
-fn expand_path(path: &[VertexId], idx: usize, acc: &mut Vec<VertexId>, out: &mut Vec<Vec<VertexId>>) {
+fn expand_path(
+    path: &[VertexId],
+    idx: usize,
+    acc: &mut Vec<VertexId>,
+    out: &mut Vec<Vec<VertexId>>,
+) {
     acc.push(path[idx]);
     if idx + 2 >= path.len() {
         out.push(acc.clone());
@@ -175,8 +180,14 @@ mod tests {
     fn path_choices_small_lengths() {
         assert!(path_choices(&[]).is_empty());
         assert_eq!(path_choices(&[7]), vec![vec![7]]);
-        assert_eq!(choices_sorted(path_choices(&[0, 1])), vec![vec![0], vec![1]]);
-        assert_eq!(choices_sorted(path_choices(&[0, 1, 2])), vec![vec![0, 2], vec![1]]);
+        assert_eq!(
+            choices_sorted(path_choices(&[0, 1])),
+            vec![vec![0], vec![1]]
+        );
+        assert_eq!(
+            choices_sorted(path_choices(&[0, 1, 2])),
+            vec![vec![0, 2], vec![1]]
+        );
         assert_eq!(
             choices_sorted(path_choices(&[0, 1, 2, 3])),
             vec![vec![0, 2], vec![0, 3], vec![1, 3]]
@@ -186,13 +197,15 @@ mod tests {
     /// Reference: maximal independent sets of a path/cycle by brute force.
     fn brute_force_mis(n: usize, cycle: bool) -> Vec<Vec<VertexId>> {
         let adjacent = |a: usize, b: usize| {
-            (a + 1 == b || b + 1 == a) || (cycle && ((a == 0 && b == n - 1) || (b == 0 && a == n - 1)))
+            (a + 1 == b || b + 1 == a)
+                || (cycle && ((a == 0 && b == n - 1) || (b == 0 && a == n - 1)))
         };
         let mut out = Vec::new();
         for mask in 0u32..(1 << n) {
             let set: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
-            let independent =
-                set.iter().all(|&a| set.iter().all(|&b| a == b || !adjacent(a, b)));
+            let independent = set
+                .iter()
+                .all(|&a| set.iter().all(|&b| a == b || !adjacent(a, b)));
             if !independent || set.is_empty() {
                 continue;
             }
@@ -271,7 +284,12 @@ mod tests {
         assert_eq!(count, 4);
         assert_eq!(
             got,
-            vec![vec![0, 1, 2, 3], vec![0, 1, 2, 5], vec![0, 1, 3, 4], vec![0, 1, 4, 5]]
+            vec![
+                vec![0, 1, 2, 3],
+                vec![0, 1, 2, 5],
+                vec![0, 1, 3, 4],
+                vec![0, 1, 4, 5]
+            ]
         );
     }
 

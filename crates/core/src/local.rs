@@ -3,7 +3,7 @@
 //! After the initial (root) branching step the recursion only ever touches the
 //! vertices of `C ∪ X` of that root branch — a set bounded by the degeneracy δ
 //! (vertex-oriented roots) or the truss parameter τ (edge-oriented roots),
-//! plus the exclusion side. [`LocalGraph`] relabels those vertices to a dense
+//! plus the exclusion side. The crate-private `LocalGraph` relabels those vertices to a dense
 //! `0..k` id space and stores their adjacency as bitset rows, so that branch
 //! refinement (`C ∩ N(v)`), pivot scoring and the early-termination check are
 //! all word-parallel.
@@ -87,7 +87,11 @@ impl LocalGraph {
                 }
             }
         }
-        LocalGraph { orig, g_adj, cand_adj: if filtered_any { Some(cand_adj) } else { None } }
+        LocalGraph {
+            orig,
+            g_adj,
+            cand_adj: if filtered_any { Some(cand_adj) } else { None },
+        }
     }
 
     /// Returns a copy of this local graph whose candidate adjacency

@@ -37,10 +37,16 @@ fn recurse(
         return;
     }
     while let Some(v) = candidates.last().copied() {
-        let next_candidates: Vec<VertexId> =
-            candidates.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
-        let next_excluded: Vec<VertexId> =
-            excluded.iter().copied().filter(|&u| g.has_edge(u, v)).collect();
+        let next_candidates: Vec<VertexId> = candidates
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(u, v))
+            .collect();
+        let next_excluded: Vec<VertexId> = excluded
+            .iter()
+            .copied()
+            .filter(|&u| g.has_edge(u, v))
+            .collect();
         partial.push(v);
         recurse(g, partial, next_candidates, next_excluded, out);
         partial.pop();
@@ -115,7 +121,17 @@ mod tests {
     fn all_outputs_are_maximal_cliques() {
         let g = Graph::from_edges(
             7,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6), (2, 4)],
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+                (2, 4),
+            ],
         )
         .unwrap();
         let cliques = naive_maximal_cliques(&g);

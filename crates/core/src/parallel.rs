@@ -6,13 +6,14 @@
 //! [`Solver::run_partition`](crate::Solver::run_partition) API exposes that
 //! independence: each worker processes every `k`-th root branch, and the union
 //! of the workers' outputs is the exact set of maximal cliques. This module
-//! wires the partitions to `crossbeam` scoped threads; it is used by the
-//! `parallel_enumeration` example and is a natural extension point rather than
-//! part of the paper's evaluation.
+//! wires the partitions to `std::thread::scope` scoped threads; it is used by
+//! the `parallel_enumeration` example and is a natural extension point rather
+//! than part of the paper's evaluation.
 
-use crossbeam::thread;
+use std::sync::Mutex;
+use std::thread;
+
 use mce_graph::{Graph, VertexId};
-use parking_lot::Mutex;
 
 use crate::config::SolverConfig;
 use crate::report::{CliqueReporter, CollectReporter, CountReporter};
@@ -34,18 +35,17 @@ pub fn par_count_maximal_cliques(
         for part in 0..threads {
             let solver = &solver;
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut reporter = CountReporter::new();
                 let stats = solver.run_partition(part, threads, &mut reporter);
-                results.lock().push((reporter.count, stats));
+                results.lock().unwrap().push((reporter.count, stats));
             });
         }
-    })
-    .expect("a parallel enumeration worker panicked");
+    });
 
     let mut total = 0u64;
     let mut merged = EnumerationStats::default();
-    for (count, stats) in results.into_inner() {
+    for (count, stats) in results.into_inner().unwrap() {
         total += count;
         merged.merge(&stats);
     }
@@ -67,18 +67,17 @@ pub fn par_enumerate_collect(
         for part in 0..threads {
             let solver = &solver;
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut reporter = CollectReporter::new();
                 let stats = solver.run_partition(part, threads, &mut reporter);
-                let mut guard = results.lock();
+                let mut guard = results.lock().unwrap();
                 guard.0.extend(reporter.cliques);
                 guard.1.merge(&stats);
             });
         }
-    })
-    .expect("a parallel enumeration worker panicked");
+    });
 
-    let (mut cliques, stats) = results.into_inner();
+    let (mut cliques, stats) = results.into_inner().unwrap();
     cliques.sort();
     (cliques, stats)
 }
@@ -97,7 +96,7 @@ pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
     }
     impl<R: CliqueReporter> CliqueReporter for SharedReporter<'_, R> {
         fn report(&mut self, clique: &[VertexId]) {
-            self.inner.lock().report(clique);
+            self.inner.lock().unwrap().report(clique);
         }
     }
 
@@ -111,16 +110,15 @@ pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
             let solver = &solver;
             let shared = &shared;
             let merged = &merged;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = SharedReporter { inner: shared };
                 let stats = solver.run_partition(part, threads, &mut local);
-                merged.lock().merge(&stats);
+                merged.lock().unwrap().merge(&stats);
             });
         }
-    })
-    .expect("a parallel enumeration worker panicked");
+    });
 
-    merged.into_inner()
+    merged.into_inner().unwrap()
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ pub(crate) struct Reduction {
 impl Reduction {
     /// A no-op reduction for graphs where GR is disabled.
     pub fn disabled(n: usize) -> Self {
-        Reduction { removed: vec![false; n], cliques: Vec::new() }
+        Reduction {
+            removed: vec![false; n],
+            cliques: Vec::new(),
+        }
     }
 
     /// Number of removed vertices.
@@ -69,7 +72,10 @@ pub(crate) fn reduce(g: &Graph) -> Reduction {
         cliques.push(clique);
     }
 
-    Reduction { removed: simplicial, cliques }
+    Reduction {
+        removed: simplicial,
+        cliques,
+    }
 }
 
 /// Whether `N[v]` induces a clique.
@@ -95,10 +101,19 @@ mod tests {
         let g = Graph::from_edges(7, [(1, 2), (3, 4), (4, 5), (3, 5), (3, 6)]).unwrap();
         let r = reduce(&g);
         assert!(r.removed[0], "isolated vertex is simplicial");
-        assert!(r.removed[1] && r.removed[2], "degree-1 endpoints are simplicial");
+        assert!(
+            r.removed[1] && r.removed[2],
+            "degree-1 endpoints are simplicial"
+        );
         assert!(r.removed[6], "pendant vertex is simplicial");
-        assert!(r.removed[4] && r.removed[5], "triangle corners not shared with others");
-        assert!(!r.removed[3], "vertex 3 has non-adjacent neighbours 4/5 vs 6");
+        assert!(
+            r.removed[4] && r.removed[5],
+            "triangle corners not shared with others"
+        );
+        assert!(
+            !r.removed[3],
+            "vertex 3 has non-adjacent neighbours 4/5 vs 6"
+        );
         let mut cliques = r.cliques.clone();
         cliques.sort();
         assert!(cliques.contains(&vec![0]));
@@ -128,7 +143,17 @@ mod tests {
     fn reported_cliques_are_maximal_in_original_graph() {
         let g = Graph::from_edges(
             8,
-            [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5), (5, 6), (6, 7)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+            ],
         )
         .unwrap();
         let r = reduce(&g);

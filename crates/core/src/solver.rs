@@ -9,7 +9,7 @@
 //! 1. **Root phase.** The universal branch `(∅, G, ∅)` is partitioned either
 //!    vertex-wise (Eq. 1, over a chosen vertex ordering) or edge-wise
 //!    (Eq. 2 + Eq. 3, over a chosen edge ordering). Each root branch extracts
-//!    the relevant neighbourhood into a dense [`LocalGraph`] — bounded by the
+//!    the relevant neighbourhood into a dense `LocalGraph` — bounded by the
 //!    degeneracy δ (vertex roots) or the truss parameter τ (edge roots).
 //! 2. **Recursive phase.** Inside the local graph the branch `(S, C, X)` is
 //!    refined by vertex-oriented branching with pivoting (Algorithm 1), the
@@ -83,13 +83,23 @@ impl<'g> Solver<'g> {
         parts: usize,
         reporter: &mut dyn CliqueReporter,
     ) -> EnumerationStats {
-        assert!(parts > 0 && part < parts, "invalid partition {part}/{parts}");
+        assert!(
+            parts > 0 && part < parts,
+            "invalid partition {part}/{parts}"
+        );
         let start = Instant::now();
-        let mut ctx = Ctx { config: self.config, stats: EnumerationStats::default(), reporter };
+        let mut ctx = Ctx {
+            config: self.config,
+            stats: EnumerationStats::default(),
+            reporter,
+        };
         let g = self.graph;
 
-        let reduction =
-            if self.config.graph_reduction { reduce(g) } else { Reduction::disabled(g.n()) };
+        let reduction = if self.config.graph_reduction {
+            reduce(g)
+        } else {
+            Reduction::disabled(g.n())
+        };
         ctx.stats.gr_removed_vertices = reduction.removed_count() as u64;
         if part == 0 {
             for clique in &reduction.cliques {
@@ -201,7 +211,15 @@ impl<'g> Solver<'g> {
                 }
             });
             let mut partial = vec![u, v];
-            self.dispatch(&lg, &mut partial, c, x, depth.saturating_sub(1), Some(&eo), ctx);
+            self.dispatch(
+                &lg,
+                &mut partial,
+                c,
+                x,
+                depth.saturating_sub(1),
+                Some(&eo),
+                ctx,
+            );
         }
 
         // Eq. (3) at the root: isolated vertices are maximal 1-cliques.
@@ -294,7 +312,15 @@ impl<'g> Solver<'g> {
             x_child.difference_with(&c_child);
             partial.push(lg.orig[a]);
             partial.push(lg.orig[b]);
-            self.dispatch(&child_lg, partial, c_child, x_child, edge_levels.saturating_sub(1), Some(eo), ctx);
+            self.dispatch(
+                &child_lg,
+                partial,
+                c_child,
+                x_child,
+                edge_levels.saturating_sub(1),
+                Some(eo),
+                ctx,
+            );
             partial.truncate(partial.len() - 2);
         }
 
@@ -302,8 +328,8 @@ impl<'g> Solver<'g> {
         for &w in &members {
             if lg.cand(w).intersection_len(&c) == 0 {
                 ctx.stats.recursive_calls += 1;
-                let extendable = lg.gadj(w).intersection_len(&c) > 0
-                    || lg.gadj(w).intersection_len(&x) > 0;
+                let extendable =
+                    lg.gadj(w).intersection_len(&c) > 0 || lg.gadj(w).intersection_len(&x) > 0;
                 if !extendable {
                     partial.push(lg.orig[w]);
                     ctx.report(partial);
@@ -334,7 +360,11 @@ impl<'g> Solver<'g> {
         let t = ctx.config.early_termination_t;
         let need_scan =
             t >= 1 || matches!(strategy, PivotStrategy::Classic | PivotStrategy::Refined);
-        let scan = if need_scan { Some(scan_branch(lg, &c, &x)) } else { None };
+        let scan = if need_scan {
+            Some(scan_branch(lg, &c, &x))
+        } else {
+            None
+        };
 
         if let Some(scan) = &scan {
             if t >= 1 && plex_condition(scan, c.len(), t) {
@@ -418,8 +448,7 @@ impl<'g> Solver<'g> {
         ctx: &mut Ctx<'_>,
     ) {
         let Some(v0) = c.iter().next() else { return };
-        let mut branching: Vec<usize> =
-            c.iter().filter(|&w| !lg.cand(v0).contains(w)).collect();
+        let mut branching: Vec<usize> = c.iter().filter(|&w| !lg.cand(v0).contains(w)).collect();
         while let Some(&u) = branching.first() {
             if c.contains(u) {
                 let (c_child, x_child) = make_child(lg, c, x, u);
@@ -430,8 +459,7 @@ impl<'g> Solver<'g> {
                 x.insert(u);
             }
             branching.retain(|&w| w != u && c.contains(w));
-            let alternative: Vec<usize> =
-                c.iter().filter(|&w| !lg.cand(u).contains(w)).collect();
+            let alternative: Vec<usize> = c.iter().filter(|&w| !lg.cand(u).contains(w)).collect();
             if alternative.len() < branching.len() {
                 branching = alternative;
             }
@@ -568,7 +596,11 @@ fn prune_by_pivot(lg: &LocalGraph, c: &BitSet, pivot: usize) -> Vec<usize> {
     if pivot == usize::MAX {
         return c.iter().collect();
     }
-    let adjacency = if c.contains(pivot) { lg.cand(pivot) } else { lg.gadj(pivot) };
+    let adjacency = if c.contains(pivot) {
+        lg.cand(pivot)
+    } else {
+        lg.gadj(pivot)
+    };
     c.iter().filter(|&w| !adjacency.contains(w)).collect()
 }
 
@@ -584,11 +616,16 @@ pub fn enumerate(
     config: &SolverConfig,
     reporter: &mut dyn CliqueReporter,
 ) -> EnumerationStats {
-    Solver::new(g, *config).expect("invalid solver configuration").run(reporter)
+    Solver::new(g, *config)
+        .expect("invalid solver configuration")
+        .run(reporter)
 }
 
 /// Enumerates and collects every maximal clique (each sorted ascending).
-pub fn enumerate_collect(g: &Graph, config: &SolverConfig) -> (Vec<Vec<VertexId>>, EnumerationStats) {
+pub fn enumerate_collect(
+    g: &Graph,
+    config: &SolverConfig,
+) -> (Vec<Vec<VertexId>>, EnumerationStats) {
     let mut reporter = CollectReporter::new();
     let stats = enumerate(g, config, &mut reporter);
     (reporter.into_sorted(), stats)
@@ -623,8 +660,17 @@ mod tests {
         let expected = naive_maximal_cliques(g);
         for (name, config) in all_presets() {
             let (got, stats) = enumerate_collect(g, &config);
-            assert_eq!(got, expected, "{name} differs from reference on n={}", g.n());
-            assert_eq!(stats.maximal_cliques as usize, expected.len(), "{name} count");
+            assert_eq!(
+                got,
+                expected,
+                "{name} differs from reference on n={}",
+                g.n()
+            );
+            assert_eq!(
+                stats.maximal_cliques as usize,
+                expected.len(),
+                "{name} count"
+            );
             assert!(verify_cliques(g, &got).is_empty(), "{name} verification");
         }
     }
@@ -640,7 +686,9 @@ mod tests {
     #[test]
     fn paths_cycles_and_stars() {
         check_graph(&Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap());
-        check_graph(&Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap());
+        check_graph(
+            &Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap(),
+        );
         check_graph(&Graph::from_edges(6, (1..6).map(|v| (0, v))).unwrap());
     }
 
@@ -671,7 +719,17 @@ mod tests {
     fn two_triangles_with_bridge() {
         let g = Graph::from_edges(
             7,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6), (5, 3)],
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+                (5, 3),
+            ],
         )
         .unwrap();
         check_graph(&g);
@@ -681,7 +739,17 @@ mod tests {
     fn clique_with_pendants_and_isolated_vertices() {
         let g = Graph::from_edges(
             9,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (0, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (0, 6),
+            ],
         )
         .unwrap();
         // vertices 7, 8 isolated
@@ -692,7 +760,20 @@ mod tests {
     fn hybrid_depths_agree_with_reference() {
         let g = Graph::from_edges(
             8,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (6, 7), (5, 7), (4, 6)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (5, 7),
+                (4, 6),
+            ],
         )
         .unwrap();
         let expected = naive_maximal_cliques(&g);
@@ -758,7 +839,21 @@ mod tests {
     fn partitioned_runs_cover_all_cliques_exactly_once() {
         let g = Graph::from_edges(
             9,
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (6, 7), (5, 7), (4, 6), (7, 8)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (5, 7),
+                (4, 6),
+                (7, 8),
+            ],
         )
         .unwrap();
         let expected = naive_maximal_cliques(&g);
@@ -777,7 +872,8 @@ mod tests {
 
     #[test]
     fn maximum_clique_helper() {
-        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)]).unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)]).unwrap();
         let best = maximum_clique(&g, &SolverConfig::hbbmc_pp());
         assert_eq!(best.len(), 3);
     }

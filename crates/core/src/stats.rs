@@ -93,7 +93,11 @@ mod tests {
 
     #[test]
     fn ratio_computes_fraction() {
-        let s = EnumerationStats { et_eligible: 10, et_terminated: 7, ..Default::default() };
+        let s = EnumerationStats {
+            et_eligible: 10,
+            et_terminated: 7,
+            ..Default::default()
+        };
         assert!((s.et_ratio() - 0.7).abs() < 1e-12);
     }
 
@@ -124,7 +128,11 @@ mod tests {
 
     #[test]
     fn display_contains_key_figures() {
-        let s = EnumerationStats { maximal_cliques: 42, recursive_calls: 7, ..Default::default() };
+        let s = EnumerationStats {
+            maximal_cliques: 42,
+            recursive_calls: 7,
+            ..Default::default()
+        };
         let text = s.to_string();
         assert!(text.contains("42"));
         assert!(text.contains("7 calls"));

@@ -61,7 +61,8 @@ pub fn find_extending_vertex(g: &Graph, set: &[VertexId]) -> Option<VertexId> {
 /// checked here; compare against [`crate::naive::naive_maximal_cliques`] for that.
 pub fn verify_cliques(g: &Graph, cliques: &[Vec<VertexId>]) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let mut seen: std::collections::HashMap<Vec<VertexId>, usize> = std::collections::HashMap::new();
+    let mut seen: std::collections::HashMap<Vec<VertexId>, usize> =
+        std::collections::HashMap::new();
     for (i, clique) in cliques.iter().enumerate() {
         if !g.is_clique(clique) || clique.is_empty() {
             violations.push(Violation::NotAClique(i));
@@ -101,12 +102,24 @@ pub fn matches_reference(g: &Graph, cliques: &[Vec<VertexId>]) -> Result<(), Str
     let got_set: HashSet<&Vec<VertexId>> = got.iter().collect();
     let want_set: HashSet<&Vec<VertexId>> = want.iter().collect();
     if let Some(missing) = want.iter().find(|c| !got_set.contains(c)) {
-        return Err(format!("missing maximal clique {missing:?} ({} vs {} expected)", got.len(), want.len()));
+        return Err(format!(
+            "missing maximal clique {missing:?} ({} vs {} expected)",
+            got.len(),
+            want.len()
+        ));
     }
     if let Some(extra) = got.iter().find(|c| !want_set.contains(c)) {
-        return Err(format!("extra clique {extra:?} ({} vs {} expected)", got.len(), want.len()));
+        return Err(format!(
+            "extra clique {extra:?} ({} vs {} expected)",
+            got.len(),
+            want.len()
+        ));
     }
-    Err(format!("duplicate cliques reported ({} vs {} expected)", got.len(), want.len()))
+    Err(format!(
+        "duplicate cliques reported ({} vs {} expected)",
+        got.len(),
+        want.len()
+    ))
 }
 
 #[cfg(test)]
@@ -149,7 +162,9 @@ mod tests {
         let cliques = vec![vec![1, 3], vec![0, 2], vec![0, 1, 2], vec![2, 1, 0]];
         let violations = verify_cliques(&g, &cliques);
         assert!(violations.contains(&Violation::NotAClique(0)));
-        assert!(violations.iter().any(|v| matches!(v, Violation::NotMaximal(1, _))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotMaximal(1, _))));
         assert!(violations.contains(&Violation::Duplicate(2, 3)));
     }
 
@@ -158,8 +173,7 @@ mod tests {
         let g = two_triangles();
         let err = matches_reference(&g, &[vec![0, 1, 2]]).unwrap_err();
         assert!(err.contains("missing"));
-        let err =
-            matches_reference(&g, &[vec![0, 1, 2], vec![0, 2, 3], vec![0, 3]]).unwrap_err();
+        let err = matches_reference(&g, &[vec![0, 1, 2], vec![0, 2, 3], vec![0, 3]]).unwrap_err();
         assert!(err.contains("extra"));
     }
 

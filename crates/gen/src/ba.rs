@@ -100,7 +100,10 @@ mod tests {
         let g = barabasi_albert(400, 3, 13);
         let max = g.max_degree();
         let avg = 2.0 * g.m() as f64 / g.n() as f64;
-        assert!(max as f64 > 3.0 * avg, "hubs should emerge: max={max}, avg={avg}");
+        assert!(
+            max as f64 > 3.0 * avg,
+            "hubs should emerge: max={max}, avg={avg}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! * [`erdos_renyi`] — `G(n, m)` uniform random graphs,
 //! * [`barabasi_albert`] — preferential-attachment graphs,
-//! * [`moon_moser`] — the complete multipartite graphs `K_{3,3,…,3}` attaining
+//! * [`moon_moser`](moon_moser()) — the complete multipartite graphs `K_{3,3,…,3}` attaining
 //!   the `3^{n/3}` maximal-clique bound,
 //! * [`structured`] — paths, cycles, stars, complete bipartite and Turán graphs,
 //! * [`plex`] — random t-plexes (dense graphs whose complement is a bounded

@@ -82,7 +82,9 @@ pub fn planted_communities(config: &PlantedConfig) -> Graph {
     let possible = n * (n - 1) / 2;
     let mut background = 0usize;
     let mut guard = 0usize;
-    while background < config.background_edges && edges.len() < possible && guard < 20 * config.background_edges + 1000
+    while background < config.background_edges
+        && edges.len() < possible
+        && guard < 20 * config.background_edges + 1000
     {
         guard += 1;
         let u = rng.gen_range(0..n) as VertexId;
@@ -115,16 +117,28 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = planted_communities(&PlantedConfig { seed: 7, ..Default::default() });
-        let b = planted_communities(&PlantedConfig { seed: 7, ..Default::default() });
-        let c = planted_communities(&PlantedConfig { seed: 8, ..Default::default() });
+        let a = planted_communities(&PlantedConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let b = planted_communities(&PlantedConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        let c = planted_communities(&PlantedConfig {
+            seed: 8,
+            ..Default::default()
+        });
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn zero_vertices() {
-        let g = planted_communities(&PlantedConfig { n: 0, ..Default::default() });
+        let g = planted_communities(&PlantedConfig {
+            n: 0,
+            ..Default::default()
+        });
         assert_eq!(g.n(), 0);
     }
 

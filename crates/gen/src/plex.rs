@@ -40,7 +40,10 @@ pub fn t_plex_from_complement(n: usize, complement_edges: &[(VertexId, VertexId)
 /// Panics if `t` is 0 or greater than 3 (the early-termination technique only
 /// covers t ≤ 3, so larger plexes are out of scope here).
 pub fn random_t_plex(n: usize, t: usize, seed: u64) -> Graph {
-    assert!((1..=3).contains(&t), "random_t_plex supports t in 1..=3, got {t}");
+    assert!(
+        (1..=3).contains(&t),
+        "random_t_plex supports t in 1..=3, got {t}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     if t == 1 || n <= 1 {
         return Graph::complete(n);

@@ -27,8 +27,7 @@ pub fn star_graph(n: usize) -> Graph {
 /// The complete bipartite graph `K_{a,b}` (left part `0..a`, right part `a..a+b`).
 pub fn complete_bipartite(a: usize, b: usize) -> Graph {
     let n = a + b;
-    let edges =
-        (0..a).flat_map(|u| (a..n).map(move |v| (u as VertexId, v as VertexId)));
+    let edges = (0..a).flat_map(|u| (a..n).map(move |v| (u as VertexId, v as VertexId)));
     Graph::from_edges(n, edges).expect("generated endpoints are in range")
 }
 

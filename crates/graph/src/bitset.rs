@@ -18,7 +18,10 @@ const WORD_BITS: usize = 64;
 impl BitSet {
     /// Creates an empty bit set able to hold values in `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+        }
     }
 
     /// Creates a bit set with the given capacity and all bits in `0..capacity` set.
@@ -50,7 +53,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `value >= capacity`.
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bit {value} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (value / WORD_BITS, value % WORD_BITS);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;

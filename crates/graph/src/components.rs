@@ -65,7 +65,10 @@ pub fn connected_components(g: &Graph) -> ConnectedComponents {
         }
         count += 1;
     }
-    ConnectedComponents { component_of, count }
+    ConnectedComponents {
+        component_of,
+        count,
+    }
 }
 
 /// Extracts the subgraph induced by a largest connected component, together

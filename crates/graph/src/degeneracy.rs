@@ -86,7 +86,12 @@ pub fn degeneracy_ordering(g: &Graph) -> DegeneracyOrdering {
         }
     }
 
-    DegeneracyOrdering { order, position, core, degeneracy }
+    DegeneracyOrdering {
+        order,
+        position,
+        core,
+        degeneracy,
+    }
 }
 
 /// Convenience wrapper returning only the per-vertex core numbers.
@@ -153,8 +158,20 @@ mod tests {
 
     #[test]
     fn ordering_is_a_permutation_with_consistent_positions() {
-        let g = Graph::from_edges(7, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)])
-            .unwrap();
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
+        )
+        .unwrap();
         let d = degeneracy_ordering(&g);
         let mut seen = vec![false; 7];
         for (i, &v) in d.order.iter().enumerate() {

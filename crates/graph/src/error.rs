@@ -29,9 +29,14 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex id {vertex} out of range for graph with {n} vertices"
+                )
             }
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::TooManyVertices(n) => {
                 write!(f, "graph with {n} vertices exceeds the u32 vertex id space")
@@ -68,7 +73,10 @@ mod tests {
 
     #[test]
     fn display_parse() {
-        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("bad token"));
     }

@@ -37,10 +37,16 @@ impl Graph {
         let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
         for (u, v) in edges {
             if u as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: u as u64, n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u as u64,
+                    n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v as u64, n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v as u64,
+                    n,
+                });
             }
             if u == v {
                 continue;
@@ -62,13 +68,15 @@ impl Graph {
 
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], adjacency: Vec::new() }
+        Graph {
+            offsets: vec![0; n + 1],
+            adjacency: Vec::new(),
+        }
     }
 
     /// The complete graph on `n` vertices.
     pub fn complete(n: usize) -> Self {
-        let edges = (0..n as VertexId)
-            .flat_map(|u| ((u + 1)..n as VertexId).map(move |v| (u, v)));
+        let edges = (0..n as VertexId).flat_map(|u| ((u + 1)..n as VertexId).map(move |v| (u, v)));
         Graph::from_edges(n, edges).expect("complete graph endpoints are in range")
     }
 
@@ -93,7 +101,10 @@ impl Graph {
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// The sorted adjacency list of `v`.
@@ -109,7 +120,11 @@ impl Graph {
         if u == v {
             return false;
         }
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -121,7 +136,11 @@ impl Graph {
     /// Iterates over every undirected edge exactly once as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -261,7 +280,10 @@ mod tests {
     #[test]
     fn from_edges_rejects_out_of_range() {
         let err = Graph::from_edges(2, [(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, n: 2 }
+        ));
     }
 
     #[test]

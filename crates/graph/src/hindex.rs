@@ -67,8 +67,20 @@ mod tests {
     #[test]
     fn h_index_bounded_by_degeneracy_and_max_degree() {
         let graphs = vec![
-            Graph::from_edges(7, [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)])
-                .unwrap(),
+            Graph::from_edges(
+                7,
+                [
+                    (0, 1),
+                    (0, 2),
+                    (0, 3),
+                    (1, 2),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 6),
+                ],
+            )
+            .unwrap(),
             Graph::complete(6),
             Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap(),
         ];
@@ -82,8 +94,8 @@ mod tests {
     #[test]
     fn mixed_degree_sequence() {
         // Degrees: 4,3,3,2,1,1 → h = 3.
-        let g = Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (2, 5)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (2, 5)]).unwrap();
         assert_eq!(h_index(&g), 3);
     }
 }

@@ -84,11 +84,17 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<Graph, GraphError> {
             None => continue,
         }
     }
-    let n = n.ok_or(GraphError::Parse { line: 0, message: "missing 'p edge n m' header".into() })?;
+    let n = n.ok_or(GraphError::Parse {
+        line: 0,
+        message: "missing 'p edge n m' header".into(),
+    })?;
     let mut builder = GraphBuilder::with_num_vertices(n);
     for (u, v) in edges {
         if u as usize >= n || v as usize >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: u.max(v), n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u.max(v),
+                n,
+            });
         }
         builder.add_edge(u, v);
     }
@@ -117,10 +123,14 @@ pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), Gr
 }
 
 fn parse_token(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
-    let token = token.ok_or_else(|| GraphError::Parse { line, message: "missing field".into() })?;
-    token
-        .parse::<u64>()
-        .map_err(|_| GraphError::Parse { line, message: format!("'{token}' is not a vertex id") })
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "missing field".into(),
+    })?;
+    token.parse::<u64>().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("'{token}' is not a vertex id"),
+    })
 }
 
 #[cfg(test)]
@@ -167,7 +177,10 @@ mod tests {
         let err = read_dimacs("e 1 2\n".as_bytes()).unwrap_err();
         // Edge before header still parses the edge, but missing n fails at the end
         // or the edge is out of range; either way it's an error.
-        assert!(matches!(err, GraphError::Parse { .. } | GraphError::VertexOutOfRange { .. }));
+        assert!(matches!(
+            err,
+            GraphError::Parse { .. } | GraphError::VertexOutOfRange { .. }
+        ));
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl PlexCheck {
         if n == 0 {
             return 0;
         }
-        (0..n as VertexId).map(|v| n - g.degree(v)).max().unwrap_or(0)
+        (0..n as VertexId)
+            .map(|v| n - g.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether `g` is a t-plex.
@@ -173,7 +176,9 @@ mod tests {
         assert!(PlexCheck::is_clique(&Graph::complete(4)));
         assert!(PlexCheck::is_clique(&Graph::complete(1)));
         assert!(PlexCheck::is_clique(&Graph::empty(0)));
-        assert!(!PlexCheck::is_clique(&Graph::from_edges(3, [(0, 1)]).unwrap()));
+        assert!(!PlexCheck::is_clique(
+            &Graph::from_edges(3, [(0, 1)]).unwrap()
+        ));
     }
 
     #[test]

@@ -86,7 +86,11 @@ pub fn edge_ordering(g: &Graph, kind: EdgeOrderingKind) -> EdgeOrdering {
     match kind {
         EdgeOrderingKind::Truss => {
             let t = truss_ordering(g);
-            EdgeOrdering { index: t.index, order: t.order, position: t.position }
+            EdgeOrdering {
+                index: t.index,
+                order: t.order,
+                position: t.position,
+            }
         }
         EdgeOrderingKind::DegeneracyLex => {
             let index = EdgeIndex::new(g);
@@ -121,7 +125,11 @@ where
     for (i, &e) in order.iter().enumerate() {
         position[e as usize] = i;
     }
-    EdgeOrdering { index, order, position }
+    EdgeOrdering {
+        index,
+        order,
+        position,
+    }
 }
 
 #[cfg(test)]
@@ -130,14 +138,29 @@ mod tests {
 
     fn sample() -> Graph {
         // K4 on {0,1,2,3} plus a tail 3-4-5.
-        Graph::from_edges(6, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
-            .unwrap()
+        Graph::from_edges(
+            6,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
     fn natural_vertex_ordering() {
         let g = sample();
-        assert_eq!(vertex_ordering(&g, VertexOrderingKind::Natural), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(
+            vertex_ordering(&g, VertexOrderingKind::Natural),
+            vec![0, 1, 2, 3, 4, 5]
+        );
     }
 
     #[test]
@@ -205,8 +228,11 @@ mod tests {
     #[test]
     fn edge_ordering_on_edgeless_graph_is_empty() {
         let g = Graph::empty(4);
-        for kind in [EdgeOrderingKind::Truss, EdgeOrderingKind::DegeneracyLex, EdgeOrderingKind::MinDegree]
-        {
+        for kind in [
+            EdgeOrderingKind::Truss,
+            EdgeOrderingKind::DegeneracyLex,
+            EdgeOrderingKind::MinDegree,
+        ] {
             let eo = edge_ordering(&g, kind);
             assert!(eo.is_empty());
             assert_eq!(eo.len(), 0);

@@ -75,7 +75,11 @@ impl std::fmt::Display for GraphStats {
             self.rho,
             self.max_degree,
             self.triangles,
-            if self.hbbmc_condition_holds() { "holds" } else { "fails" }
+            if self.hbbmc_condition_holds() {
+                "holds"
+            } else {
+                "fails"
+            }
         )
     }
 }

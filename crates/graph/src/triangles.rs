@@ -47,7 +47,11 @@ impl EdgeIndex {
             }
             upper_offsets.push(endpoints.len());
         }
-        EdgeIndex { endpoints, upper_offsets, upper_neighbors }
+        EdgeIndex {
+            endpoints,
+            upper_offsets,
+            upper_neighbors,
+        }
     }
 
     /// Number of edges.
@@ -233,7 +237,18 @@ mod tests {
     fn support_sum_equals_three_times_triangles() {
         let g = Graph::from_edges(
             7,
-            [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (4, 6), (2, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+                (2, 5),
+            ],
         )
         .unwrap();
         let (_, sup) = edge_supports(&g);

@@ -113,7 +113,13 @@ pub fn truss_ordering(g: &Graph) -> TrussOrdering {
         }
     }
 
-    TrussOrdering { index, order, position, peel_support, tau }
+    TrussOrdering {
+        index,
+        order,
+        position,
+        peel_support,
+        tau,
+    }
 }
 
 /// Convenience wrapper returning only τ.
@@ -155,8 +161,20 @@ mod tests {
         let graphs = vec![
             Graph::complete(6),
             Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap(),
-            Graph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (4, 5), (5, 6), (6, 4)])
-                .unwrap(),
+            Graph::from_edges(
+                7,
+                [
+                    (0, 1),
+                    (1, 2),
+                    (2, 3),
+                    (3, 0),
+                    (0, 2),
+                    (4, 5),
+                    (5, 6),
+                    (6, 4),
+                ],
+            )
+            .unwrap(),
         ];
         for g in graphs {
             assert!(truss_number(&g) < degeneracy(&g).max(1) || degeneracy(&g) == 0);
@@ -225,7 +243,17 @@ mod tests {
         // Two triangles sharing vertex 2; edge (5,6) pendant triangle vs dense K4.
         let g = Graph::from_edges(
             7,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (2, 4), (4, 5), (2, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (2, 4),
+                (4, 5),
+                (2, 5),
+            ],
         )
         .unwrap();
         let t = truss_ordering(&g);

@@ -37,8 +37,11 @@ fn main() {
     let mut co_occurrence: HashMap<(usize, usize), usize> = HashMap::new();
     for _ in 0..TRANSACTIONS {
         let mission = &missions[rng.gen_range(0..MISSIONS)];
-        let mut basket: Vec<usize> =
-            mission.iter().copied().filter(|_| rng.gen_bool(0.8)).collect();
+        let mut basket: Vec<usize> = mission
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.8))
+            .collect();
         for _ in 0..rng.gen_range(0..3) {
             basket.push(rng.gen_range(0..ITEMS));
         }

@@ -41,7 +41,10 @@ fn main() {
         let start = Instant::now();
         let (count, _) = par_count_maximal_cliques(&graph, &config, threads);
         let elapsed = start.elapsed().as_secs_f64();
-        assert_eq!(count, sequential_count, "parallel result must match sequential");
+        assert_eq!(
+            count, sequential_count,
+            "parallel result must match sequential"
+        );
         println!(
             "  {threads} worker(s): {elapsed:.3}s  (speedup {:.2}x)",
             sequential_time / elapsed.max(1e-9)

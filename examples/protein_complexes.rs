@@ -36,7 +36,10 @@ fn main() {
         builder.add_edge(u as u64, v as u64);
     }
     let interactome = builder.build().expect("merged interactome");
-    println!("simulated interactome: {}", GraphStats::compute(&interactome));
+    println!(
+        "simulated interactome: {}",
+        GraphStats::compute(&interactome)
+    );
 
     // Putative complexes = maximal cliques with at least 4 proteins.
     let (cliques, stats) = enumerate_collect(&interactome, &SolverConfig::hbbmc_pp());

@@ -51,6 +51,9 @@ fn main() {
 
     // Cross-check against the reference enumerator (small graphs only).
     let reference = naive_maximal_cliques(&graph);
-    assert_eq!(cliques, reference, "HBBMC++ agrees with the reference enumerator");
+    assert_eq!(
+        cliques, reference,
+        "HBBMC++ agrees with the reference enumerator"
+    );
     println!("\nverified against the reference enumerator ✓");
 }

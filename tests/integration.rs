@@ -25,7 +25,10 @@ fn all_named_presets_agree_on_a_realistic_community_graph() {
         seed: 31,
     });
     let reference = count_maximal_cliques(&graph, &SolverConfig::r_degen()).0;
-    assert!(reference > 100, "workload should be non-trivial, got {reference}");
+    assert!(
+        reference > 100,
+        "workload should be non-trivial, got {reference}"
+    );
     for (name, config) in SolverConfig::named_presets() {
         if name == "BK" || name == "EBBMC" {
             // The unpruned variants are exponential-ish; keep them to the small tests.
@@ -97,7 +100,10 @@ fn t_plex_generators_trigger_early_termination() {
         let (cliques, stats) = enumerate_collect(&g, &SolverConfig::hbbmc_pp());
         assert_eq!(cliques, naive_maximal_cliques(&g));
         if t > 1 {
-            assert!(stats.maximal_cliques > 1, "t={t} plexes have multiple maximal cliques");
+            assert!(
+                stats.maximal_cliques > 1,
+                "t={t} plexes have multiple maximal cliques"
+            );
         }
     }
 }
@@ -123,7 +129,10 @@ fn reporters_compose_with_the_solver() {
     let big = filtered.into_inner().into_sorted();
     assert!(big.iter().all(|c| c.len() >= 4));
     assert!(big.len() as u64 <= counter.count);
-    assert!(!big.is_empty(), "the planted communities contain cliques of size >= 4");
+    assert!(
+        !big.is_empty(),
+        "the planted communities contain cliques of size >= 4"
+    );
 }
 
 #[test]
@@ -150,7 +159,10 @@ fn graph_stats_summarise_the_surrogate_regime() {
     });
     let stats = GraphStats::compute(&graph);
     assert_eq!(stats.n, 500);
-    assert!(stats.degeneracy >= 4, "planted communities force a non-trivial core");
+    assert!(
+        stats.degeneracy >= 4,
+        "planted communities force a non-trivial core"
+    );
     assert!(stats.tau <= stats.degeneracy);
     assert!(stats.rho > 1.0);
 }

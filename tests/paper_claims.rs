@@ -31,7 +31,12 @@ fn truss_parameter_is_strictly_below_degeneracy_on_all_workloads() {
     ];
     for g in graphs {
         let s = GraphStats::compute(&g);
-        assert!(s.tau < s.degeneracy, "τ={} should be < δ={}", s.tau, s.degeneracy);
+        assert!(
+            s.tau < s.degeneracy,
+            "τ={} should be < δ={}",
+            s.tau,
+            s.degeneracy
+        );
     }
 }
 
@@ -83,21 +88,29 @@ fn early_termination_reduces_recursive_calls_monotonically() {
             assert_eq!(stats.et_terminated, 0);
             assert_eq!(stats.et_eligible, 0);
         } else {
-            assert!(stats.et_terminated > 0, "ET should fire on a clique-rich graph (t={t})");
+            assert!(
+                stats.et_terminated > 0,
+                "ET should fire on a clique-rich graph (t={t})"
+            );
             assert!(stats.et_terminated <= stats.et_eligible);
             let ratio = stats.et_ratio();
             assert!((0.0..=1.0).contains(&ratio));
         }
     }
-    assert!(counts.iter().all(|&c| c == counts[0]), "all ET levels report the same cliques");
+    assert!(
+        counts.iter().all(|&c| c == counts[0]),
+        "all ET levels report the same cliques"
+    );
     assert!(
         calls[3] < calls[0],
         "t=3 ({}) should need fewer recursive calls than t=0 ({})",
         calls[3],
         calls[0]
     );
-    assert!(calls[3] <= calls[2] && calls[2] <= calls[1] && calls[1] <= calls[0],
-        "calls should fall monotonically with t: {calls:?}");
+    assert!(
+        calls[3] <= calls[2] && calls[2] <= calls[1] && calls[1] <= calls[0],
+        "calls should fall monotonically with t: {calls:?}"
+    );
 }
 
 #[test]
@@ -112,9 +125,22 @@ fn switching_late_to_vertex_branching_increases_calls() {
         calls.push(stats.recursive_calls);
         counts.push(count);
     }
-    assert!(counts.iter().all(|&c| c == counts[0]), "all depths report the same cliques");
-    assert!(calls[0] < calls[1], "d=1 ({}) should branch less than d=2 ({})", calls[0], calls[1]);
-    assert!(calls[1] < calls[2], "d=2 ({}) should branch less than d=3 ({})", calls[1], calls[2]);
+    assert!(
+        counts.iter().all(|&c| c == counts[0]),
+        "all depths report the same cliques"
+    );
+    assert!(
+        calls[0] < calls[1],
+        "d=1 ({}) should branch less than d=2 ({})",
+        calls[0],
+        calls[1]
+    );
+    assert!(
+        calls[1] < calls[2],
+        "d=2 ({}) should branch less than d=3 ({})",
+        calls[1],
+        calls[2]
+    );
 }
 
 #[test]
@@ -142,7 +168,10 @@ fn graph_reduction_reports_cliques_and_removes_vertices() {
     no_gr_cfg.graph_reduction = false;
     let without_gr = count_maximal_cliques(&g, &no_gr_cfg);
     assert_eq!(with_gr.0, without_gr.0);
-    assert!(with_gr.1.gr_removed_vertices > 0, "a community graph has simplicial vertices");
+    assert!(
+        with_gr.1.gr_removed_vertices > 0,
+        "a community graph has simplicial vertices"
+    );
     assert!(with_gr.1.gr_cliques > 0);
     assert_eq!(without_gr.1.gr_removed_vertices, 0);
 }
