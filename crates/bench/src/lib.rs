@@ -26,10 +26,14 @@
 pub mod algorithms;
 pub mod datasets;
 pub mod experiments;
+pub mod hotpath;
+pub mod json;
 pub mod runner;
 pub mod table;
 
 pub use algorithms::{algorithm, baseline_algorithms, Algorithm};
 pub use datasets::{all_datasets, dataset_by_name, Dataset, DatasetSpec};
+pub use hotpath::{run_hotpath, HotpathOptions, HotpathRecord};
+pub use json::JsonValue;
 pub use runner::{measure, Measurement};
 pub use table::Table;

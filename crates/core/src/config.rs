@@ -49,6 +49,25 @@ pub enum InitialBranching {
     },
 }
 
+/// How the parallel driver distributes root branches over worker threads.
+///
+/// Root branches are heavily skewed: a handful of hub vertices/edges dominate
+/// the work, so assigning every `k`-th branch to worker `k` (static) leaves
+/// most workers idle while one grinds through the hubs. The dynamic scheduler
+/// instead lets workers *pull* the next chunk of root ranks from a shared
+/// atomic counter as they finish — a work-stealing queue degenerate case that
+/// needs no deques because root tasks are already materialised in the
+/// ordering. Sequential runs ignore this setting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RootScheduler {
+    /// Workers claim chunks of root ranks from a shared atomic counter in
+    /// ordering order (degeneracy/truss order, heaviest roots first).
+    #[default]
+    Dynamic,
+    /// Worker `k` of `p` processes the fixed ranks `{r : r ≡ k (mod p)}`.
+    Static,
+}
+
 /// Full configuration of a maximal clique enumeration run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SolverConfig {
@@ -62,6 +81,8 @@ pub struct SolverConfig {
     pub early_termination_t: usize,
     /// Whether to apply the graph-reduction (GR) preprocessing of Deng et al.
     pub graph_reduction: bool,
+    /// Root-branch scheduling policy of the parallel driver.
+    pub scheduler: RootScheduler,
 }
 
 impl Default for SolverConfig {
@@ -104,6 +125,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Classic),
             early_termination_t: 3,
             graph_reduction: true,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -154,6 +176,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Classic),
             early_termination_t: 0,
             graph_reduction: false,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -168,6 +191,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Refined),
             early_termination_t: 0,
             graph_reduction: true,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -178,6 +202,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Classic),
             early_termination_t: 0,
             graph_reduction: true,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -188,6 +213,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Rcd,
             early_termination_t: 0,
             graph_reduction: true,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -198,6 +224,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Factor),
             early_termination_t: 0,
             graph_reduction: true,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -208,6 +235,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Classic),
             early_termination_t: 0,
             graph_reduction: false,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -218,6 +246,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::None),
             early_termination_t: 0,
             graph_reduction: false,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -228,6 +257,7 @@ impl SolverConfig {
             recursion: RecursionStrategy::Pivoting(PivotStrategy::Classic),
             early_termination_t: 0,
             graph_reduction: false,
+            scheduler: RootScheduler::Dynamic,
         }
     }
 
@@ -343,6 +373,14 @@ mod tests {
     #[test]
     fn default_is_hbbmc_pp() {
         assert_eq!(SolverConfig::default(), SolverConfig::hbbmc_pp());
+    }
+
+    #[test]
+    fn every_preset_defaults_to_dynamic_scheduling() {
+        for (name, cfg) in SolverConfig::named_presets() {
+            assert_eq!(cfg.scheduler, RootScheduler::Dynamic, "{name}");
+        }
+        assert_eq!(RootScheduler::default(), RootScheduler::Dynamic);
     }
 
     #[test]

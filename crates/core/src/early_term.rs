@@ -42,7 +42,7 @@ pub(crate) fn enumerate_plex_branch(
     let mut complement: Vec<Vec<VertexId>> = vec![Vec::new(); k];
     for (i, &vi) in members.iter().enumerate() {
         for (j, &vj) in members.iter().enumerate().skip(i + 1) {
-            if !lg.gadj(vi).contains(vj) {
+            if !lg.gadj_contains(vi, vj) {
                 complement[i].push(j as VertexId);
                 complement[j].push(i as VertexId);
             }

@@ -118,7 +118,7 @@ fn extend_clique<F: FnMut(&[VertexId])>(
             continue;
         }
         let mut next = c.clone();
-        next.intersect_with(lg.cand(v));
+        next.intersect_with_words(lg.cand(v));
         partial.push(lg.orig[v]);
         extend_clique(lg, &next, v + 1, remaining - 1, partial, visit);
         partial.pop();

@@ -53,11 +53,12 @@ pub mod parallel;
 pub mod pivot;
 pub mod reduction;
 pub mod report;
+mod scratch;
 pub mod solver;
 pub mod stats;
 pub mod verify;
 
-pub use config::{InitialBranching, PivotStrategy, RecursionStrategy, SolverConfig};
+pub use config::{InitialBranching, PivotStrategy, RecursionStrategy, RootScheduler, SolverConfig};
 pub use kclique::{count_k_cliques, k_clique_census, list_k_cliques};
 pub use naive::{naive_count, naive_maximal_cliques};
 pub use parallel::{par_count_maximal_cliques, par_enumerate_collect, par_enumerate_streaming};
@@ -65,7 +66,9 @@ pub use report::{
     CallbackReporter, CliqueReporter, CollectReporter, CountReporter, MaximumCliqueReporter,
     MinSizeFilter, SizeHistogramReporter,
 };
-pub use solver::{count_maximal_cliques, enumerate, enumerate_collect, maximum_clique, Solver};
+pub use solver::{
+    count_maximal_cliques, enumerate, enumerate_collect, maximum_clique, EnumerationState, Solver,
+};
 pub use stats::EnumerationStats;
 pub use verify::{is_maximal_clique, matches_reference, verify_cliques, Violation};
 

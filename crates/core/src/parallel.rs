@@ -1,24 +1,130 @@
-//! Parallel enumeration over root branches.
+//! Parallel enumeration over root branches with dynamic work distribution.
 //!
 //! The paper's algorithms are sequential, but its root branching step (Eq. 1 /
 //! Eq. 2) produces a large number of independent branches, which is exactly
-//! the structure that shared-memory parallel MCE implementations exploit. The
-//! [`Solver::run_partition`](crate::Solver::run_partition) API exposes that
-//! independence: each worker processes every `k`-th root branch, and the union
-//! of the workers' outputs is the exact set of maximal cliques. This module
-//! wires the partitions to `std::thread::scope` scoped threads; it is used by
-//! the `parallel_enumeration` example and is a natural extension point rather
-//! than part of the paper's evaluation.
+//! the structure that shared-memory parallel MCE implementations exploit.
+//! This module wires those branches to `std::thread::scope` scoped threads:
+//!
+//! * The graph reduction and root ordering are computed **once** into a
+//!   shared [`RootPlan`](crate::solver) — previously every worker redid the
+//!   `O(δm)` preprocessing, which dominated multi-threaded runs.
+//! * Under the default [`RootScheduler::Dynamic`] policy, workers *pull*
+//!   chunks of root ranks from a shared atomic counter as they drain their
+//!   previous chunk. Root work is heavily skewed (a few hub vertices/edges
+//!   own most of the recursion tree), so static `rank % threads` striping
+//!   strands the fast workers; pulling keeps everyone busy until the queue is
+//!   empty. [`RootScheduler::Static`] retains the old striping for
+//!   deterministic per-worker assignment.
+//! * Each worker owns a private scratch arena
+//!   ([`EnumerationState`](crate::EnumerationState)-equivalent), so the
+//!   recursion allocates nothing in steady state, and per-worker results are
+//!   returned from the scoped threads' `JoinHandle`s and merged at join — no
+//!   shared `Mutex` collection.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
 use mce_graph::{Graph, VertexId};
 
-use crate::config::SolverConfig;
+use crate::config::{RootScheduler, SolverConfig};
 use crate::report::{CliqueReporter, CollectReporter, CountReporter};
-use crate::solver::Solver;
+use crate::scratch::WorkerState;
+use crate::solver::{RootPlan, Solver};
 use crate::stats::EnumerationStats;
+
+/// Ranks per atomic-counter claim. Small enough to balance skewed roots,
+/// large enough to keep counter contention negligible.
+const CHUNK: usize = 16;
+
+/// An iterator handing out root ranks from a shared atomic counter in chunks.
+struct StealingRanks<'a> {
+    next_rank: &'a AtomicUsize,
+    total: usize,
+    current: usize,
+    end: usize,
+}
+
+impl<'a> StealingRanks<'a> {
+    fn new(next_rank: &'a AtomicUsize, total: usize) -> Self {
+        StealingRanks {
+            next_rank,
+            total,
+            current: 0,
+            end: 0,
+        }
+    }
+}
+
+impl Iterator for StealingRanks<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.current == self.end {
+            let start = self.next_rank.fetch_add(CHUNK, Ordering::Relaxed);
+            if start >= self.total {
+                return None;
+            }
+            self.current = start;
+            self.end = (start + CHUNK).min(self.total);
+        }
+        let rank = self.current;
+        self.current += 1;
+        Some(rank)
+    }
+}
+
+/// Runs `threads` workers over the shared plan, streaming cliques to the
+/// per-worker reporters produced by `make_reporter`, and returns the
+/// `(reporter, stats)` pairs collected from the join handles.
+fn run_workers<R, F>(
+    solver: &Solver<'_>,
+    plan: &RootPlan,
+    threads: usize,
+    make_reporter: F,
+) -> Vec<(R, EnumerationStats)>
+where
+    R: CliqueReporter + Send,
+    F: Fn() -> R + Sync,
+{
+    let scheduler = solver.config().scheduler;
+    let total = plan.root_count();
+    let next_rank = AtomicUsize::new(0);
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker_id| {
+                let next_rank = &next_rank;
+                let make_reporter = &make_reporter;
+                scope.spawn(move || {
+                    let mut reporter = make_reporter();
+                    let mut state = WorkerState::new();
+                    let stats = match scheduler {
+                        RootScheduler::Dynamic => solver.run_on_plan(
+                            plan,
+                            StealingRanks::new(next_rank, total),
+                            worker_id == 0,
+                            &mut state,
+                            &mut reporter,
+                        ),
+                        RootScheduler::Static => solver.run_on_plan(
+                            plan,
+                            (worker_id..total).step_by(threads),
+                            worker_id == 0,
+                            &mut state,
+                            &mut reporter,
+                        ),
+                    };
+                    (reporter, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    })
+}
 
 /// Counts maximal cliques using `threads` workers. Returns the total count and
 /// the merged statistics (wall time is the maximum over workers).
@@ -29,24 +135,13 @@ pub fn par_count_maximal_cliques(
 ) -> (u64, EnumerationStats) {
     let threads = threads.max(1);
     let solver = Solver::new(g, *config).expect("invalid solver configuration");
-    let results: Mutex<Vec<(u64, EnumerationStats)>> = Mutex::new(Vec::new());
-
-    thread::scope(|scope| {
-        for part in 0..threads {
-            let solver = &solver;
-            let results = &results;
-            scope.spawn(move || {
-                let mut reporter = CountReporter::new();
-                let stats = solver.run_partition(part, threads, &mut reporter);
-                results.lock().unwrap().push((reporter.count, stats));
-            });
-        }
-    });
+    let plan = solver.prepare();
+    let results = run_workers(&solver, &plan, threads, CountReporter::new);
 
     let mut total = 0u64;
     let mut merged = EnumerationStats::default();
-    for (count, stats) in results.into_inner().unwrap() {
-        total += count;
+    for (reporter, stats) in results {
+        total += reporter.count;
         merged.merge(&stats);
     }
     (total, merged)
@@ -60,26 +155,18 @@ pub fn par_enumerate_collect(
 ) -> (Vec<Vec<VertexId>>, EnumerationStats) {
     let threads = threads.max(1);
     let solver = Solver::new(g, *config).expect("invalid solver configuration");
-    let results: Mutex<(Vec<Vec<VertexId>>, EnumerationStats)> =
-        Mutex::new((Vec::new(), EnumerationStats::default()));
+    let plan = solver.prepare();
+    let results = run_workers(&solver, &plan, threads, CollectReporter::new);
 
-    thread::scope(|scope| {
-        for part in 0..threads {
-            let solver = &solver;
-            let results = &results;
-            scope.spawn(move || {
-                let mut reporter = CollectReporter::new();
-                let stats = solver.run_partition(part, threads, &mut reporter);
-                let mut guard = results.lock().unwrap();
-                guard.0.extend(reporter.cliques);
-                guard.1.merge(&stats);
-            });
-        }
-    });
-
-    let (mut cliques, stats) = results.into_inner().unwrap();
+    let mut cliques = Vec::new();
+    let mut merged = EnumerationStats::default();
+    for (reporter, stats) in results {
+        // CollectReporter already sorts each clique's members on report.
+        cliques.extend(reporter.cliques);
+        merged.merge(&stats);
+    }
     cliques.sort();
-    (cliques, stats)
+    (cliques, merged)
 }
 
 /// Streams maximal cliques to a shared reporter from `threads` workers. The
@@ -102,23 +189,17 @@ pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
 
     let threads = threads.max(1);
     let solver = Solver::new(g, *config).expect("invalid solver configuration");
+    let plan = solver.prepare();
     let shared = Mutex::new(reporter);
-    let merged: Mutex<EnumerationStats> = Mutex::new(EnumerationStats::default());
-
-    thread::scope(|scope| {
-        for part in 0..threads {
-            let solver = &solver;
-            let shared = &shared;
-            let merged = &merged;
-            scope.spawn(move || {
-                let mut local = SharedReporter { inner: shared };
-                let stats = solver.run_partition(part, threads, &mut local);
-                merged.lock().unwrap().merge(&stats);
-            });
-        }
+    let results = run_workers(&solver, &plan, threads, || SharedReporter {
+        inner: &shared,
     });
 
-    merged.into_inner().unwrap()
+    let mut merged = EnumerationStats::default();
+    for (_, stats) in results {
+        merged.merge(&stats);
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -166,6 +247,18 @@ mod tests {
     }
 
     #[test]
+    fn static_scheduler_matches_dynamic() {
+        let g = test_graph();
+        let (seq, _) = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp());
+        let mut cfg = SolverConfig::hbbmc_pp();
+        cfg.scheduler = RootScheduler::Static;
+        for threads in [1, 3, 5] {
+            let (par, _) = par_count_maximal_cliques(&g, &cfg, threads);
+            assert_eq!(par, seq, "static, threads = {threads}");
+        }
+    }
+
+    #[test]
     fn parallel_collect_matches_reference() {
         let g = test_graph();
         let expected = naive_maximal_cliques(&g);
@@ -188,5 +281,34 @@ mod tests {
         let g = Graph::complete(4);
         let (count, _) = par_count_maximal_cliques(&g, &SolverConfig::hbbmc_pp(), 0);
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn more_threads_than_roots_is_fine() {
+        let g = Graph::complete(3); // one root survives reduction
+        for threads in [2, 8, 16] {
+            let (count, _) = par_count_maximal_cliques(&g, &SolverConfig::hbbmc_pp(), threads);
+            assert_eq!(count, 1, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_ranks_cover_every_rank_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let mut seen = vec![0usize; 100];
+        // Two interleaved consumers of the same counter.
+        let mut a = StealingRanks::new(&counter, 100);
+        let mut b = StealingRanks::new(&counter, 100);
+        loop {
+            let ra = a.next();
+            let rb = b.next();
+            if ra.is_none() && rb.is_none() {
+                break;
+            }
+            for r in [ra, rb].into_iter().flatten() {
+                seen[r] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
     }
 }

@@ -59,8 +59,8 @@ pub(crate) fn scan_branch(lg: &LocalGraph, c: &BitSet, x: &BitSet) -> BranchScan
     let mut have_pivot = false;
 
     for v in c.iter() {
-        let cand_deg = lg.cand(v).intersection_len(c);
-        let g_deg = lg.gadj(v).intersection_len(c);
+        let cand_deg = c.intersection_len_words(lg.cand(v));
+        let g_deg = c.intersection_len_words(lg.gadj(v));
         if !have_pivot || cand_deg > scan.pivot_score {
             scan.pivot = v;
             scan.pivot_score = cand_deg;
@@ -81,7 +81,7 @@ pub(crate) fn scan_branch(lg: &LocalGraph, c: &BitSet, x: &BitSet) -> BranchScan
         }
     }
     for v in x.iter() {
-        let g_deg = lg.gadj(v).intersection_len(c);
+        let g_deg = c.intersection_len_words(lg.gadj(v));
         if !have_pivot || g_deg > scan.pivot_score {
             scan.pivot = v;
             scan.pivot_score = g_deg;

@@ -1,0 +1,180 @@
+//! Reusable per-worker enumeration state: the depth-indexed scratch arena and
+//! the root-phase buffers.
+//!
+//! The recursion of the paper's Algorithms 1–4 creates one `(C, X)` pair per
+//! tree node. Allocating fresh `BitSet`s (and `Vec` branch lists) at every
+//! node makes the hot loop allocator-bound; instead, each worker owns a
+//! [`SearchScratch`] whose **frames are indexed by recursion depth**. A node
+//! at depth `d` reads its branch sets from frame `d` and writes its child's
+//! sets into frame `d + 1`; because siblings run sequentially, one frame per
+//! depth is enough, and after the arena has grown to the deepest branch every
+//! further node runs with **zero heap allocations**.
+//!
+//! [`WorkerState`] bundles the arena with the root-phase buffers (the
+//! candidate/exclusion splits, the dense [`LocalGraph`] whose adjacency
+//! matrices are rebuilt in place per root, and the original-id → local-id
+//! position map), so a whole enumeration run touches the allocator only while
+//! warming up.
+
+use mce_graph::{BitSet, VertexId};
+
+use crate::local::LocalGraph;
+
+/// Scratch buffers of one recursion depth.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Frame {
+    /// Candidate set `C` of the node at this depth.
+    pub c: BitSet,
+    /// Exclusion set `X` of the node at this depth.
+    pub x: BitSet,
+    /// Branch vertex list (pivot-pruned candidates, or the member list of an
+    /// edge-oriented step).
+    pub branch: Vec<usize>,
+    /// Secondary vertex list (the alternative branching set of `BK_Fac`).
+    pub alt: Vec<usize>,
+    /// Candidate edges of an edge-oriented step: `(global position, a, b)`.
+    pub edges: Vec<(usize, usize, usize)>,
+}
+
+/// Depth-indexed arena of [`Frame`]s for one worker.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SearchScratch {
+    frames: Vec<Frame>,
+}
+
+impl SearchScratch {
+    /// Immutable access to the frame at `depth` (must exist).
+    #[inline]
+    pub fn frame(&self, depth: usize) -> &Frame {
+        &self.frames[depth]
+    }
+
+    /// Mutable access to the frame at `depth` (must exist).
+    #[inline]
+    pub fn frame_mut(&mut self, depth: usize) -> &mut Frame {
+        &mut self.frames[depth]
+    }
+
+    /// Grows the arena so frames `0..=depth` exist.
+    #[inline]
+    pub fn ensure(&mut self, depth: usize) {
+        if self.frames.len() <= depth {
+            self.frames.resize_with(depth + 1, Frame::default);
+        }
+    }
+
+    /// Splits the arena into the frames at `depth` and `depth + 1`, growing
+    /// it as needed. The pair is how a node derives its child: read from the
+    /// first, write into the second.
+    #[inline]
+    pub fn pair(&mut self, depth: usize) -> (&mut Frame, &mut Frame) {
+        self.ensure(depth + 1);
+        let (left, right) = self.frames.split_at_mut(depth + 1);
+        (&mut left[depth], &mut right[0])
+    }
+
+    /// Fills frame `depth + 1` with the child branch obtained by moving local
+    /// vertex `v` into the partial clique:
+    /// `C' = C ∩ N_cand(v)`, `X' = ((C ∪ X) ∩ N_G(v)) \ C'`.
+    ///
+    /// Candidates that are graph-adjacent but candidate-non-adjacent to `v`
+    /// (their edge was excluded by an edge-oriented ancestor) move to the
+    /// exclusion side, preserving maximality checks against the original
+    /// graph. Performs no heap allocation once the frame's buffers have grown
+    /// to the branch size.
+    #[inline]
+    pub fn make_child(&mut self, depth: usize, lg: &LocalGraph, v: usize) {
+        let (parent, child) = self.pair(depth);
+        parent.c.intersect_into(lg.cand(v), &mut child.c);
+        child.x.copy_from(&parent.c);
+        child.x.union_with(&parent.x);
+        child.x.intersect_with_words(lg.gadj(v));
+        child.x.difference_with(&child.c);
+    }
+}
+
+/// The complete reusable state of one enumeration worker.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct WorkerState {
+    /// Depth-indexed recursion arena.
+    pub scratch: SearchScratch,
+    /// Dense local view of the current root branch, rebuilt in place.
+    pub lg: LocalGraph,
+    /// Original-id → local-id scratch map (`u32::MAX` when unused); length is
+    /// the input graph's vertex count.
+    pub position: Vec<u32>,
+    /// Candidate vertices of the current root branch.
+    pub candidates: Vec<VertexId>,
+    /// Exclusion vertices of the current root branch.
+    pub excluded: Vec<VertexId>,
+    /// Combined `candidates ++ excluded` universe of the current root branch.
+    pub vertices: Vec<VertexId>,
+    /// Common-neighbour buffer of the edge-oriented root step.
+    pub common: Vec<VertexId>,
+    /// The growing partial clique `S` (original vertex ids).
+    pub partial: Vec<VertexId>,
+}
+
+impl WorkerState {
+    /// Fresh state; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the state for a run over a graph with `n` vertices.
+    pub fn prepare_for(&mut self, n: usize) {
+        debug_assert!(self.position.iter().all(|&p| p == u32::MAX));
+        self.position.clear();
+        self.position.resize(n, u32::MAX);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mce_graph::Graph;
+
+    #[test]
+    fn ensure_grows_and_pair_splits() {
+        let mut s = SearchScratch::default();
+        s.ensure(3);
+        assert!(s.frames.len() >= 4);
+        let (a, b) = s.pair(3);
+        a.branch.push(1);
+        b.branch.push(2);
+        assert_eq!(s.frame(3).branch, vec![1]);
+        assert_eq!(s.frame(4).branch, vec![2]);
+    }
+
+    #[test]
+    fn make_child_matches_formula() {
+        // Diamond: 0-1-2-3 cycle with chord (0,2).
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let lg = LocalGraph::from_vertices(&g, &[0, 1, 2, 3]);
+        let mut s = SearchScratch::default();
+        s.ensure(0);
+        let f0 = s.frame_mut(0);
+        f0.c.reset(4);
+        for v in [1, 2, 3] {
+            f0.c.insert(v);
+        }
+        f0.x.reset(4);
+        f0.x.insert(0);
+        // Branch on local vertex 2: C' = {1, 3}, X' = {0} (0 adjacent to 2).
+        s.make_child(0, &lg, 2);
+        assert_eq!(s.frame(1).c.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.frame(1).x.iter().collect::<Vec<_>>(), vec![0]);
+        // Parent frame is untouched.
+        assert_eq!(s.frame(0).c.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn worker_state_prepare_sizes_position_map() {
+        let mut w = WorkerState::new();
+        w.prepare_for(5);
+        assert_eq!(w.position.len(), 5);
+        assert!(w.position.iter().all(|&p| p == u32::MAX));
+        w.prepare_for(3);
+        assert_eq!(w.position.len(), 3);
+    }
+}

@@ -8,23 +8,37 @@
 //!
 //! 1. **Root phase.** The universal branch `(∅, G, ∅)` is partitioned either
 //!    vertex-wise (Eq. 1, over a chosen vertex ordering) or edge-wise
-//!    (Eq. 2 + Eq. 3, over a chosen edge ordering). Each root branch extracts
-//!    the relevant neighbourhood into a dense `LocalGraph` — bounded by the
-//!    degeneracy δ (vertex roots) or the truss parameter τ (edge roots).
+//!    (Eq. 2 + Eq. 3, over a chosen edge ordering). The orderings and the
+//!    graph reduction are computed **once** into a `RootPlan`; each root
+//!    branch then extracts the relevant neighbourhood into a dense
+//!    `LocalGraph` — bounded by the degeneracy δ (vertex roots) or the truss
+//!    parameter τ (edge roots).
 //! 2. **Recursive phase.** Inside the local graph the branch `(S, C, X)` is
 //!    refined by vertex-oriented branching with pivoting (Algorithm 1), the
 //!    `BK_Rcd` top-down rule, or — for hybrid depths `d ≥ 2` (Table IV) —
 //!    further edge-oriented levels before switching.
+//!
+//! # Allocation-free hot path
+//!
+//! The recursive phase runs entirely inside per-worker scratch buffers: the
+//! `(C, X)` sets and branch lists of a node at depth `d` live in frame `d` of
+//! a depth-indexed `SearchScratch` arena, children are derived by fused
+//! word-parallel kernels writing into frame `d + 1`, and the root-phase
+//! `LocalGraph` matrices are rebuilt in place per root. Once the buffers have
+//! warmed up, steady-state enumeration performs **zero heap allocations**
+//! (the early-termination emitter, which materialises complement components
+//! proportional to its output, is the one deliberate exception). Use
+//! [`Solver::run_with_state`] to carry the warm buffers across runs.
 //!
 //! Early termination (Section IV) and graph reduction are hooked into both
 //! phases exactly as the paper describes: the t-plex test rides along the
 //! pivot scan, and reduction-removed vertices act as permanent exclusion
 //! members of every branch they touch.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mce_graph::ordering::{edge_ordering, vertex_ordering, EdgeOrdering};
-use mce_graph::{BitSet, Graph, VertexId};
+use mce_graph::{Graph, VertexId};
 
 use crate::config::{InitialBranching, PivotStrategy, RecursionStrategy, SolverConfig};
 use crate::early_term::enumerate_plex_branch;
@@ -32,12 +46,62 @@ use crate::local::LocalGraph;
 use crate::pivot::{plex_condition, scan_branch};
 use crate::reduction::{reduce, Reduction};
 use crate::report::{CliqueReporter, CollectReporter, CountReporter};
+use crate::scratch::{Frame, SearchScratch, WorkerState};
 use crate::stats::EnumerationStats;
 
 /// Maximal clique enumeration driver for a fixed graph and configuration.
 pub struct Solver<'g> {
     graph: &'g Graph,
     config: SolverConfig,
+}
+
+/// The precomputed root phase: graph reduction plus the vertex or edge
+/// ordering. Computed once per run (or once per parallel run, shared by all
+/// workers) — recomputing it per worker used to dominate multi-threaded runs.
+pub(crate) struct RootPlan {
+    pub reduction: Reduction,
+    pub kind: RootKind,
+    pub ordering_time: Duration,
+}
+
+/// Which initial branching the plan's root tasks follow.
+pub(crate) enum RootKind {
+    /// Vertex-oriented roots (Eq. 1): one task per vertex, in order.
+    Vertex {
+        order: Vec<VertexId>,
+        position: Vec<usize>,
+    },
+    /// Edge-oriented roots (Eq. 2): one task per edge, in order.
+    Edge { eo: EdgeOrdering, depth: usize },
+}
+
+impl RootPlan {
+    /// Number of independent root tasks (one per vertex or per edge).
+    pub fn root_count(&self) -> usize {
+        match &self.kind {
+            RootKind::Vertex { order, .. } => order.len(),
+            RootKind::Edge { eo, .. } => eo.order.len(),
+        }
+    }
+}
+
+/// Reusable enumeration state: the scratch arena, local-graph buffers and
+/// root-phase vectors of one worker.
+///
+/// A fresh state starts empty and warms up during the first run; passing the
+/// same state to [`Solver::run_with_state`] again lets subsequent runs reuse
+/// every buffer, so repeated enumeration (serving workloads, benchmark loops)
+/// stays allocation-free outside the ordering/reduction preprocessing.
+#[derive(Clone, Debug, Default)]
+pub struct EnumerationState {
+    pub(crate) worker: WorkerState,
+}
+
+impl EnumerationState {
+    /// Creates an empty state; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 struct Ctx<'a> {
@@ -69,14 +133,35 @@ impl<'g> Solver<'g> {
     /// Enumerates every maximal clique of the graph, streaming them to
     /// `reporter`, and returns the run statistics.
     pub fn run(&self, reporter: &mut dyn CliqueReporter) -> EnumerationStats {
-        self.run_partition(0, 1, reporter)
+        let mut state = EnumerationState::new();
+        self.run_with_state(&mut state, reporter)
+    }
+
+    /// Like [`Solver::run`], but reusing the caller's [`EnumerationState`]
+    /// buffers: after the first (warming) run, repeated enumeration performs
+    /// no steady-state heap allocations.
+    pub fn run_with_state(
+        &self,
+        state: &mut EnumerationState,
+        reporter: &mut dyn CliqueReporter,
+    ) -> EnumerationStats {
+        let plan = self.prepare();
+        self.run_on_plan(
+            &plan,
+            0..plan.root_count(),
+            true,
+            &mut state.worker,
+            reporter,
+        )
     }
 
     /// Processes only the root branches whose rank `r` satisfies
     /// `r % parts == part` (plus, for `part == 0`, the cliques emitted by graph
     /// reduction and by isolated vertices). Running every part exactly once
     /// over the same graph and configuration — in any order or in parallel —
-    /// reports every maximal clique exactly once. Used by the parallel driver.
+    /// reports every maximal clique exactly once. Used by the parallel driver
+    /// when [static scheduling](crate::config::RootScheduler::Static) is
+    /// requested.
     pub fn run_partition(
         &self,
         part: usize,
@@ -87,145 +172,89 @@ impl<'g> Solver<'g> {
             parts > 0 && part < parts,
             "invalid partition {part}/{parts}"
         );
-        let start = Instant::now();
-        let mut ctx = Ctx {
-            config: self.config,
-            stats: EnumerationStats::default(),
-            reporter,
-        };
-        let g = self.graph;
-
-        let reduction = if self.config.graph_reduction {
-            reduce(g)
-        } else {
-            Reduction::disabled(g.n())
-        };
-        ctx.stats.gr_removed_vertices = reduction.removed_count() as u64;
-        if part == 0 {
-            for clique in &reduction.cliques {
-                ctx.stats.gr_cliques += 1;
-                ctx.report(clique);
-            }
-        }
-
-        match self.config.initial {
-            InitialBranching::Vertex(kind) => {
-                self.run_vertex_root(kind, &reduction, part, parts, &mut ctx)
-            }
-            InitialBranching::Edge { ordering, depth } => {
-                self.run_edge_root(ordering, depth, &reduction, part, parts, &mut ctx)
-            }
-        }
-
-        ctx.stats.elapsed = start.elapsed();
-        ctx.stats
+        let plan = self.prepare();
+        let mut worker = WorkerState::new();
+        let count = plan.root_count();
+        let ranks = (part..count).step_by(parts);
+        self.run_on_plan(&plan, ranks, part == 0, &mut worker, reporter)
     }
 
     // ------------------------------------------------------------------
     // Root phase
     // ------------------------------------------------------------------
 
-    fn run_vertex_root(
-        &self,
-        kind: mce_graph::VertexOrderingKind,
-        reduction: &Reduction,
-        part: usize,
-        parts: usize,
-        ctx: &mut Ctx<'_>,
-    ) {
+    /// Computes the graph reduction and the root ordering once.
+    pub(crate) fn prepare(&self) -> RootPlan {
         let g = self.graph;
+        let reduction = if self.config.graph_reduction {
+            reduce(g)
+        } else {
+            Reduction::disabled(g.n())
+        };
         let ordering_start = Instant::now();
-        let order = vertex_ordering(g, kind);
-        let mut position = vec![0usize; g.n()];
-        for (i, &v) in order.iter().enumerate() {
-            position[v as usize] = i;
-        }
-        ctx.stats.ordering_time = ordering_start.elapsed();
-
-        for (rank, &v) in order.iter().enumerate() {
-            if rank % parts != part || reduction.removed[v as usize] {
-                continue;
-            }
-            let mut candidates = Vec::new();
-            let mut excluded = Vec::new();
-            for &u in g.neighbors(v) {
-                if reduction.removed[u as usize] || position[u as usize] < rank {
-                    excluded.push(u);
-                } else {
-                    candidates.push(u);
+        let kind = match self.config.initial {
+            InitialBranching::Vertex(kind) => {
+                let order = vertex_ordering(g, kind);
+                let mut position = vec![0usize; g.n()];
+                for (i, &v) in order.iter().enumerate() {
+                    position[v as usize] = i;
                 }
+                RootKind::Vertex { order, position }
             }
-            ctx.stats.initial_branches += 1;
-            let (lg, c, x) = build_branch(g, &candidates, &excluded, |_, _| true);
-            let mut partial = vec![v];
-            self.dispatch(&lg, &mut partial, c, x, 0, None, ctx);
+            InitialBranching::Edge { ordering, depth } => RootKind::Edge {
+                eo: edge_ordering(g, ordering),
+                depth,
+            },
+        };
+        RootPlan {
+            reduction,
+            kind,
+            ordering_time: ordering_start.elapsed(),
         }
     }
 
-    fn run_edge_root(
+    /// Runs the given root ranks over a prepared plan. `with_static` selects
+    /// whether this worker also emits the rank-independent output (graph
+    /// reduction cliques, isolated vertices) — exactly one worker of a run
+    /// must do so.
+    pub(crate) fn run_on_plan(
         &self,
-        kind: mce_graph::EdgeOrderingKind,
-        depth: usize,
-        reduction: &Reduction,
-        part: usize,
-        parts: usize,
-        ctx: &mut Ctx<'_>,
-    ) {
-        let g = self.graph;
-        let ordering_start = Instant::now();
-        let eo = edge_ordering(g, kind);
-        ctx.stats.ordering_time = ordering_start.elapsed();
-
-        let mut common = Vec::new();
-        for (rank, &edge) in eo.order.iter().enumerate() {
-            if rank % parts != part {
-                continue;
-            }
-            let (u, v) = eo.index.endpoints(edge);
-            if reduction.removed[u as usize] || reduction.removed[v as usize] {
-                continue;
-            }
-            g.common_neighbors_into(u, v, &mut common);
-            let mut candidates = Vec::new();
-            let mut excluded = Vec::new();
-            for &w in &common {
-                if reduction.removed[w as usize] {
-                    excluded.push(w);
-                    continue;
-                }
-                let uw = eo.index.edge_id(u, w).expect("triangle edge (u,w) exists");
-                let vw = eo.index.edge_id(v, w).expect("triangle edge (v,w) exists");
-                if eo.position[uw as usize] > rank && eo.position[vw as usize] > rank {
-                    candidates.push(w);
-                } else {
-                    excluded.push(w);
-                }
-            }
-            ctx.stats.initial_branches += 1;
-            // Eq. (2): edges already processed at the root are removed from the
-            // candidate graph of this branch.
-            let (lg, c, x) = build_branch(g, &candidates, &excluded, |a, b| {
-                match eo.index.edge_id(a, b) {
-                    Some(e) => eo.position[e as usize] > rank,
-                    None => true,
-                }
-            });
-            let mut partial = vec![u, v];
-            self.dispatch(
-                &lg,
-                &mut partial,
-                c,
-                x,
-                depth.saturating_sub(1),
-                Some(&eo),
-                ctx,
-            );
+        plan: &RootPlan,
+        ranks: impl IntoIterator<Item = usize>,
+        with_static: bool,
+        worker: &mut WorkerState,
+        reporter: &mut dyn CliqueReporter,
+    ) -> EnumerationStats {
+        let start = Instant::now();
+        let mut ctx = Ctx {
+            config: self.config,
+            stats: EnumerationStats::default(),
+            reporter,
+        };
+        worker.prepare_for(self.graph.n());
+        if with_static {
+            ctx.stats.ordering_time = plan.ordering_time;
+            self.emit_static(plan, &mut ctx);
         }
+        for rank in ranks {
+            self.run_root(plan, rank, worker, &mut ctx);
+        }
+        ctx.stats.elapsed = start.elapsed();
+        ctx.stats
+    }
 
-        // Eq. (3) at the root: isolated vertices are maximal 1-cliques.
-        if part == 0 {
-            for v in g.vertices() {
-                if g.degree(v) == 0 && !reduction.removed[v as usize] {
+    /// Emits the output that is independent of any root rank: the cliques
+    /// reported by the graph reduction and — under edge-oriented branching —
+    /// the isolated vertices of Eq. (3).
+    fn emit_static(&self, plan: &RootPlan, ctx: &mut Ctx<'_>) {
+        ctx.stats.gr_removed_vertices = plan.reduction.removed_count() as u64;
+        for clique in &plan.reduction.cliques {
+            ctx.stats.gr_cliques += 1;
+            ctx.report(clique);
+        }
+        if matches!(plan.kind, RootKind::Edge { .. }) {
+            for v in self.graph.vertices() {
+                if self.graph.degree(v) == 0 && !plan.reduction.removed[v as usize] {
                     ctx.stats.initial_branches += 1;
                     ctx.report(&[v]);
                 }
@@ -233,66 +262,198 @@ impl<'g> Solver<'g> {
         }
     }
 
+    /// Processes one root task.
+    fn run_root(&self, plan: &RootPlan, rank: usize, worker: &mut WorkerState, ctx: &mut Ctx<'_>) {
+        match &plan.kind {
+            RootKind::Vertex { order, position } => {
+                self.vertex_root(&plan.reduction, order, position, rank, worker, ctx)
+            }
+            RootKind::Edge { eo, depth } => {
+                self.edge_root(&plan.reduction, eo, *depth, rank, worker, ctx)
+            }
+        }
+    }
+
+    /// Eq. (1): the root branch of the `rank`-th vertex of the ordering.
+    fn vertex_root(
+        &self,
+        reduction: &Reduction,
+        order: &[VertexId],
+        position: &[usize],
+        rank: usize,
+        worker: &mut WorkerState,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let g = self.graph;
+        let v = order[rank];
+        if reduction.removed[v as usize] {
+            return;
+        }
+        worker.candidates.clear();
+        worker.excluded.clear();
+        for &u in g.neighbors(v) {
+            if reduction.removed[u as usize] || position[u as usize] < rank {
+                worker.excluded.push(u);
+            } else {
+                worker.candidates.push(u);
+            }
+        }
+        ctx.stats.initial_branches += 1;
+        build_root_branch(g, worker, |_, _| true);
+        worker.partial.clear();
+        worker.partial.push(v);
+        let WorkerState {
+            scratch,
+            lg,
+            partial,
+            ..
+        } = worker;
+        self.dispatch(lg, partial, 0, 0, None, ctx, scratch);
+    }
+
+    /// Eq. (2): the root branch of the `rank`-th edge of the ordering.
+    fn edge_root(
+        &self,
+        reduction: &Reduction,
+        eo: &EdgeOrdering,
+        depth: usize,
+        rank: usize,
+        worker: &mut WorkerState,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let g = self.graph;
+        let (u, v) = eo.index.endpoints(eo.order[rank]);
+        if reduction.removed[u as usize] || reduction.removed[v as usize] {
+            return;
+        }
+        g.common_neighbors_into(u, v, &mut worker.common);
+        worker.candidates.clear();
+        worker.excluded.clear();
+        for i in 0..worker.common.len() {
+            let w = worker.common[i];
+            if reduction.removed[w as usize] {
+                worker.excluded.push(w);
+                continue;
+            }
+            let uw = eo.index.edge_id(u, w).expect("triangle edge (u,w) exists");
+            let vw = eo.index.edge_id(v, w).expect("triangle edge (v,w) exists");
+            if eo.position[uw as usize] > rank && eo.position[vw as usize] > rank {
+                worker.candidates.push(w);
+            } else {
+                worker.excluded.push(w);
+            }
+        }
+        ctx.stats.initial_branches += 1;
+        // Eq. (2): edges already processed at the root are removed from the
+        // candidate graph of this branch.
+        build_root_branch(g, worker, |a, b| match eo.index.edge_id(a, b) {
+            Some(e) => eo.position[e as usize] > rank,
+            None => true,
+        });
+        worker.partial.clear();
+        worker.partial.push(u);
+        worker.partial.push(v);
+        let WorkerState {
+            scratch,
+            lg,
+            partial,
+            ..
+        } = worker;
+        self.dispatch(
+            lg,
+            partial,
+            0,
+            depth.saturating_sub(1),
+            Some(eo),
+            ctx,
+            scratch,
+        );
+    }
+
     // ------------------------------------------------------------------
-    // Recursive phase
+    // Recursive phase (arena-based: the node at depth `d` owns frame `d`)
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         lg: &LocalGraph,
         partial: &mut Vec<VertexId>,
-        c: BitSet,
-        x: BitSet,
+        depth: usize,
         edge_levels: usize,
         eo: Option<&EdgeOrdering>,
         ctx: &mut Ctx<'_>,
+        scratch: &mut SearchScratch,
     ) {
         if edge_levels > 0 {
             if let Some(eo) = eo {
-                self.edge_branch_step(lg, partial, c, x, edge_levels, eo, ctx);
+                self.edge_branch_step(lg, partial, depth, edge_levels, eo, ctx, scratch);
                 return;
             }
         }
         match self.config.recursion {
             RecursionStrategy::Pivoting(strategy) => {
-                self.pivot_rec(lg, partial, c, x, strategy, ctx)
+                self.pivot_rec(lg, partial, depth, strategy, ctx, scratch)
             }
-            RecursionStrategy::Rcd => self.rcd_rec(lg, partial, c, x, ctx),
+            RecursionStrategy::Rcd => self.rcd_rec(lg, partial, depth, ctx, scratch),
         }
     }
 
     /// One edge-oriented branching level (Eq. 2 + Eq. 3) inside a local graph.
+    ///
+    /// Unlike the vertex-oriented steady state this step genuinely changes
+    /// the candidate adjacency per child ([`LocalGraph::restrict_candidate`]),
+    /// so it allocates fresh matrices; it only runs for the first
+    /// `depth` levels of the tree (Table IV's `d ≤ 3`).
+    #[allow(clippy::too_many_arguments)]
     fn edge_branch_step(
         &self,
         lg: &LocalGraph,
         partial: &mut Vec<VertexId>,
-        c: BitSet,
-        x: BitSet,
+        depth: usize,
         edge_levels: usize,
         eo: &EdgeOrdering,
         ctx: &mut Ctx<'_>,
+        scratch: &mut SearchScratch,
     ) {
         ctx.stats.recursive_calls += 1;
-        if c.is_empty() && x.is_empty() {
-            ctx.report(partial);
-            return;
+        {
+            let f = scratch.frame(depth);
+            if f.c.is_empty() && f.x.is_empty() {
+                ctx.report(partial);
+                return;
+            }
         }
 
-        let members: Vec<usize> = c.iter().collect();
-        // Candidate edges, ordered by their global position (the branch inherits π_τ).
-        let mut edges: Vec<(usize, usize, usize)> = Vec::new();
-        for (i, &a) in members.iter().enumerate() {
-            for &b in &members[i + 1..] {
-                if lg.cand(a).contains(b) {
-                    if let Some(e) = eo.index.edge_id(lg.orig[a], lg.orig[b]) {
-                        edges.push((eo.position[e as usize], a, b));
+        // Members of C and their candidate edges, ordered by global position
+        // (the branch inherits π_τ), collected into the frame's buffers.
+        {
+            let f = scratch.frame_mut(depth);
+            let Frame {
+                c, branch, edges, ..
+            } = f;
+            branch.clear();
+            branch.extend(c.iter());
+            edges.clear();
+            for (i, &a) in branch.iter().enumerate() {
+                for &b in &branch[i + 1..] {
+                    if lg.cand_contains(a, b) {
+                        if let Some(e) = eo.index.edge_id(lg.orig[a], lg.orig[b]) {
+                            edges.push((eo.position[e as usize], a, b));
+                        }
                     }
                 }
             }
+            edges.sort_unstable();
         }
-        edges.sort_unstable();
 
-        for &(pos, a, b) in &edges {
+        let mut i = 0;
+        loop {
+            let (pos, a, b) = match scratch.frame(depth).edges.get(i) {
+                Some(&edge) => edge,
+                None => break,
+            };
+            i += 1;
             // Earlier sibling edges of this level (and the current one) are
             // excluded from the child's candidate graph (Eq. 2), so candidacy
             // must be evaluated against the restricted adjacency: a common
@@ -302,34 +463,44 @@ impl<'g> Solver<'g> {
                 Some(e) => eo.position[e as usize] > pos,
                 None => true,
             });
-            let mut c_child = c.clone();
-            c_child.intersect_with(child_lg.cand(a));
-            c_child.intersect_with(child_lg.cand(b));
-            let mut x_child = c.clone();
-            x_child.union_with(&x);
-            x_child.intersect_with(lg.gadj(a));
-            x_child.intersect_with(lg.gadj(b));
-            x_child.difference_with(&c_child);
+            {
+                let (parent, child) = scratch.pair(depth);
+                parent.c.intersect_into(child_lg.cand(a), &mut child.c);
+                child.c.intersect_with_words(child_lg.cand(b));
+                child.x.copy_from(&parent.c);
+                child.x.union_with(&parent.x);
+                child.x.intersect_with_words(lg.gadj(a));
+                child.x.intersect_with_words(lg.gadj(b));
+                let Frame { c, x, .. } = child;
+                x.difference_with(c);
+            }
             partial.push(lg.orig[a]);
             partial.push(lg.orig[b]);
             self.dispatch(
                 &child_lg,
                 partial,
-                c_child,
-                x_child,
+                depth + 1,
                 edge_levels.saturating_sub(1),
                 Some(eo),
                 ctx,
+                scratch,
             );
             partial.truncate(partial.len() - 2);
         }
 
         // Eq. (3): candidates with no candidate edge can only extend S by themselves.
-        for &w in &members {
-            if lg.cand(w).intersection_len(&c) == 0 {
+        let mut j = 0;
+        loop {
+            let w = match scratch.frame(depth).branch.get(j) {
+                Some(&w) => w,
+                None => break,
+            };
+            j += 1;
+            let f = scratch.frame(depth);
+            if f.c.intersection_len_words(lg.cand(w)) == 0 {
                 ctx.stats.recursive_calls += 1;
-                let extendable =
-                    lg.gadj(w).intersection_len(&c) > 0 || lg.gadj(w).intersection_len(&x) > 0;
+                let extendable = f.c.intersection_len_words(lg.gadj(w)) > 0
+                    || f.x.intersection_len_words(lg.gadj(w)) > 0;
                 if !extendable {
                     partial.push(lg.orig[w]);
                     ctx.report(partial);
@@ -345,47 +516,53 @@ impl<'g> Solver<'g> {
         &self,
         lg: &LocalGraph,
         partial: &mut Vec<VertexId>,
-        c: BitSet,
-        x: BitSet,
+        depth: usize,
         strategy: PivotStrategy,
         ctx: &mut Ctx<'_>,
+        scratch: &mut SearchScratch,
     ) {
         ctx.stats.recursive_calls += 1;
-        if c.is_empty() {
-            if x.is_empty() {
-                ctx.report(partial);
+        let (c_len, x_empty) = {
+            let f = scratch.frame(depth);
+            if f.c.is_empty() {
+                if f.x.is_empty() {
+                    ctx.report(partial);
+                }
+                return;
             }
-            return;
-        }
+            (f.c.len(), f.x.is_empty())
+        };
         let t = ctx.config.early_termination_t;
         let need_scan =
             t >= 1 || matches!(strategy, PivotStrategy::Classic | PivotStrategy::Refined);
         let scan = if need_scan {
-            Some(scan_branch(lg, &c, &x))
+            let f = scratch.frame(depth);
+            Some(scan_branch(lg, &f.c, &f.x))
         } else {
             None
         };
 
         if let Some(scan) = &scan {
-            if t >= 1 && plex_condition(scan, c.len(), t) {
+            if t >= 1 && plex_condition(scan, c_len, t) {
                 ctx.stats.et_eligible += 1;
-                if x.is_empty() && self.try_early_terminate(lg, &c, partial, ctx) {
+                if x_empty && self.try_early_terminate(lg, depth, partial, ctx, scratch) {
                     return;
                 }
             }
         }
 
-        let mut c = c;
-        let mut x = x;
         match strategy {
             PivotStrategy::None => {
-                let branch_set: Vec<usize> = c.iter().collect();
-                self.branch_on(lg, partial, &mut c, &mut x, &branch_set, strategy, ctx);
+                let f = scratch.frame_mut(depth);
+                let Frame { c, branch, .. } = f;
+                branch.clear();
+                branch.extend(c.iter());
+                self.branch_on(lg, partial, depth, strategy, ctx, scratch);
             }
             PivotStrategy::Classic => {
                 let scan = scan.as_ref().expect("classic pivot requires a scan");
-                let branch_set = prune_by_pivot(lg, &c, scan.pivot);
-                self.branch_on(lg, partial, &mut c, &mut x, &branch_set, strategy, ctx);
+                prune_by_pivot_into(lg, scratch.frame_mut(depth), scan.pivot);
+                self.branch_on(lg, partial, depth, strategy, ctx, scratch);
             }
             PivotStrategy::Refined => {
                 let scan = scan.as_ref().expect("refined pivot requires a scan");
@@ -395,45 +572,55 @@ impl<'g> Solver<'g> {
                 if let Some(u) = scan.universal_candidate {
                     // `u` is adjacent to every other candidate: it belongs to every
                     // maximal clique of this branch, so absorb it without branching.
+                    {
+                        let (parent, child) = scratch.pair(depth);
+                        child.c.copy_from(&parent.c);
+                        child.c.remove(u);
+                        child.x.copy_from(&parent.x);
+                        child.x.intersect_with_words(lg.gadj(u));
+                    }
                     partial.push(lg.orig[u]);
-                    let mut c_child = c.clone();
-                    c_child.remove(u);
-                    let mut x_child = x.clone();
-                    x_child.intersect_with(lg.gadj(u));
-                    self.pivot_rec(lg, partial, c_child, x_child, strategy, ctx);
+                    self.pivot_rec(lg, partial, depth + 1, strategy, ctx, scratch);
                     partial.pop();
                     return;
                 }
-                let branch_set = prune_by_pivot(lg, &c, scan.pivot);
-                self.branch_on(lg, partial, &mut c, &mut x, &branch_set, strategy, ctx);
+                prune_by_pivot_into(lg, scratch.frame_mut(depth), scan.pivot);
+                self.branch_on(lg, partial, depth, strategy, ctx, scratch);
             }
             PivotStrategy::Factor => {
-                self.factor_branching(lg, partial, &mut c, &mut x, ctx);
+                self.factor_branching(lg, partial, depth, ctx, scratch);
             }
         }
     }
 
-    /// Branches on every vertex of `branch_set`, moving each to `X` afterwards.
+    /// Branches on every vertex of the frame's branch list, moving each to
+    /// `X` afterwards.
     fn branch_on(
         &self,
         lg: &LocalGraph,
         partial: &mut Vec<VertexId>,
-        c: &mut BitSet,
-        x: &mut BitSet,
-        branch_set: &[usize],
+        depth: usize,
         strategy: PivotStrategy,
         ctx: &mut Ctx<'_>,
+        scratch: &mut SearchScratch,
     ) {
-        for &v in branch_set {
-            if !c.contains(v) {
+        let mut i = 0;
+        loop {
+            let v = match scratch.frame(depth).branch.get(i) {
+                Some(&v) => v,
+                None => break,
+            };
+            i += 1;
+            if !scratch.frame(depth).c.contains(v) {
                 continue;
             }
-            let (c_child, x_child) = make_child(lg, c, x, v);
+            scratch.make_child(depth, lg, v);
             partial.push(lg.orig[v]);
-            self.pivot_rec(lg, partial, c_child, x_child, strategy, ctx);
+            self.pivot_rec(lg, partial, depth + 1, strategy, ctx, scratch);
             partial.pop();
-            c.remove(v);
-            x.insert(v);
+            let f = scratch.frame_mut(depth);
+            f.c.remove(v);
+            f.x.insert(v);
         }
     }
 
@@ -443,25 +630,38 @@ impl<'g> Solver<'g> {
         &self,
         lg: &LocalGraph,
         partial: &mut Vec<VertexId>,
-        c: &mut BitSet,
-        x: &mut BitSet,
+        depth: usize,
         ctx: &mut Ctx<'_>,
+        scratch: &mut SearchScratch,
     ) {
-        let Some(v0) = c.iter().next() else { return };
-        let mut branching: Vec<usize> = c.iter().filter(|&w| !lg.cand(v0).contains(w)).collect();
-        while let Some(&u) = branching.first() {
-            if c.contains(u) {
-                let (c_child, x_child) = make_child(lg, c, x, u);
+        {
+            let f = scratch.frame_mut(depth);
+            let Some(v0) = f.c.first() else { return };
+            let Frame { c, branch, .. } = f;
+            branch.clear();
+            branch.extend(c.and_not_iter(lg.cand(v0)));
+        }
+        loop {
+            let u = match scratch.frame(depth).branch.first() {
+                Some(&u) => u,
+                None => break,
+            };
+            if scratch.frame(depth).c.contains(u) {
+                scratch.make_child(depth, lg, u);
                 partial.push(lg.orig[u]);
-                self.pivot_rec(lg, partial, c_child, x_child, PivotStrategy::Factor, ctx);
+                self.pivot_rec(lg, partial, depth + 1, PivotStrategy::Factor, ctx, scratch);
                 partial.pop();
-                c.remove(u);
-                x.insert(u);
+                let f = scratch.frame_mut(depth);
+                f.c.remove(u);
+                f.x.insert(u);
             }
-            branching.retain(|&w| w != u && c.contains(w));
-            let alternative: Vec<usize> = c.iter().filter(|&w| !lg.cand(u).contains(w)).collect();
-            if alternative.len() < branching.len() {
-                branching = alternative;
+            let f = scratch.frame_mut(depth);
+            let Frame { c, branch, alt, .. } = f;
+            branch.retain(|&w| w != u && c.contains(w));
+            alt.clear();
+            alt.extend(c.and_not_iter(lg.cand(u)));
+            if alt.len() < branch.len() {
+                std::mem::swap(branch, alt);
             }
         }
     }
@@ -472,35 +672,43 @@ impl<'g> Solver<'g> {
         &self,
         lg: &LocalGraph,
         partial: &mut Vec<VertexId>,
-        c: BitSet,
-        x: BitSet,
+        depth: usize,
         ctx: &mut Ctx<'_>,
+        scratch: &mut SearchScratch,
     ) {
         ctx.stats.recursive_calls += 1;
-        if c.is_empty() && x.is_empty() {
-            ctx.report(partial);
-            return;
-        }
-        let t = ctx.config.early_termination_t;
-        let mut c = c;
-        let mut x = x;
-        loop {
-            if c.is_empty() {
+        {
+            let f = scratch.frame(depth);
+            if f.c.is_empty() && f.x.is_empty() {
+                ctx.report(partial);
                 return;
             }
-            let scan = scan_branch(lg, &c, &x);
-            if t >= 1 && plex_condition(&scan, c.len(), t) {
+        }
+        let t = ctx.config.early_termination_t;
+        loop {
+            let (c_len, x_empty) = {
+                let f = scratch.frame(depth);
+                if f.c.is_empty() {
+                    return;
+                }
+                (f.c.len(), f.x.is_empty())
+            };
+            let scan = {
+                let f = scratch.frame(depth);
+                scan_branch(lg, &f.c, &f.x)
+            };
+            if t >= 1 && plex_condition(&scan, c_len, t) {
                 ctx.stats.et_eligible += 1;
-                if x.is_empty() && self.try_early_terminate(lg, &c, partial, ctx) {
+                if x_empty && self.try_early_terminate(lg, depth, partial, ctx, scratch) {
                     return;
                 }
             }
             let candidate_is_clique =
-                scan.candidate_matches_graph && scan.min_candidate_gdegree + 1 == c.len();
+                scan.candidate_matches_graph && scan.min_candidate_gdegree + 1 == c_len;
             if candidate_is_clique {
                 if !scan.dominated_by_exclusion {
                     let before = partial.len();
-                    for v in c.iter() {
+                    for v in scratch.frame(depth).c.iter() {
                         partial.push(lg.orig[v]);
                     }
                     ctx.report(partial);
@@ -509,24 +717,28 @@ impl<'g> Solver<'g> {
                 return;
             }
             let v = scan.min_degree_candidate;
-            let (c_child, x_child) = make_child(lg, &c, &x, v);
+            scratch.make_child(depth, lg, v);
             partial.push(lg.orig[v]);
-            self.rcd_rec(lg, partial, c_child, x_child, ctx);
+            self.rcd_rec(lg, partial, depth + 1, ctx, scratch);
             partial.pop();
-            c.remove(v);
-            x.insert(v);
+            let f = scratch.frame_mut(depth);
+            f.c.remove(v);
+            f.x.insert(v);
         }
     }
 
-    /// Attempts to early-terminate the branch `(S, C, ∅)`. Returns `true` when
-    /// the cliques were emitted (the caller must then stop branching).
+    /// Attempts to early-terminate the branch `(S, C, ∅)` at `depth`. Returns
+    /// `true` when the cliques were emitted (the caller must then stop
+    /// branching).
     fn try_early_terminate(
         &self,
         lg: &LocalGraph,
-        c: &BitSet,
+        depth: usize,
         partial: &mut Vec<VertexId>,
         ctx: &mut Ctx<'_>,
+        scratch: &SearchScratch,
     ) -> bool {
+        let c = &scratch.frame(depth).c;
         // Split borrows: the emit closure updates clique statistics and streams to
         // the reporter while the remaining counters are updated afterwards.
         let stats = &mut ctx.stats;
@@ -549,59 +761,53 @@ impl<'g> Solver<'g> {
     }
 }
 
-/// Builds the local graph and the `C`/`X` bitsets of a root branch.
-fn build_branch<F>(
-    g: &Graph,
-    candidates: &[VertexId],
-    excluded: &[VertexId],
-    keep_edge: F,
-) -> (LocalGraph, BitSet, BitSet)
+/// Rebuilds the worker's local graph over `candidates ++ excluded` and fills
+/// frame 0 of the arena with the root's `C`/`X` sets. Reuses every buffer.
+fn build_root_branch<F>(g: &Graph, worker: &mut WorkerState, keep_edge: F)
 where
     F: Fn(VertexId, VertexId) -> bool,
 {
-    let mut vertices = Vec::with_capacity(candidates.len() + excluded.len());
+    let WorkerState {
+        scratch,
+        lg,
+        position,
+        candidates,
+        excluded,
+        vertices,
+        ..
+    } = worker;
+    vertices.clear();
     vertices.extend_from_slice(candidates);
     vertices.extend_from_slice(excluded);
-    let lg = LocalGraph::from_vertices_filtered(g, &vertices, keep_edge);
+    lg.rebuild_filtered(g, vertices, keep_edge, position);
     let k = vertices.len();
-    let mut c = BitSet::with_capacity(k);
+    scratch.ensure(0);
+    let f0 = scratch.frame_mut(0);
+    f0.c.reset(k);
     for i in 0..candidates.len() {
-        c.insert(i);
+        f0.c.insert(i);
     }
-    let mut x = BitSet::with_capacity(k);
+    f0.x.reset(k);
     for i in candidates.len()..k {
-        x.insert(i);
+        f0.x.insert(i);
     }
-    (lg, c, x)
 }
 
-/// Creates the child branch obtained by adding local vertex `v` to the partial
-/// clique: `C' = C ∩ N_cand(v)`, `X' = ((C ∪ X) ∩ N_G(v)) \ C'`.
-///
-/// Candidates that are graph-adjacent but candidate-non-adjacent to `v` (their
-/// edge was excluded by an edge-oriented ancestor) move to the exclusion side,
-/// preserving maximality checks against the original graph.
-fn make_child(lg: &LocalGraph, c: &BitSet, x: &BitSet, v: usize) -> (BitSet, BitSet) {
-    let mut c_child = c.clone();
-    c_child.intersect_with(lg.cand(v));
-    let mut x_child = c.clone();
-    x_child.union_with(x);
-    x_child.intersect_with(lg.gadj(v));
-    x_child.difference_with(&c_child);
-    (c_child, x_child)
-}
-
-/// Candidates to branch on after pruning the pivot's candidate neighbourhood.
-fn prune_by_pivot(lg: &LocalGraph, c: &BitSet, pivot: usize) -> Vec<usize> {
+/// Fills the frame's branch list with the candidates that survive pruning by
+/// the pivot's candidate neighbourhood.
+fn prune_by_pivot_into(lg: &LocalGraph, f: &mut Frame, pivot: usize) {
+    let Frame { c, branch, .. } = f;
+    branch.clear();
     if pivot == usize::MAX {
-        return c.iter().collect();
+        branch.extend(c.iter());
+        return;
     }
-    let adjacency = if c.contains(pivot) {
+    let row = if c.contains(pivot) {
         lg.cand(pivot)
     } else {
         lg.gadj(pivot)
     };
-    c.iter().filter(|&w| !adjacency.contains(w)).collect()
+    branch.extend(c.and_not_iter(row));
 }
 
 // ----------------------------------------------------------------------
@@ -868,6 +1074,39 @@ mod tests {
             all.sort();
             assert_eq!(all, expected, "parts = {parts}");
         }
+    }
+
+    #[test]
+    fn run_with_state_reuses_buffers_across_runs() {
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (5, 7),
+            ],
+        )
+        .unwrap();
+        let solver = Solver::new(&g, SolverConfig::hbbmc_pp()).unwrap();
+        let mut state = EnumerationState::new();
+        let mut first = CollectReporter::new();
+        solver.run_with_state(&mut state, &mut first);
+        let mut second = CollectReporter::new();
+        solver.run_with_state(&mut state, &mut second);
+        assert_eq!(first.into_sorted(), second.into_sorted());
+        // The warm state also works across different graphs.
+        let g2 = Graph::complete(12);
+        let solver2 = Solver::new(&g2, SolverConfig::hbbmc_pp()).unwrap();
+        let mut third = CountReporter::new();
+        solver2.run_with_state(&mut state, &mut third);
+        assert_eq!(third.count, 1);
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! invariants of the output (clique-ness, maximality, uniqueness) must hold.
 
 use hbbmc::{
-    enumerate_collect, naive_maximal_cliques, par_enumerate_collect, verify_cliques, SolverConfig,
+    enumerate_collect, naive_maximal_cliques, par_count_maximal_cliques, par_enumerate_collect,
+    verify_cliques, RootScheduler, SolverConfig,
 };
-use mce_gen::{barabasi_albert, erdos_renyi, moon_moser, random_t_plex};
+use mce_gen::{
+    barabasi_albert, erdos_renyi, erdos_renyi_gnp, moon_moser, planted_communities, random_t_plex,
+    PlantedConfig,
+};
 use mce_graph::Graph;
 use proptest::prelude::*;
 
@@ -89,6 +93,55 @@ proptest! {
         let expected = naive_maximal_cliques(&g);
         let (got, _) = enumerate_collect(&g, &SolverConfig::hbbmc_pp());
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn all_presets_agree_on_gnp_graphs(n in 8usize..36, p in 0.05f64..0.6, seed in 0u64..1000) {
+        let g = erdos_renyi_gnp(n, p, seed);
+        let expected = naive_maximal_cliques(&g);
+        for (name, config) in SolverConfig::named_presets() {
+            let (got, _) = enumerate_collect(&g, &config);
+            prop_assert_eq!(&got, &expected, "{} on G({}, {:.2})", name, n, p);
+        }
+    }
+
+    #[test]
+    fn all_presets_agree_on_planted_clique_graphs(
+        n in 16usize..48,
+        communities in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = planted_communities(&PlantedConfig {
+            n,
+            communities,
+            min_size: 3,
+            max_size: 8,
+            intra_probability: 1.0, // planted cliques, not near-cliques
+            background_edges: n,
+            seed,
+        });
+        let expected = naive_maximal_cliques(&g);
+        for (name, config) in SolverConfig::named_presets() {
+            let (got, _) = enumerate_collect(&g, &config);
+            prop_assert_eq!(&got, &expected, "{} on planted n={}", name, n);
+        }
+    }
+
+    #[test]
+    fn thread_counts_are_deterministic(n in 10usize..50, density in 1usize..6, seed in 0u64..500) {
+        // The same clique count must come out of 1/2/4/8 workers, under both
+        // the dynamic (work-stealing) and the static scheduler.
+        let g = erdos_renyi(n, n * density, seed);
+        let expected = naive_maximal_cliques(&g).len() as u64;
+        for scheduler in [RootScheduler::Dynamic, RootScheduler::Static] {
+            let mut cfg = SolverConfig::hbbmc_pp();
+            cfg.scheduler = scheduler;
+            for threads in [1usize, 2, 4, 8] {
+                let (count, stats) = par_count_maximal_cliques(&g, &cfg, threads);
+                prop_assert_eq!(count, expected, "{:?} x{}", scheduler, threads);
+                prop_assert_eq!(stats.maximal_cliques, expected);
+            }
+        }
     }
 
     #[test]

@@ -2,9 +2,27 @@
 //!
 //! The enumeration frameworks frequently need `O(1)` membership tests over
 //! vertex sets whose universe is the (small) candidate subgraph of a branch.
-//! [`BitSet`] is a plain `Vec<u64>` backed bit set with the handful of
-//! operations those hot loops need: insert/remove/contains, clear, union /
-//! intersection counting and iteration over set bits.
+//! [`BitSet`] is a plain `Vec<u64>` backed bit set with the operations those
+//! hot loops need: insert/remove/contains, clear, fused in-place kernels
+//! against raw word rows (the rows of an [`AdjMatrix`](crate::AdjMatrix)),
+//! intersection counting and word-level iteration over set bits.
+//!
+//! # Out-of-range contract
+//!
+//! All membership operations treat a value `>= capacity` uniformly as *not
+//! part of the universe*: [`BitSet::contains`] and [`BitSet::remove`] return
+//! `false`, and [`BitSet::insert`] is a no-op returning `false`. The set never
+//! grows implicitly — resizing is explicit via [`BitSet::reset`]. (Earlier
+//! versions panicked in `insert` but silently accepted out-of-range values in
+//! `remove`/`contains`; the contract is now total and consistent across the
+//! three operations.)
+//!
+//! # Word rows
+//!
+//! The `*_words` kernels operate directly on `&[u64]` word slices so the hot
+//! loops can intersect against contiguous adjacency-matrix rows without
+//! materialising a second `BitSet`. Words missing from a shorter slice are
+//! treated as zero; words beyond `self`'s length are ignored.
 
 /// A fixed-capacity bit set over the universe `0..capacity`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -27,8 +45,14 @@ impl BitSet {
     /// Creates a bit set with the given capacity and all bits in `0..capacity` set.
     pub fn full(capacity: usize) -> Self {
         let mut s = Self::with_capacity(capacity);
-        for v in 0..capacity {
-            s.insert(v);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = i * WORD_BITS;
+            let bits = (capacity - lo).min(WORD_BITS);
+            *w = if bits == WORD_BITS {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
         }
         s
     }
@@ -36,6 +60,29 @@ impl BitSet {
     /// The capacity (universe size) of the set.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The backing words, `capacity.div_ceil(64)` of them.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Empties the set and changes its capacity, reusing the existing
+    /// allocation whenever the new capacity fits.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(WORD_BITS), 0);
+        self.capacity = capacity;
+    }
+
+    /// Makes `self` a copy of `other` (capacity and contents), reusing the
+    /// existing allocation whenever possible.
+    #[inline]
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.capacity = other.capacity;
     }
 
     /// Returns `true` when no bit is set.
@@ -48,23 +95,23 @@ impl BitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Inserts `value`. Returns `true` if the value was not previously present.
-    ///
-    /// # Panics
-    /// Panics if `value >= capacity`.
+    /// Inserts `value`. Returns `true` if the value was not previously
+    /// present. A value `>= capacity` is not part of the universe: the call
+    /// is a no-op returning `false` (see the module-level contract).
+    #[inline]
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(
-            value < self.capacity,
-            "bit {value} out of capacity {}",
-            self.capacity
-        );
+        if value >= self.capacity {
+            return false;
+        }
         let (w, b) = (value / WORD_BITS, value % WORD_BITS);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
         !had
     }
 
-    /// Removes `value`. Returns `true` if the value was present.
+    /// Removes `value`. Returns `true` if the value was present; a value
+    /// `>= capacity` was never present, so the call returns `false`.
+    #[inline]
     pub fn remove(&mut self, value: usize) -> bool {
         if value >= self.capacity {
             return false;
@@ -75,7 +122,8 @@ impl BitSet {
         had
     }
 
-    /// Membership test.
+    /// Membership test; `false` for any value `>= capacity`.
+    #[inline]
     pub fn contains(&self, value: usize) -> bool {
         if value >= self.capacity {
             return false;
@@ -84,49 +132,144 @@ impl BitSet {
         self.words[w] & (1 << b) != 0
     }
 
+    /// The smallest element of the set, if any.
+    #[inline]
+    pub fn first(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|wi| wi * WORD_BITS + self.words[wi].trailing_zeros() as usize)
+    }
+
     /// Removes all elements, keeping the capacity.
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
 
+    // ------------------------------------------------------------------
+    // Set-against-set kernels
+    // ------------------------------------------------------------------
+
     /// Number of elements present in both `self` and `other`.
     pub fn intersection_len(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.intersection_len_words(&other.words)
     }
 
     /// In-place intersection with `other`.
     pub fn intersect_with(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a &= *b;
-        }
-        // Bits beyond other's capacity are cleared if other is shorter.
-        for a in self.words.iter_mut().skip(other.words.len()) {
-            *a = 0;
-        }
+        self.intersect_with_words(&other.words);
     }
 
     /// In-place union with `other` (capacities must match or `other` be smaller).
     pub fn union_with(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= *b;
-        }
+        self.union_with_words(&other.words);
     }
 
     /// In-place difference: removes every element of `other` from `self`.
     pub fn difference_with(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+        self.difference_with_words(&other.words);
+    }
+
+    // ------------------------------------------------------------------
+    // Fused word-row kernels (hot path)
+    // ------------------------------------------------------------------
+
+    /// Number of elements of `self` whose bit is also set in `row`.
+    #[inline]
+    pub fn intersection_len_words(&self, row: &[u64]) -> usize {
+        self.words
+            .iter()
+            .zip(row.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place intersection with a word row; words missing from a shorter
+    /// `row` count as zero.
+    #[inline]
+    pub fn intersect_with_words(&mut self, row: &[u64]) {
+        let shared = self.words.len().min(row.len());
+        for (a, b) in self.words[..shared].iter_mut().zip(row.iter()) {
+            *a &= *b;
+        }
+        for a in self.words[shared..].iter_mut() {
+            *a = 0;
+        }
+    }
+
+    /// In-place union with a word row (bits beyond `self`'s length ignored).
+    #[inline]
+    pub fn union_with_words(&mut self, row: &[u64]) {
+        for (a, b) in self.words.iter_mut().zip(row.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference with a word row.
+    #[inline]
+    pub fn difference_with_words(&mut self, row: &[u64]) {
+        for (a, b) in self.words.iter_mut().zip(row.iter()) {
             *a &= !*b;
         }
     }
 
-    /// Iterates over the set bits in increasing order.
+    /// Writes `self ∩ row` into `out` (fused copy + intersect, no
+    /// intermediate clone). `out` takes `self`'s capacity, reusing its
+    /// allocation.
+    #[inline]
+    pub fn intersect_into(&self, row: &[u64], out: &mut BitSet) {
+        out.words.clear();
+        out.capacity = self.capacity;
+        let shared = self.words.len().min(row.len());
+        out.words.extend(
+            self.words[..shared]
+                .iter()
+                .zip(row.iter())
+                .map(|(a, b)| a & b),
+        );
+        out.words.resize(self.words.len(), 0);
+    }
+
+    /// Writes `self \ row` into `out` (fused copy + and-not). `out` takes
+    /// `self`'s capacity, reusing its allocation.
+    #[inline]
+    pub fn difference_into(&self, row: &[u64], out: &mut BitSet) {
+        out.words.clear();
+        out.capacity = self.capacity;
+        let shared = self.words.len().min(row.len());
+        out.words.extend(
+            self.words[..shared]
+                .iter()
+                .zip(row.iter())
+                .map(|(a, b)| a & !b),
+        );
+        out.words.extend_from_slice(&self.words[shared..]);
+    }
+
+    /// Iterates over the set bits in increasing order, one word at a time
+    /// (no per-bit bounds checks).
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &word)| {
             let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Iterates over the elements of `self` whose bit is **not** set in the
+    /// word row `mask` (i.e. `self \ mask`), in increasing order. Words
+    /// missing from a shorter `mask` are treated as zero, so those elements
+    /// of `self` are all yielded.
+    pub fn and_not_iter<'a>(&'a self, mask: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut w = word & !mask.get(wi).copied().unwrap_or(0);
             std::iter::from_fn(move || {
                 if w == 0 {
                     None
@@ -181,16 +324,25 @@ mod tests {
     }
 
     #[test]
-    fn contains_out_of_range_is_false() {
-        let s = BitSet::with_capacity(10);
-        assert!(!s.contains(1000));
-    }
-
-    #[test]
-    #[should_panic]
-    fn insert_out_of_range_panics() {
+    fn out_of_range_contract_is_uniform() {
+        // insert / remove / contains all treat value >= capacity as "not in
+        // the universe": no panic, no mutation, `false` everywhere.
         let mut s = BitSet::with_capacity(10);
-        s.insert(10);
+        assert!(!s.insert(10), "insert out of range is a no-op");
+        assert!(!s.insert(1000));
+        assert!(s.is_empty(), "out-of-range insert must not set stray bits");
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+        assert!(!s.remove(10));
+        assert_eq!(s.len(), 0);
+
+        // Values just past the capacity but inside the last backing word are
+        // equally rejected (the subtle case: capacity 70 uses 2 words of 128
+        // bits, so bit 71 physically exists in the buffer).
+        let mut s = BitSet::with_capacity(70);
+        assert!(!s.insert(71));
+        assert!(s.is_empty());
+        assert!(!s.contains(71));
     }
 
     #[test]
@@ -207,6 +359,37 @@ mod tests {
         s.clear();
         assert!(s.is_empty());
         assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn reset_changes_capacity_and_empties() {
+        let mut s = BitSet::full(100);
+        s.reset(40);
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 40);
+        assert!(s.insert(39));
+        assert!(!s.insert(40));
+        s.reset(200);
+        assert!(s.is_empty());
+        assert!(s.insert(199));
+    }
+
+    #[test]
+    fn copy_from_mirrors_contents_and_capacity() {
+        let a: BitSet = [1usize, 64, 99].into_iter().collect();
+        let mut b = BitSet::with_capacity(3);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        assert_eq!(b.capacity(), a.capacity());
+    }
+
+    #[test]
+    fn first_returns_smallest() {
+        assert_eq!(BitSet::with_capacity(100).first(), None);
+        let s: BitSet = [70usize, 3, 65].into_iter().collect();
+        assert_eq!(s.first(), Some(3));
+        let s: BitSet = [70usize].into_iter().collect();
+        assert_eq!(s.first(), Some(70));
     }
 
     #[test]
@@ -240,6 +423,45 @@ mod tests {
         let b: BitSet = [2usize, 70].into_iter().collect();
         a.difference_with(&b);
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 65]);
+    }
+
+    #[test]
+    fn intersect_into_writes_fused_result() {
+        let a: BitSet = [1usize, 3, 64, 100].into_iter().collect();
+        let row: BitSet = [3usize, 64, 99].into_iter().collect();
+        let mut out = BitSet::default();
+        a.intersect_into(row.words(), &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![3, 64]);
+        assert_eq!(out.capacity(), a.capacity());
+        // Shorter mask: missing words behave as zero.
+        let mut out2 = BitSet::default();
+        a.intersect_into(&row.words()[..1], &mut out2);
+        assert_eq!(out2.iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(out2.words().len(), a.words().len());
+    }
+
+    #[test]
+    fn difference_into_writes_fused_result() {
+        let a: BitSet = [1usize, 3, 64, 100].into_iter().collect();
+        let row: BitSet = [3usize, 64].into_iter().collect();
+        let mut out = BitSet::default();
+        a.difference_into(row.words(), &mut out);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![1, 100]);
+        // Shorter mask: elements in the missing words all survive.
+        let mut out2 = BitSet::default();
+        a.difference_into(&row.words()[..1], &mut out2);
+        assert_eq!(out2.iter().collect::<Vec<_>>(), vec![1, 64, 100]);
+    }
+
+    #[test]
+    fn and_not_iter_skips_masked_bits() {
+        let a: BitSet = [0usize, 2, 64, 66, 130].into_iter().collect();
+        let mask: BitSet = [2usize, 66].into_iter().collect();
+        let got: Vec<usize> = a.and_not_iter(mask.words()).collect();
+        assert_eq!(got, vec![0, 64, 130]);
+        // Empty mask yields everything.
+        let got: Vec<usize> = a.and_not_iter(&[]).collect();
+        assert_eq!(got, vec![0, 2, 64, 66, 130]);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! * a compact **CSR (compressed sparse row) undirected graph** with sorted
 //!   adjacency lists ([`Graph`]) and a forgiving [`GraphBuilder`] that
 //!   deduplicates edges and drops self-loops,
+//! * a fixed-capacity **bit set** with fused word-parallel kernels
+//!   ([`bitset`]) and a contiguous **bit adjacency matrix** with row stride
+//!   for dense branch subgraphs ([`adjmatrix`]),
 //! * **degeneracy ordering / core decomposition** ([`degeneracy`]),
 //! * **triangle listing and per-edge support** ([`triangles`]),
 //! * **truss decomposition and the truss-based edge ordering** π_τ used by
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adjmatrix;
 pub mod bitset;
 pub mod builder;
 pub mod components;
@@ -40,6 +44,7 @@ pub mod stats;
 pub mod triangles;
 pub mod truss;
 
+pub use adjmatrix::AdjMatrix;
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, ConnectedComponents};
