@@ -1,0 +1,116 @@
+//! `mce convert` — translate between the edge-list and DIMACS formats.
+
+use mce_graph::io::{read_graph_str, write_graph};
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use crate::io::{open_sink, read_input, FormatArg};
+
+/// Per-command help text.
+pub const HELP: &str = "usage: mce convert [IN [OUT]] [options]
+
+Reads a graph from IN (file or stdin) and writes it to OUT (file or stdout)
+in the target format. Formats default to file extensions (.col/.clq/.dimacs
+are DIMACS, anything else is an edge list); the input falls back to content
+sniffing, the output to edge-list. Note that the edge-list format cannot
+represent isolated vertices — converting DIMACS -> edge-list drops them.
+
+options:
+  --from edge-list|dimacs|auto     input format (default: auto)
+  --to edge-list|dimacs|auto       output format (default: by OUT extension)";
+
+const VALUE_OPTS: &[&str] = &["--from", "--to"];
+const BOOL_FLAGS: &[&str] = &[];
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, VALUE_OPTS, BOOL_FLAGS)?;
+    p.reject_extra_positionals(2)?;
+    let from = FormatArg::parse(p.value("--from"))?;
+    let to = FormatArg::parse(p.value("--to"))?;
+
+    let (name, content) = read_input(p.positional(0))?;
+    let graph = read_graph_str(&content, from.resolve(&name, &content))
+        .map_err(|e| CliError::runtime(format!("parsing {name}: {e}")))?;
+
+    let out_spec = p.positional(1);
+    let out_format = to.resolve_for_output(out_spec.unwrap_or("-"));
+    let sink = open_sink(out_spec)?;
+    write_graph(&graph, sink, out_format)
+        .map_err(|e| CliError::runtime(format!("writing graph: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn converts_edge_list_to_dimacs_by_extension() {
+        let dir = std::env::temp_dir().join("mce_cli_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        let output = dir.join("out.col");
+        std::fs::write(&input, "0 1\n1 2\n0 2\n").unwrap();
+        run(&to_vec(&[
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&output).unwrap();
+        assert!(text.contains("p edge 3 3"), "{text}");
+        assert!(text.contains("e 1 2"));
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&output).ok();
+    }
+
+    #[test]
+    fn round_trips_through_both_formats() {
+        let dir = std::env::temp_dir().join("mce_cli_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("rt.txt");
+        let b = dir.join("rt.col");
+        let c = dir.join("rt2.txt");
+        std::fs::write(&a, "0 1\n1 2\n2 3\n3 0\n").unwrap();
+        run(&to_vec(&[a.to_str().unwrap(), b.to_str().unwrap()])).unwrap();
+        run(&to_vec(&[b.to_str().unwrap(), c.to_str().unwrap()])).unwrap();
+        let first = std::fs::read_to_string(&a).unwrap();
+        let last = std::fs::read_to_string(&c).unwrap();
+        // Same edge set modulo the writer's comment header and its canonical
+        // CSR edge order (each edge as "min max", sorted).
+        let edges = |s: &str| {
+            let mut e: Vec<String> = s
+                .lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| {
+                    let mut ids: Vec<u32> =
+                        l.split_whitespace().map(|t| t.parse().unwrap()).collect();
+                    ids.sort_unstable();
+                    format!("{} {}", ids[0], ids[1])
+                })
+                .collect();
+            e.sort();
+            e
+        };
+        assert_eq!(edges(&first), edges(&last));
+        for f in [&a, &b, &c] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn bad_input_is_runtime_error() {
+        let dir = std::env::temp_dir().join("mce_cli_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("bad.col");
+        std::fs::write(&input, "p edge 2 1\ne 0 1\n").unwrap();
+        let err = run(&to_vec(&[input.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("1-based"));
+        std::fs::remove_file(&input).ok();
+    }
+}

@@ -1,0 +1,233 @@
+//! `mce enumerate` — the end-to-end enumeration driver.
+
+use std::io::Write;
+
+use hbbmc::{
+    par_enumerate_ordered, CliqueLineFormat, CountReporter, EnumerationStats,
+    MaximumCliqueReporter, MinSizeFilter, RootScheduler, SizeHistogramReporter, SolverConfig,
+    WriterReporter,
+};
+use mce_graph::Graph;
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use crate::io::{load_graph, open_sink, FormatArg};
+
+/// Per-command help text.
+pub const HELP: &str = "usage: mce enumerate [GRAPH] [options]
+
+Enumerates every maximal clique of GRAPH (a file path, or stdin for '-' /
+no argument). Output is streamed — buffering is bounded by a fixed
+out-of-order cap, never the full result set — and is byte-identical for a
+given graph regardless of --threads and --scheduler (enforced in CI by the
+golden-corpus determinism gate).
+
+options:
+  --format edge-list|dimacs|auto   input format (default: auto)
+  --preset NAME                    solver preset, e.g. HBBMC++ (default), RDegen
+  --threads N                      worker threads, 1..=1024 (default: 1)
+  --scheduler dynamic|static       root-branch scheduling policy (default: dynamic)
+  --min-size K                     only report cliques with >= K vertices
+  --output count|text|ndjson|histogram|max   output mode (default: count)
+  --out FILE                       write to FILE instead of stdout
+  --stats                          print run statistics to stderr";
+
+const VALUE_OPTS: &[&str] = &[
+    "--format",
+    "--preset",
+    "--threads",
+    "--scheduler",
+    "--min-size",
+    "--output",
+    "--out",
+];
+const BOOL_FLAGS: &[&str] = &["--stats"];
+
+/// What `mce enumerate` writes to its sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OutputMode {
+    Count,
+    Text,
+    Ndjson,
+    Histogram,
+    Max,
+}
+
+fn parse_output_mode(raw: Option<&str>) -> Result<OutputMode, CliError> {
+    match raw {
+        None | Some("count") => Ok(OutputMode::Count),
+        Some("text") => Ok(OutputMode::Text),
+        Some("ndjson") => Ok(OutputMode::Ndjson),
+        Some("histogram") => Ok(OutputMode::Histogram),
+        Some("max") => Ok(OutputMode::Max),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown output mode '{other}' (expected count, text, ndjson, histogram or max)"
+        ))),
+    }
+}
+
+fn parse_scheduler(raw: Option<&str>) -> Result<RootScheduler, CliError> {
+    match raw {
+        None | Some("dynamic") => Ok(RootScheduler::Dynamic),
+        Some("static") => Ok(RootScheduler::Static),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown scheduler '{other}' (expected dynamic or static)"
+        ))),
+    }
+}
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, VALUE_OPTS, BOOL_FLAGS)?;
+    p.reject_extra_positionals(1)?;
+    let mode = parse_output_mode(p.value("--output"))?;
+    let mut config = SolverConfig::preset_by_name(p.value("--preset").unwrap_or("HBBMC++"))?;
+    config.scheduler = parse_scheduler(p.value("--scheduler"))?;
+    let threads = p.usize_value("--threads", 1, 1, 1024)?;
+    let min_size = p.usize_value("--min-size", 1, 1, usize::MAX)?;
+    let format = FormatArg::parse(p.value("--format"))?;
+    let graph = load_graph(p.positional(0), format)?;
+    let mut sink = open_sink(p.value("--out"))?;
+
+    let stats = emit(&graph, &config, threads, min_size, mode, &mut sink)?;
+    sink.flush()?;
+    if p.flag("--stats") {
+        eprintln!("{stats}");
+    }
+    Ok(())
+}
+
+/// Enumerates `graph` into `sink` under the chosen output mode.
+fn emit(
+    graph: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    min_size: usize,
+    mode: OutputMode,
+    sink: &mut (dyn Write + Send),
+) -> Result<EnumerationStats, CliError> {
+    match mode {
+        OutputMode::Count => {
+            let mut reporter = MinSizeFilter::new(CountReporter::new(), min_size);
+            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            let counter = reporter.into_inner();
+            writeln!(sink, "cliques {}", counter.count)?;
+            writeln!(sink, "max_size {}", counter.max_size)?;
+            writeln!(sink, "avg_size {:.4}", counter.average_size())?;
+            Ok(stats)
+        }
+        OutputMode::Text | OutputMode::Ndjson => {
+            let line_format = if mode == OutputMode::Text {
+                CliqueLineFormat::Text
+            } else {
+                CliqueLineFormat::Ndjson
+            };
+            let writer = WriterReporter::new(&mut *sink, line_format);
+            let mut reporter = MinSizeFilter::new(writer, min_size);
+            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            reporter
+                .into_inner()
+                .finish()
+                .map_err(|e| CliError::runtime(format!("writing output: {e}")))?;
+            Ok(stats)
+        }
+        OutputMode::Histogram => {
+            let mut reporter = MinSizeFilter::new(SizeHistogramReporter::new(), min_size);
+            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            let histogram = reporter.into_inner();
+            for (size, &count) in histogram.histogram.iter().enumerate() {
+                if count > 0 {
+                    writeln!(sink, "{size} {count}")?;
+                }
+            }
+            Ok(stats)
+        }
+        OutputMode::Max => {
+            let mut reporter = MinSizeFilter::new(MaximumCliqueReporter::new(), min_size);
+            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            let best = reporter.into_inner().best;
+            let line: Vec<String> = best.iter().map(|v| v.to_string()).collect();
+            writeln!(sink, "{}", line.join(" "))?;
+            Ok(stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit_to_string(g: &Graph, threads: usize, min_size: usize, mode: OutputMode) -> String {
+        let mut sink: Vec<u8> = Vec::new();
+        let config = SolverConfig::hbbmc_pp();
+        // Vec<u8> is Write + Send.
+        let mut boxed: Box<dyn Write + Send> = Box::new(&mut sink);
+        emit(g, &config, threads, min_size, mode, &mut *boxed).unwrap();
+        drop(boxed);
+        String::from_utf8(sink).unwrap()
+    }
+
+    fn diamond() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn count_mode_reports_totals() {
+        let out = emit_to_string(&diamond(), 1, 1, OutputMode::Count);
+        assert_eq!(out, "cliques 2\nmax_size 3\navg_size 3.0000\n");
+    }
+
+    #[test]
+    fn text_mode_lists_cliques_sorted() {
+        let out = emit_to_string(&diamond(), 1, 1, OutputMode::Text);
+        let mut lines: Vec<&str> = out.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["0 1 2", "0 2 3"]);
+    }
+
+    #[test]
+    fn ndjson_mode_emits_one_object_per_line() {
+        let out = emit_to_string(&diamond(), 2, 1, OutputMode::Ndjson);
+        assert_eq!(out.lines().count(), 2);
+        for line in out.lines() {
+            assert!(line.starts_with("{\"size\":3,\"clique\":["), "{line}");
+        }
+    }
+
+    #[test]
+    fn histogram_mode_buckets_by_size() {
+        let out = emit_to_string(&diamond(), 1, 1, OutputMode::Histogram);
+        assert_eq!(out, "3 2\n");
+    }
+
+    #[test]
+    fn max_mode_prints_one_clique() {
+        let out = emit_to_string(&diamond(), 1, 1, OutputMode::Max);
+        let members: Vec<&str> = out.trim().split(' ').collect();
+        assert_eq!(members.len(), 3);
+    }
+
+    #[test]
+    fn min_size_filters_output() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let out = emit_to_string(&g, 1, 3, OutputMode::Count);
+        assert!(out.starts_with("cliques 1\n"), "{out}");
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts() {
+        let g = diamond();
+        let baseline = emit_to_string(&g, 1, 1, OutputMode::Text);
+        for threads in [2, 4] {
+            assert_eq!(emit_to_string(&g, threads, 1, OutputMode::Text), baseline);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_mode_and_scheduler() {
+        assert!(parse_output_mode(Some("xml")).is_err());
+        assert!(parse_scheduler(Some("magic")).is_err());
+        assert_eq!(parse_output_mode(None).unwrap(), OutputMode::Count);
+        assert_eq!(parse_scheduler(None).unwrap(), RootScheduler::Dynamic);
+    }
+}

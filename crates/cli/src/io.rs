@@ -1,0 +1,157 @@
+//! Graph input (file or stdin, explicit or sniffed format) and output sinks.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use mce_graph::io::read_graph_str;
+use mce_graph::{Graph, GraphFormat};
+
+use crate::error::CliError;
+
+/// A `--format` argument: an explicit format or automatic detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FormatArg {
+    /// Decide from the file extension, falling back to content sniffing.
+    #[default]
+    Auto,
+    /// Force a specific format.
+    Fixed(GraphFormat),
+}
+
+impl FormatArg {
+    /// Parses `edge-list` / `dimacs` / `auto`.
+    pub fn parse(raw: Option<&str>) -> Result<FormatArg, CliError> {
+        match raw {
+            None | Some("auto") => Ok(FormatArg::Auto),
+            Some("edge-list") | Some("edgelist") => Ok(FormatArg::Fixed(GraphFormat::EdgeList)),
+            Some("dimacs") => Ok(FormatArg::Fixed(GraphFormat::Dimacs)),
+            Some(other) => Err(CliError::usage(format!(
+                "unknown format '{other}' (expected edge-list, dimacs or auto)"
+            ))),
+        }
+    }
+
+    /// Resolves the concrete format for input named `name` with text `content`.
+    pub fn resolve(self, name: &str, content: &str) -> GraphFormat {
+        match self {
+            FormatArg::Fixed(f) => f,
+            FormatArg::Auto => match path_format(name) {
+                Some(f) => f,
+                None => GraphFormat::sniff(content),
+            },
+        }
+    }
+
+    /// Resolves the concrete output format for a destination named `name`
+    /// (no content to sniff; extension or edge-list default).
+    pub fn resolve_for_output(self, name: &str) -> GraphFormat {
+        match self {
+            FormatArg::Fixed(f) => f,
+            FormatArg::Auto => path_format(name).unwrap_or(GraphFormat::EdgeList),
+        }
+    }
+}
+
+fn path_format(name: &str) -> Option<GraphFormat> {
+    if name == "-" {
+        return None;
+    }
+    GraphFormat::from_extension(Path::new(name))
+}
+
+/// Reads the whole input (file path, or stdin for `-`/absent) into a string.
+pub fn read_input(spec: Option<&str>) -> Result<(String, String), CliError> {
+    match spec {
+        None | Some("-") => {
+            let mut content = String::new();
+            std::io::stdin()
+                .read_to_string(&mut content)
+                .map_err(|e| CliError::runtime(format!("reading stdin: {e}")))?;
+            Ok(("<stdin>".to_string(), content))
+        }
+        Some(path) => {
+            let content = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?;
+            Ok((path.to_string(), content))
+        }
+    }
+}
+
+/// Loads a graph from `spec` (file or stdin) as `format`.
+pub fn load_graph(spec: Option<&str>, format: FormatArg) -> Result<Graph, CliError> {
+    let (name, content) = read_input(spec)?;
+    let resolved = format.resolve(&name, &content);
+    read_graph_str(&content, resolved)
+        .map_err(|e| CliError::runtime(format!("parsing {name}: {e}")))
+}
+
+/// Opens the output sink: a file, or stdout for `-`/absent.
+pub fn open_sink(spec: Option<&str>) -> Result<Box<dyn Write + Send>, CliError> {
+    match spec {
+        None | Some("-") => Ok(Box::new(BufWriter::new(std::io::stdout()))),
+        Some(path) => {
+            let file = File::create(path)
+                .map_err(|e| CliError::runtime(format!("creating {path}: {e}")))?;
+            Ok(Box::new(BufWriter::new(file)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_arg_parses_names() {
+        assert_eq!(FormatArg::parse(None).unwrap(), FormatArg::Auto);
+        assert_eq!(
+            FormatArg::parse(Some("dimacs")).unwrap(),
+            FormatArg::Fixed(GraphFormat::Dimacs)
+        );
+        assert_eq!(
+            FormatArg::parse(Some("edge-list")).unwrap(),
+            FormatArg::Fixed(GraphFormat::EdgeList)
+        );
+        assert!(FormatArg::parse(Some("xml")).is_err());
+    }
+
+    #[test]
+    fn auto_resolution_prefers_extension_then_sniffs() {
+        let auto = FormatArg::Auto;
+        assert_eq!(auto.resolve("g.col", "0 1\n"), GraphFormat::Dimacs);
+        assert_eq!(auto.resolve("g.txt", "p edge 1 0\n"), GraphFormat::EdgeList);
+        assert_eq!(auto.resolve("-", "p edge 1 0\n"), GraphFormat::Dimacs);
+        assert_eq!(auto.resolve("-", "0 1\n"), GraphFormat::EdgeList);
+        // Unrecognised extension: the content decides, as documented.
+        assert_eq!(auto.resolve("g.dat", "p edge 1 0\n"), GraphFormat::Dimacs);
+        assert_eq!(auto.resolve("g.dat", "0 1\n"), GraphFormat::EdgeList);
+        assert_eq!(auto.resolve_for_output("out.clq"), GraphFormat::Dimacs);
+        assert_eq!(auto.resolve_for_output("-"), GraphFormat::EdgeList);
+    }
+
+    #[test]
+    fn fixed_format_overrides_everything() {
+        let fixed = FormatArg::Fixed(GraphFormat::Dimacs);
+        assert_eq!(fixed.resolve("g.txt", "0 1\n"), GraphFormat::Dimacs);
+        assert_eq!(fixed.resolve_for_output("g.txt"), GraphFormat::Dimacs);
+    }
+
+    #[test]
+    fn load_graph_reports_named_parse_errors() {
+        let dir = std::env::temp_dir().join("mce_cli_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "0 x\n").unwrap();
+        let err = load_graph(Some(path.to_str().unwrap()), FormatArg::Auto).unwrap_err();
+        assert!(err.to_string().contains("bad.txt"));
+        assert_eq!(err.exit_code(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_runtime_error() {
+        let err = load_graph(Some("/no/such/file.txt"), FormatArg::Auto).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+}

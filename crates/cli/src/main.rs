@@ -1,0 +1,9 @@
+//! The `mce` binary: parse, dispatch, map errors to exit codes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = mce_cli::run(&args) {
+        eprintln!("mce: {e}");
+        std::process::exit(e.exit_code());
+    }
+}

@@ -1,0 +1,154 @@
+//! `mce verify` — re-check an enumeration output against the naive solver.
+
+use hbbmc::{matches_reference, verify_cliques};
+use mce_graph::{Graph, VertexId};
+
+use crate::args::ParsedArgs;
+use crate::error::CliError;
+use crate::io::{load_graph, read_input, FormatArg};
+
+/// Per-command help text.
+pub const HELP: &str = "usage: mce verify GRAPH [CLIQUES] [options]
+
+Re-checks an enumeration output (the 'text' mode of mce enumerate: one
+clique per line, space-separated vertex ids) against GRAPH: every line must
+be a distinct maximal clique, and the collection must match the naive
+reference solver exactly. CLIQUES defaults to stdin. Exits 0 only when the
+output is provably correct and complete.
+
+The naive reference is exponential, so verification is capped at --limit
+vertices (default 512).
+
+options:
+  --format edge-list|dimacs|auto   graph format (default: auto)
+  --limit N                        max graph size for the naive check";
+
+const VALUE_OPTS: &[&str] = &["--format", "--limit"];
+const BOOL_FLAGS: &[&str] = &[];
+
+/// Runs the subcommand.
+pub fn run(args: &[String]) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, VALUE_OPTS, BOOL_FLAGS)?;
+    p.reject_extra_positionals(2)?;
+    let graph_spec = p
+        .positional(0)
+        .ok_or_else(|| CliError::usage("verify requires a GRAPH argument"))?;
+    let cliques_spec = p.positional(1);
+    if graph_spec == "-" && matches!(cliques_spec, None | Some("-")) {
+        return Err(CliError::usage(
+            "GRAPH and CLIQUES cannot both come from stdin",
+        ));
+    }
+    let limit = p.usize_value("--limit", 512, 1, usize::MAX)?;
+    let format = FormatArg::parse(p.value("--format"))?;
+    let graph = load_graph(Some(graph_spec), format)?;
+    if graph.n() > limit {
+        return Err(CliError::runtime(format!(
+            "graph has {} vertices; the naive reference check is capped at {limit} \
+             (raise with --limit at your own patience)",
+            graph.n()
+        )));
+    }
+    let (name, content) = read_input(cliques_spec)?;
+    let cliques = parse_cliques(&name, &content, &graph)?;
+    check(&graph, &cliques)?;
+    println!(
+        "OK: {} maximal cliques match the naive reference",
+        cliques.len()
+    );
+    Ok(())
+}
+
+/// Parses a text-mode enumeration output: one clique per line, space-separated
+/// vertex ids; blank lines and `#` comments are ignored.
+fn parse_cliques(name: &str, content: &str, g: &Graph) -> Result<Vec<Vec<VertexId>>, CliError> {
+    let mut cliques = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut clique = Vec::new();
+        for token in trimmed.split_whitespace() {
+            let v: VertexId = token.parse().map_err(|_| {
+                CliError::runtime(format!(
+                    "{name}:{}: '{token}' is not a vertex id",
+                    lineno + 1
+                ))
+            })?;
+            if v as usize >= g.n() {
+                return Err(CliError::runtime(format!(
+                    "{name}:{}: vertex {v} out of range for a graph with {} vertices",
+                    lineno + 1,
+                    g.n()
+                )));
+            }
+            clique.push(v);
+        }
+        cliques.push(clique);
+    }
+    Ok(cliques)
+}
+
+/// The actual verification: per-clique soundness, then completeness.
+fn check(g: &Graph, cliques: &[Vec<VertexId>]) -> Result<(), CliError> {
+    let violations = verify_cliques(g, cliques);
+    if !violations.is_empty() {
+        let shown: Vec<String> = violations.iter().take(3).map(|v| v.to_string()).collect();
+        return Err(CliError::runtime(format!(
+            "verification failed with {} violation(s): {}",
+            violations.len(),
+            shown.join("; ")
+        )));
+    }
+    matches_reference(g, cliques).map_err(CliError::runtime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_edge() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn accepts_a_correct_enumeration() {
+        let g = triangle_plus_edge();
+        let cliques = parse_cliques("t", "# comment\n0 1 2\n\n2 3\n", &g).unwrap();
+        assert!(check(&g, &cliques).is_ok());
+    }
+
+    #[test]
+    fn rejects_a_missing_clique() {
+        let g = triangle_plus_edge();
+        let cliques = parse_cliques("t", "0 1 2\n", &g).unwrap();
+        let err = check(&g, &cliques).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn rejects_a_non_maximal_clique() {
+        let g = triangle_plus_edge();
+        let cliques = parse_cliques("t", "0 1\n0 1 2\n2 3\n", &g).unwrap();
+        let err = check(&g, &cliques).unwrap_err();
+        assert!(err.to_string().contains("not maximal"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let g = triangle_plus_edge();
+        let cliques = parse_cliques("t", "0 1 2\n2 1 0\n2 3\n", &g).unwrap();
+        let err = check(&g, &cliques).unwrap_err();
+        assert!(err.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_garbage_tokens() {
+        let g = triangle_plus_edge();
+        let err = parse_cliques("t", "0 9\n", &g).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        let err = parse_cliques("t", "0 x\n", &g).unwrap_err();
+        assert!(err.to_string().contains("not a vertex id"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Error-path contract of the `mce` binary: every reachable bad-input path
+//! exits non-zero with a one-line stderr message — never a panic.
+
+use std::process::Command;
+
+fn mce(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mce"))
+        .args(args)
+        .output()
+        .expect("spawning mce")
+}
+
+/// Asserts exit code, a non-empty single-line stderr, and no panic traceback.
+fn assert_clean_failure(args: &[&str], expected_code: i32) {
+    let out = mce(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(expected_code),
+        "{args:?}: stderr = {stderr}"
+    );
+    assert!(!stderr.trim().is_empty(), "{args:?} must explain itself");
+    assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+    assert!(
+        stderr.starts_with("mce: "),
+        "{args:?} stderr must be prefixed: {stderr}"
+    );
+}
+
+#[test]
+fn no_arguments_is_usage() {
+    assert_clean_failure(&[], 2);
+}
+
+#[test]
+fn unknown_command_is_usage() {
+    assert_clean_failure(&["launch-missiles"], 2);
+}
+
+#[test]
+fn unknown_option_is_usage() {
+    assert_clean_failure(&["enumerate", "--warp", "9"], 2);
+}
+
+#[test]
+fn missing_file_is_runtime() {
+    assert_clean_failure(&["enumerate", "/no/such/graph.txt"], 1);
+    assert_clean_failure(&["stats", "/no/such/graph.txt"], 1);
+}
+
+#[test]
+fn malformed_graph_is_runtime() {
+    let dir = std::env::temp_dir().join("mce_cli_errors_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "0 frog\n").unwrap();
+    assert_clean_failure(&["enumerate", bad.to_str().unwrap()], 1);
+    let bad_dimacs = dir.join("bad.col");
+    std::fs::write(&bad_dimacs, "p edge 2 1\ne 0 1\n").unwrap();
+    assert_clean_failure(&["enumerate", bad_dimacs.to_str().unwrap()], 1);
+    std::fs::remove_file(&bad).ok();
+    std::fs::remove_file(&bad_dimacs).ok();
+}
+
+#[test]
+fn out_of_range_thread_count_is_usage() {
+    assert_clean_failure(&["enumerate", "--threads", "0", "/dev/null"], 2);
+    assert_clean_failure(&["enumerate", "--threads", "1025", "/dev/null"], 2);
+    assert_clean_failure(&["enumerate", "--threads", "many", "/dev/null"], 2);
+}
+
+#[test]
+fn unknown_enumerate_preset_is_usage() {
+    assert_clean_failure(&["enumerate", "--preset", "HBBMC--", "/dev/null"], 2);
+}
+
+#[test]
+fn unknown_gen_preset_is_usage() {
+    assert_clean_failure(&["gen", "heawood"], 2);
+    assert_clean_failure(&["gen"], 2);
+}
+
+#[test]
+fn verify_requires_distinct_inputs() {
+    assert_clean_failure(&["verify", "-"], 2);
+    assert_clean_failure(&["verify"], 2);
+}
+
+#[test]
+fn verify_detects_a_wrong_enumeration() {
+    let dir = std::env::temp_dir().join("mce_cli_errors_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("tri.txt");
+    let cliques = dir.join("tri.cliques");
+    std::fs::write(&graph, "0 1\n1 2\n0 2\n").unwrap();
+    std::fs::write(&cliques, "0 1\n").unwrap(); // non-maximal
+    assert_clean_failure(
+        &["verify", graph.to_str().unwrap(), cliques.to_str().unwrap()],
+        1,
+    );
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&cliques).ok();
+}
+
+#[test]
+fn verify_limit_guards_naive_blowup() {
+    let dir = std::env::temp_dir().join("mce_cli_errors_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph = dir.join("big.txt");
+    // 600 vertices in a path: over the default 512-vertex naive cap.
+    let mut text = String::new();
+    for v in 0..599 {
+        text.push_str(&format!("{} {}\n", v, v + 1));
+    }
+    std::fs::write(&graph, text).unwrap();
+    let cliques = dir.join("big.cliques");
+    std::fs::write(&cliques, "0 1\n").unwrap();
+    assert_clean_failure(
+        &["verify", graph.to_str().unwrap(), cliques.to_str().unwrap()],
+        1,
+    );
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&cliques).ok();
+}
+
+#[test]
+fn help_paths_exit_zero() {
+    for args in [
+        vec!["help"],
+        vec!["--help"],
+        vec!["help", "enumerate"],
+        vec!["enumerate", "--help"],
+        vec!["gen", "--list"],
+    ] {
+        let out = mce(&args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+        assert!(!out.stdout.is_empty(), "{args:?}");
+    }
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates the golden corpus: the graphs themselves (deterministic given
+# preset/n/seed) and the expected `mce enumerate` outputs the determinism
+# gate diffs against. Run from the workspace root after an intentional
+# output-format change, then review the diff before committing:
+#
+#   cargo build --release -p mce-cli
+#   bash crates/cli/tests/corpus/regen.sh target/release/mce
+#
+# See EXPERIMENTS.md ("The golden corpus") for how the graphs were chosen.
+set -euo pipefail
+
+MCE="${1:-target/release/mce}"
+DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+
+# --- the corpus graphs -----------------------------------------------------
+"$MCE" gen planted    --n 60 --seed 5  --out "$DIR/planted-60.txt"
+"$MCE" gen er-sparse  --n 48 --seed 11 --out "$DIR/er-sparse-48.txt"
+"$MCE" gen moon-moser --n 12           --out "$DIR/moon-moser-12.txt"
+"$MCE" gen ba         --n 40 --seed 3  --out "$DIR/ba-40.txt"
+"$MCE" gen turan      --n 30           --out "$DIR/turan-30.col"
+
+# --- golden outputs (single-threaded; the gate replays at 1/2/4 threads) ---
+for stem in planted-60 er-sparse-48 moon-moser-12 ba-40; do
+  "$MCE" enumerate "$DIR/$stem.txt" --output text  --out "$DIR/$stem.text.golden"
+  "$MCE" enumerate "$DIR/$stem.txt" --output count --out "$DIR/$stem.count.golden"
+done
+"$MCE" enumerate "$DIR/turan-30.col" --output text  --out "$DIR/turan-30.text.golden"
+"$MCE" enumerate "$DIR/turan-30.col" --output count --out "$DIR/turan-30.count.golden"
+
+# The remaining sinks and a vertex-oriented preset, pinned on one graph each.
+"$MCE" enumerate "$DIR/planted-60.txt" --output ndjson    --out "$DIR/planted-60.ndjson.golden"
+"$MCE" enumerate "$DIR/planted-60.txt" --output histogram --out "$DIR/planted-60.histogram.golden"
+"$MCE" enumerate "$DIR/moon-moser-12.txt" --output max    --out "$DIR/moon-moser-12.max.golden"
+"$MCE" enumerate "$DIR/planted-60.txt" --preset RDegen --output text \
+  --out "$DIR/planted-60.rdegen.text.golden"
+
+echo "golden corpus regenerated under $DIR"

@@ -1,0 +1,169 @@
+//! The golden-corpus determinism gate.
+//!
+//! Replays `mce enumerate` over every checked-in corpus graph at 1/2/4
+//! threads under both root schedulers and asserts the output is byte-identical
+//! to the committed golden file — "same cliques regardless of parallelism" as
+//! an executable contract rather than a test-only property. Regenerate the
+//! goldens with `crates/cli/tests/corpus/regen.sh` after an intentional
+//! format change.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn mce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mce"))
+}
+
+/// Runs `mce enumerate` on a corpus graph and returns stdout bytes.
+fn enumerate(
+    graph: &str,
+    output: &str,
+    preset: Option<&str>,
+    threads: usize,
+    scheduler: &str,
+) -> Vec<u8> {
+    let mut cmd = mce();
+    cmd.arg("enumerate")
+        .arg(corpus_dir().join(graph))
+        .args(["--output", output])
+        .args(["--threads", &threads.to_string()])
+        .args(["--scheduler", scheduler]);
+    if let Some(p) = preset {
+        cmd.args(["--preset", p]);
+    }
+    let out = cmd.output().expect("spawning mce");
+    assert!(
+        out.status.success(),
+        "mce enumerate {graph} --output {output} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+/// The replay matrix of one golden file.
+fn replay(graph: &str, output: &str, preset: Option<&str>, golden: &str) {
+    let expected = std::fs::read(corpus_dir().join(golden))
+        .unwrap_or_else(|e| panic!("reading {golden}: {e}"));
+    assert!(!expected.is_empty(), "{golden} must not be empty");
+    for threads in [1usize, 2, 4] {
+        for scheduler in ["dynamic", "static"] {
+            let got = enumerate(graph, output, preset, threads, scheduler);
+            assert_eq!(
+                got, expected,
+                "{graph} --output {output} (preset {preset:?}) differs from {golden} \
+                 at {threads} threads, {scheduler} scheduler"
+            );
+        }
+    }
+}
+
+#[test]
+fn text_outputs_match_goldens_across_threads_and_schedulers() {
+    for stem in [
+        "planted-60",
+        "er-sparse-48",
+        "moon-moser-12",
+        "ba-40",
+        "turan-30",
+    ] {
+        let graph = if stem == "turan-30" {
+            format!("{stem}.col")
+        } else {
+            format!("{stem}.txt")
+        };
+        replay(&graph, "text", None, &format!("{stem}.text.golden"));
+    }
+}
+
+#[test]
+fn count_outputs_match_goldens_across_threads_and_schedulers() {
+    for stem in [
+        "planted-60",
+        "er-sparse-48",
+        "moon-moser-12",
+        "ba-40",
+        "turan-30",
+    ] {
+        let graph = if stem == "turan-30" {
+            format!("{stem}.col")
+        } else {
+            format!("{stem}.txt")
+        };
+        replay(&graph, "count", None, &format!("{stem}.count.golden"));
+    }
+}
+
+#[test]
+fn remaining_sinks_match_goldens() {
+    replay("planted-60.txt", "ndjson", None, "planted-60.ndjson.golden");
+    replay(
+        "planted-60.txt",
+        "histogram",
+        None,
+        "planted-60.histogram.golden",
+    );
+    replay("moon-moser-12.txt", "max", None, "moon-moser-12.max.golden");
+}
+
+#[test]
+fn vertex_oriented_preset_matches_golden() {
+    replay(
+        "planted-60.txt",
+        "text",
+        Some("RDegen"),
+        "planted-60.rdegen.text.golden",
+    );
+}
+
+#[test]
+fn golden_text_outputs_pass_mce_verify() {
+    for (graph, golden) in [
+        ("planted-60.txt", "planted-60.text.golden"),
+        ("moon-moser-12.txt", "moon-moser-12.text.golden"),
+        ("ba-40.txt", "ba-40.text.golden"),
+    ] {
+        let out = mce()
+            .arg("verify")
+            .arg(corpus_dir().join(graph))
+            .arg(corpus_dir().join(golden))
+            .output()
+            .expect("spawning mce");
+        assert!(
+            out.status.success(),
+            "verify {graph} against {golden}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).starts_with("OK:"));
+    }
+}
+
+#[test]
+fn corpus_graphs_regenerate_from_their_presets() {
+    // The graphs themselves are deterministic gen outputs; pin the exact
+    // (preset, n, seed) triples so regen.sh and the checked-in files agree.
+    for (args, file) in [
+        (
+            vec!["planted", "--n", "60", "--seed", "5"],
+            "planted-60.txt",
+        ),
+        (
+            vec!["er-sparse", "--n", "48", "--seed", "11"],
+            "er-sparse-48.txt",
+        ),
+        (vec!["moon-moser", "--n", "12"], "moon-moser-12.txt"),
+        (vec!["ba", "--n", "40", "--seed", "3"], "ba-40.txt"),
+        (
+            vec!["turan", "--n", "30", "--format", "dimacs"],
+            "turan-30.col",
+        ),
+    ] {
+        let out = mce().arg("gen").args(&args).output().expect("spawning mce");
+        assert!(out.status.success());
+        let expected = std::fs::read(corpus_dir().join(file)).unwrap();
+        assert_eq!(out.stdout, expected, "{file} drifted from its generator");
+    }
+}

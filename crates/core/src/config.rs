@@ -1,7 +1,33 @@
 //! Solver configuration: frameworks, pivot strategies, orderings and the
 //! named algorithm presets used throughout the paper's evaluation.
 
+use std::fmt;
+
 use mce_graph::{EdgeOrderingKind, VertexOrderingKind};
+
+/// An invalid [`SolverConfig`] (out-of-range early-termination level, zero
+/// edge depth, unknown preset name). Implements [`std::error::Error`] so
+/// drivers can surface it with a proper exit code instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid solver configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Pivot selection strategy for the vertex-oriented recursion.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -94,17 +120,19 @@ impl Default for SolverConfig {
 
 impl SolverConfig {
     /// Validates the configuration (early-termination level and edge depth).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.early_termination_t > 3 {
-            return Err(format!(
+            return Err(ConfigError::new(format!(
                 "early_termination_t must be in 0..=3 (got {}): the paper's construction only \
                  covers cliques, 2-plexes and 3-plexes",
                 self.early_termination_t
-            ));
+            )));
         }
         if let InitialBranching::Edge { depth, .. } = self.initial {
             if depth == 0 {
-                return Err("edge-oriented initial branching requires depth >= 1".into());
+                return Err(ConfigError::new(
+                    "edge-oriented initial branching requires depth >= 1",
+                ));
             }
         }
         Ok(())
@@ -340,6 +368,22 @@ impl SolverConfig {
         }
     }
 
+    /// Looks up a named preset case-insensitively (the names of
+    /// [`SolverConfig::named_presets`], e.g. `HBBMC++` or `rdegen`).
+    pub fn preset_by_name(name: &str) -> Result<SolverConfig, ConfigError> {
+        Self::named_presets()
+            .into_iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, cfg)| cfg)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::named_presets().iter().map(|(n, _)| *n).collect();
+                ConfigError::new(format!(
+                    "unknown preset '{name}' (expected one of: {})",
+                    names.join(", ")
+                ))
+            })
+    }
+
     /// All named presets with their paper names, useful for harnesses and tests.
     pub fn named_presets() -> Vec<(&'static str, SolverConfig)> {
         vec![
@@ -475,6 +519,21 @@ mod tests {
         let et = SolverConfig::r_rcd_et();
         assert_eq!(et.recursion, RecursionStrategy::Rcd);
         assert_eq!(et.early_termination_t, 3);
+    }
+
+    #[test]
+    fn preset_lookup_is_case_insensitive() {
+        assert_eq!(
+            SolverConfig::preset_by_name("hbbmc++").unwrap(),
+            SolverConfig::hbbmc_pp()
+        );
+        assert_eq!(
+            SolverConfig::preset_by_name("RDEGEN").unwrap(),
+            SolverConfig::r_degen()
+        );
+        let err = SolverConfig::preset_by_name("nope").unwrap_err();
+        assert!(err.to_string().contains("unknown preset"));
+        assert!(err.to_string().contains("HBBMC++"));
     }
 
     #[test]

@@ -138,7 +138,7 @@ fn expand_path(
 pub(crate) fn cycle_choices(cycle: &[VertexId]) -> Vec<Vec<VertexId>> {
     let l = cycle.len();
     match l {
-        0 | 1 | 2 => path_choices(cycle),
+        0..=2 => path_choices(cycle),
         3 => vec![vec![cycle[0]], vec![cycle[1]], vec![cycle[2]]],
         4 => vec![vec![cycle[0], cycle[2]], vec![cycle[1], cycle[3]]],
         5 => vec![

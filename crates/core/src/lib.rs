@@ -58,13 +58,18 @@ pub mod solver;
 pub mod stats;
 pub mod verify;
 
-pub use config::{InitialBranching, PivotStrategy, RecursionStrategy, RootScheduler, SolverConfig};
+pub use config::{
+    ConfigError, InitialBranching, PivotStrategy, RecursionStrategy, RootScheduler, SolverConfig,
+};
 pub use kclique::{count_k_cliques, k_clique_census, list_k_cliques};
 pub use naive::{naive_count, naive_maximal_cliques};
-pub use parallel::{par_count_maximal_cliques, par_enumerate_collect, par_enumerate_streaming};
+pub use parallel::{
+    par_count_maximal_cliques, par_enumerate_collect, par_enumerate_ordered,
+    par_enumerate_streaming,
+};
 pub use report::{
-    CallbackReporter, CliqueReporter, CollectReporter, CountReporter, MaximumCliqueReporter,
-    MinSizeFilter, SizeHistogramReporter,
+    CallbackReporter, CliqueLineFormat, CliqueReporter, CollectReporter, CountReporter,
+    MaximumCliqueReporter, MinSizeFilter, SizeHistogramReporter, WriterReporter,
 };
 pub use solver::{
     count_maximal_cliques, enumerate, enumerate_collect, maximum_clique, EnumerationState, Solver,

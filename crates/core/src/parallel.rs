@@ -21,13 +21,15 @@
 //!   returned from the scoped threads' `JoinHandle`s and merged at join — no
 //!   shared `Mutex` collection.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::thread;
+use std::time::Instant;
 
 use mce_graph::{Graph, VertexId};
 
-use crate::config::{RootScheduler, SolverConfig};
+use crate::config::{ConfigError, RootScheduler, SolverConfig};
 use crate::report::{CliqueReporter, CollectReporter, CountReporter};
 use crate::scratch::WorkerState;
 use crate::solver::{RootPlan, Solver};
@@ -202,10 +204,214 @@ pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
     merged
 }
 
+// ----------------------------------------------------------------------
+// Deterministic ordered streaming
+// ----------------------------------------------------------------------
+
+/// Per-rank clique buffer: preserves the sequential recursion order of one
+/// root branch without sorting anything.
+#[derive(Default)]
+struct RankBuffer {
+    cliques: Vec<Vec<VertexId>>,
+}
+
+impl CliqueReporter for RankBuffer {
+    fn report(&mut self, clique: &[VertexId]) {
+        self.cliques.push(clique.to_vec());
+    }
+}
+
+/// Reorders per-rank clique buffers arriving from any worker in any order
+/// into strict root-rank order before they reach the output reporter.
+struct Sequencer<'a, R: CliqueReporter + ?Sized> {
+    next: usize,
+    pending: BTreeMap<usize, Vec<Vec<VertexId>>>,
+    /// Total cliques currently parked in `pending` (the backpressure gauge).
+    buffered_cliques: usize,
+    out: &'a mut R,
+}
+
+impl<'a, R: CliqueReporter + ?Sized> Sequencer<'a, R> {
+    fn new(out: &'a mut R) -> Self {
+        Sequencer {
+            next: 0,
+            pending: BTreeMap::new(),
+            buffered_cliques: 0,
+            out,
+        }
+    }
+
+    fn emit(&mut self, cliques: &[Vec<VertexId>]) {
+        for clique in cliques {
+            self.out.report(clique);
+        }
+        self.next += 1;
+    }
+
+    fn deposit(&mut self, rank: usize, cliques: Vec<Vec<VertexId>>) {
+        if rank == self.next {
+            self.emit(&cliques);
+            while let Some(buffered) = self.pending.remove(&self.next) {
+                self.buffered_cliques -= buffered.len();
+                self.emit(&buffered);
+            }
+        } else {
+            self.buffered_cliques += cliques.len();
+            self.pending.insert(rank, cliques);
+        }
+    }
+}
+
+/// Out-of-order cliques the sequencer may park before depositors must wait
+/// for the stream head to catch up. Bounds the ordered driver's memory at
+/// roughly this many cliques (plus one in-flight rank per worker) instead of
+/// the full result set when one early root branch is much slower than the
+/// rest.
+const SEQUENCER_BUFFER_CAP: usize = 1 << 16;
+
+/// Deposits `cliques` for `rank`, waiting while the out-of-order buffer is
+/// over `cap`. Deadlock-free: the depositor holding the next-to-emit rank
+/// never waits (its deposit is what drains the buffer and advances `next`,
+/// which eventually makes every waiting depositor the head of the stream).
+fn bounded_deposit<R: CliqueReporter + ?Sized>(
+    sequencer: &Mutex<Sequencer<'_, R>>,
+    drained: &Condvar,
+    cap: usize,
+    rank: usize,
+    cliques: Vec<Vec<VertexId>>,
+) {
+    let mut seq = sequencer.lock().expect("sequencer lock poisoned");
+    while rank != seq.next && seq.buffered_cliques + cliques.len() > cap {
+        seq = drained.wait(seq).expect("sequencer lock poisoned");
+    }
+    let advanced = rank == seq.next;
+    seq.deposit(rank, cliques);
+    if advanced {
+        // `next` moved (possibly past several parked ranks): capacity was
+        // freed and some waiter may now be the stream head.
+        drained.notify_all();
+    }
+}
+
+/// Streams maximal cliques to `reporter` in a deterministic order that is
+/// independent of the thread count and of the [`RootScheduler`] variant: the
+/// rank-independent output first (graph-reduction cliques, then isolated
+/// vertices under edge-oriented branching), then the cliques of root rank 0,
+/// rank 1, … — each rank's cliques in sequential recursion order. The stream
+/// is byte-for-byte reproducible for any formatting reporter layered on top,
+/// which is what the CLI's golden-output determinism gate enforces.
+///
+/// Workers still *claim* root branches according to `config.scheduler`; a
+/// rank-order sequencer reorders their buffered output before it reaches
+/// `reporter`. Memory is bounded: at most a fixed cap (currently 2¹⁶) of
+/// out-of-order cliques are parked (plus one in-flight rank per worker) —
+/// when one early root branch lags far behind the rest, later depositors
+/// wait instead of accumulating the full result set.
+pub fn par_enumerate_ordered<R: CliqueReporter + Send + ?Sized>(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    reporter: &mut R,
+) -> Result<EnumerationStats, ConfigError> {
+    par_enumerate_ordered_with_cap(g, config, threads, SEQUENCER_BUFFER_CAP, reporter)
+}
+
+/// [`par_enumerate_ordered`] with an explicit out-of-order buffer cap
+/// (exposed for tests that force the backpressure path).
+fn par_enumerate_ordered_with_cap<R: CliqueReporter + Send + ?Sized>(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    cap: usize,
+    mut reporter: &mut R,
+) -> Result<EnumerationStats, ConfigError> {
+    let start = Instant::now();
+    let threads = threads.max(1);
+    let solver = Solver::new(g, *config)?;
+    let plan = solver.prepare();
+    let total = plan.root_count();
+
+    // Rank-independent output first (deterministic given the plan).
+    // `&mut reporter` re-borrows through the blanket `&mut R: CliqueReporter`
+    // impl so unsized `R` still coerces to `&mut dyn CliqueReporter`.
+    let mut merged = {
+        let mut warm = WorkerState::new();
+        solver.run_on_plan(&plan, std::iter::empty(), true, &mut warm, &mut reporter)
+    };
+
+    if threads == 1 {
+        let mut state = WorkerState::new();
+        let stats = solver.run_on_plan(&plan, 0..total, false, &mut state, &mut reporter);
+        merged.merge(&stats);
+        merged.elapsed = start.elapsed();
+        return Ok(merged);
+    }
+
+    let scheduler = solver.config().scheduler;
+    let sequencer = Mutex::new(Sequencer::new(reporter));
+    let drained = Condvar::new();
+    let next_rank = AtomicUsize::new(0);
+    let worker_stats: Vec<EnumerationStats> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker_id| {
+                let sequencer = &sequencer;
+                let drained = &drained;
+                let next_rank = &next_rank;
+                let solver = &solver;
+                let plan = &plan;
+                scope.spawn(move || {
+                    let mut state = WorkerState::new();
+                    let mut stats = EnumerationStats::default();
+                    let run_rank =
+                        |rank: usize, state: &mut WorkerState, stats: &mut EnumerationStats| {
+                            let mut buffer = RankBuffer::default();
+                            let s = solver.run_on_plan(
+                                plan,
+                                std::iter::once(rank),
+                                false,
+                                state,
+                                &mut buffer,
+                            );
+                            stats.merge(&s);
+                            bounded_deposit(sequencer, drained, cap, rank, buffer.cliques);
+                        };
+                    match scheduler {
+                        RootScheduler::Dynamic => {
+                            for rank in StealingRanks::new(next_rank, total) {
+                                run_rank(rank, &mut state, &mut stats);
+                            }
+                        }
+                        RootScheduler::Static => {
+                            for rank in (worker_id..total).step_by(threads) {
+                                run_rank(rank, &mut state, &mut stats);
+                            }
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    });
+    for stats in &worker_stats {
+        merged.merge(stats);
+    }
+    let sequencer = sequencer.into_inner().expect("sequencer lock poisoned");
+    debug_assert_eq!(sequencer.next, total, "every rank must have been emitted");
+    debug_assert!(sequencer.pending.is_empty());
+    debug_assert_eq!(sequencer.buffered_cliques, 0);
+    merged.elapsed = start.elapsed();
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::naive::naive_maximal_cliques;
+    use crate::report::{CliqueLineFormat, WriterReporter};
     use crate::solver::count_maximal_cliques;
 
     fn test_graph() -> Graph {
@@ -290,6 +496,90 @@ mod tests {
             let (count, _) = par_count_maximal_cliques(&g, &SolverConfig::hbbmc_pp(), threads);
             assert_eq!(count, 1, "threads = {threads}");
         }
+    }
+
+    /// Renders the full ordered stream of `g` to text bytes.
+    fn ordered_bytes(g: &Graph, cfg: &SolverConfig, threads: usize) -> Vec<u8> {
+        let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+        par_enumerate_ordered(g, cfg, threads, &mut reporter).unwrap();
+        reporter.finish().unwrap()
+    }
+
+    #[test]
+    fn ordered_stream_is_byte_identical_across_threads_and_schedulers() {
+        let g = test_graph();
+        let baseline = ordered_bytes(&g, &SolverConfig::hbbmc_pp(), 1);
+        assert!(!baseline.is_empty());
+        for scheduler in [RootScheduler::Dynamic, RootScheduler::Static] {
+            let mut cfg = SolverConfig::hbbmc_pp();
+            cfg.scheduler = scheduler;
+            for threads in [1, 2, 4, 7] {
+                let bytes = ordered_bytes(&g, &cfg, threads);
+                assert_eq!(
+                    bytes, baseline,
+                    "scheduler {scheduler:?}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_stream_with_tiny_buffer_cap_still_matches() {
+        // Forces the backpressure path: with cap 0 every out-of-order deposit
+        // waits until its rank becomes the stream head.
+        let g = test_graph();
+        let baseline = ordered_bytes(&g, &SolverConfig::hbbmc_pp(), 1);
+        for cap in [0usize, 1, 3] {
+            let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+            par_enumerate_ordered_with_cap(&g, &SolverConfig::hbbmc_pp(), 4, cap, &mut reporter)
+                .unwrap();
+            assert_eq!(reporter.finish().unwrap(), baseline, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn ordered_stream_reports_every_clique() {
+        let g = test_graph();
+        let expected = naive_maximal_cliques(&g);
+        let mut collector = CollectReporter::new();
+        let stats =
+            par_enumerate_ordered(&g, &SolverConfig::hbbmc_pp(), 4, &mut collector).unwrap();
+        assert_eq!(collector.into_sorted(), expected);
+        assert_eq!(stats.maximal_cliques as usize, expected.len());
+    }
+
+    #[test]
+    fn ordered_stream_matches_for_vertex_oriented_presets() {
+        let g = test_graph();
+        let baseline = ordered_bytes(&g, &SolverConfig::r_degen(), 1);
+        for threads in [2, 5] {
+            assert_eq!(
+                ordered_bytes(&g, &SolverConfig::r_degen(), threads),
+                baseline
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_stream_rejects_invalid_config() {
+        let g = Graph::complete(3);
+        let mut cfg = SolverConfig::hbbmc_pp();
+        cfg.early_termination_t = 9;
+        let mut reporter = CountReporter::new();
+        assert!(par_enumerate_ordered(&g, &cfg, 2, &mut reporter).is_err());
+    }
+
+    #[test]
+    fn sequencer_reorders_out_of_order_deposits() {
+        let mut out = CollectReporter::new();
+        let mut seq = Sequencer::new(&mut out);
+        seq.deposit(2, vec![vec![2]]);
+        seq.deposit(0, vec![vec![0]]);
+        assert_eq!(seq.next, 1);
+        seq.deposit(1, vec![vec![1]]);
+        assert_eq!(seq.next, 3);
+        assert!(seq.pending.is_empty());
+        assert_eq!(out.cliques, vec![vec![0], vec![1], vec![2]]);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! cliques without materialising them while the tests collect and compare
 //! exact sets.
 
+use std::io::{self, Write};
+
 use mce_graph::VertexId;
 
 /// Consumer of maximal cliques produced by the enumeration frameworks.
@@ -13,6 +15,12 @@ pub trait CliqueReporter {
     /// Called once per maximal clique. `clique` is unsorted and only valid for
     /// the duration of the call.
     fn report(&mut self, clique: &[VertexId]);
+}
+
+impl<R: CliqueReporter + ?Sized> CliqueReporter for &mut R {
+    fn report(&mut self, clique: &[VertexId]) {
+        (**self).report(clique)
+    }
 }
 
 /// Counts cliques and tracks size statistics without storing them.
@@ -183,6 +191,98 @@ impl CliqueReporter for SizeHistogramReporter {
     }
 }
 
+/// How a [`WriterReporter`] renders each clique.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CliqueLineFormat {
+    /// One line per clique: members sorted ascending, space-separated.
+    Text,
+    /// One JSON object per line: `{"size":3,"clique":[0,1,2]}` (NDJSON).
+    Ndjson,
+}
+
+/// Streams every clique to a [`Write`] sink, one line per clique, without ever
+/// materialising the full result set.
+///
+/// `report` cannot return errors, so the first I/O failure is stashed and all
+/// subsequent cliques are dropped; [`WriterReporter::finish`] flushes the sink
+/// and surfaces that error. Drivers that care about broken pipes or full disks
+/// must call `finish` (or [`WriterReporter::take_error`]) before exiting 0.
+pub struct WriterReporter<W: Write> {
+    out: W,
+    format: CliqueLineFormat,
+    sorted: Vec<VertexId>,
+    line: String,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> WriterReporter<W> {
+    /// Wraps `out`, rendering cliques as `format` lines.
+    pub fn new(out: W, format: CliqueLineFormat) -> Self {
+        WriterReporter {
+            out,
+            format,
+            sorted: Vec::new(),
+            line: String::new(),
+            error: None,
+        }
+    }
+
+    /// Takes the first I/O error hit while streaming, if any.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Flushes the sink and returns it, or the first error encountered.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn render(&mut self, clique: &[VertexId]) {
+        use std::fmt::Write as _;
+        self.sorted.clear();
+        self.sorted.extend_from_slice(clique);
+        self.sorted.sort_unstable();
+        self.line.clear();
+        match self.format {
+            CliqueLineFormat::Text => {
+                for (i, v) in self.sorted.iter().enumerate() {
+                    if i > 0 {
+                        self.line.push(' ');
+                    }
+                    let _ = write!(self.line, "{v}");
+                }
+            }
+            CliqueLineFormat::Ndjson => {
+                let _ = write!(self.line, "{{\"size\":{},\"clique\":[", self.sorted.len());
+                for (i, v) in self.sorted.iter().enumerate() {
+                    if i > 0 {
+                        self.line.push(',');
+                    }
+                    let _ = write!(self.line, "{v}");
+                }
+                self.line.push_str("]}");
+            }
+        }
+        self.line.push('\n');
+    }
+}
+
+impl<W: Write> CliqueReporter for WriterReporter<W> {
+    fn report(&mut self, clique: &[VertexId]) {
+        if self.error.is_some() {
+            return;
+        }
+        self.render(clique);
+        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +343,50 @@ mod tests {
         assert_eq!(r.total(), 3);
         assert_eq!(r.max_size(), 3);
         assert_eq!(SizeHistogramReporter::new().max_size(), 0);
+    }
+
+    #[test]
+    fn writer_reporter_streams_sorted_text_lines() {
+        let mut r = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+        r.report(&[3, 1, 2]);
+        r.report(&[7]);
+        let out = String::from_utf8(r.finish().unwrap()).unwrap();
+        assert_eq!(out, "1 2 3\n7\n");
+    }
+
+    #[test]
+    fn writer_reporter_streams_ndjson_lines() {
+        let mut r = WriterReporter::new(Vec::new(), CliqueLineFormat::Ndjson);
+        r.report(&[2, 0]);
+        let out = String::from_utf8(r.finish().unwrap()).unwrap();
+        assert_eq!(out, "{\"size\":2,\"clique\":[0,2]}\n");
+    }
+
+    #[test]
+    fn writer_reporter_stashes_io_errors() {
+        struct FailingSink;
+        impl std::io::Write for FailingSink {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut r = WriterReporter::new(FailingSink, CliqueLineFormat::Text);
+        r.report(&[1]);
+        r.report(&[2]); // silently dropped after the first failure
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn mut_reference_is_a_reporter() {
+        let mut inner = CountReporter::new();
+        {
+            let mut r: &mut CountReporter = &mut inner;
+            CliqueReporter::report(&mut r, &[1, 2]);
+        }
+        assert_eq!(inner.count, 1);
     }
 
     #[test]

@@ -40,7 +40,9 @@ use std::time::{Duration, Instant};
 use mce_graph::ordering::{edge_ordering, vertex_ordering, EdgeOrdering};
 use mce_graph::{Graph, VertexId};
 
-use crate::config::{InitialBranching, PivotStrategy, RecursionStrategy, SolverConfig};
+use crate::config::{
+    ConfigError, InitialBranching, PivotStrategy, RecursionStrategy, SolverConfig,
+};
 use crate::early_term::enumerate_plex_branch;
 use crate::local::LocalGraph;
 use crate::pivot::{plex_condition, scan_branch};
@@ -120,7 +122,7 @@ impl Ctx<'_> {
 
 impl<'g> Solver<'g> {
     /// Creates a solver after validating the configuration.
-    pub fn new(graph: &'g Graph, config: SolverConfig) -> Result<Self, String> {
+    pub fn new(graph: &'g Graph, config: SolverConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         Ok(Solver { graph, config })
     }
@@ -448,11 +450,7 @@ impl<'g> Solver<'g> {
         }
 
         let mut i = 0;
-        loop {
-            let (pos, a, b) = match scratch.frame(depth).edges.get(i) {
-                Some(&edge) => edge,
-                None => break,
-            };
+        while let Some(&(pos, a, b)) = scratch.frame(depth).edges.get(i) {
             i += 1;
             // Earlier sibling edges of this level (and the current one) are
             // excluded from the child's candidate graph (Eq. 2), so candidacy
@@ -490,11 +488,7 @@ impl<'g> Solver<'g> {
 
         // Eq. (3): candidates with no candidate edge can only extend S by themselves.
         let mut j = 0;
-        loop {
-            let w = match scratch.frame(depth).branch.get(j) {
-                Some(&w) => w,
-                None => break,
-            };
+        while let Some(&w) = scratch.frame(depth).branch.get(j) {
             j += 1;
             let f = scratch.frame(depth);
             if f.c.intersection_len_words(lg.cand(w)) == 0 {
@@ -605,11 +599,7 @@ impl<'g> Solver<'g> {
         scratch: &mut SearchScratch,
     ) {
         let mut i = 0;
-        loop {
-            let v = match scratch.frame(depth).branch.get(i) {
-                Some(&v) => v,
-                None => break,
-            };
+        while let Some(&v) = scratch.frame(depth).branch.get(i) {
             i += 1;
             if !scratch.frame(depth).c.contains(v) {
                 continue;
@@ -641,11 +631,7 @@ impl<'g> Solver<'g> {
             branch.clear();
             branch.extend(c.and_not_iter(lg.cand(v0)));
         }
-        loop {
-            let u = match scratch.frame(depth).branch.first() {
-                Some(&u) => u,
-                None => break,
-            };
+        while let Some(&u) = scratch.frame(depth).branch.first() {
             if scratch.frame(depth).c.contains(u) {
                 scratch.make_child(depth, lg, u);
                 partial.push(lg.orig[u]);

@@ -26,6 +26,7 @@ pub mod er;
 pub mod moon_moser;
 pub mod planted;
 pub mod plex;
+pub mod presets;
 pub mod structured;
 
 pub use ba::barabasi_albert;
@@ -33,4 +34,5 @@ pub use er::{erdos_renyi, erdos_renyi_gnp};
 pub use moon_moser::moon_moser;
 pub use planted::{planted_communities, PlantedConfig};
 pub use plex::{random_t_plex, t_plex_from_complement};
+pub use presets::{gen_preset_by_name, GenPreset, GEN_PRESETS};
 pub use structured::{complete_bipartite, cycle_graph, path_graph, star_graph, turan_graph};

@@ -14,6 +14,61 @@ use crate::builder::GraphBuilder;
 use crate::error::GraphError;
 use crate::graph::Graph;
 
+/// The two text graph formats understood by this module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// Whitespace-separated `u v` pairs, `#`/`%`/`//` comments.
+    EdgeList,
+    /// DIMACS `.col`/`.clq`: `p edge n m` header, `e u v` records, 1-based ids.
+    Dimacs,
+}
+
+impl GraphFormat {
+    /// Guesses the format from a *recognised* file extension: `.col`, `.clq`,
+    /// `.dimacs` → DIMACS; `.txt`, `.edges`, `.el`, `.edgelist` → edge list.
+    /// Returns `None` for anything else (including no extension), so callers
+    /// can fall back to content sniffing.
+    pub fn from_extension(path: &Path) -> Option<GraphFormat> {
+        let ext = path.extension()?.to_str()?.to_ascii_lowercase();
+        match ext.as_str() {
+            "col" | "clq" | "dimacs" => Some(GraphFormat::Dimacs),
+            "txt" | "edges" | "el" | "edgelist" => Some(GraphFormat::EdgeList),
+            _ => None,
+        }
+    }
+
+    /// Sniffs the format from file content: the first line whose leading token
+    /// is `p` or `e` marks DIMACS; the first line that parses as `u v` marks
+    /// an edge list. Defaults to edge list when nothing decides.
+    pub fn sniff(content: &str) -> GraphFormat {
+        for line in content.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty()
+                || trimmed.starts_with('#')
+                || trimmed.starts_with('%')
+                || trimmed.starts_with("//")
+            {
+                continue;
+            }
+            let mut it = trimmed.split_whitespace();
+            match it.next() {
+                Some("p") | Some("e") | Some("c") => return GraphFormat::Dimacs,
+                Some(tok) if tok.parse::<u64>().is_ok() => return GraphFormat::EdgeList,
+                _ => return GraphFormat::EdgeList,
+            }
+        }
+        GraphFormat::EdgeList
+    }
+}
+
+/// Parses `content` as `format`.
+pub fn read_graph_str(content: &str, format: GraphFormat) -> Result<Graph, GraphError> {
+    match format {
+        GraphFormat::EdgeList => read_edge_list(content.as_bytes()),
+        GraphFormat::Dimacs => read_dimacs(content.as_bytes()),
+    }
+}
+
 /// Reads a whitespace-separated edge list from `reader`.
 ///
 /// Lines starting with `#`, `%` or `//` and blank lines are ignored. Vertex
@@ -122,6 +177,34 @@ pub fn write_edge_list_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), Gr
     write_edge_list(g, File::create(path)?)
 }
 
+/// Writes `g` in DIMACS format (`p edge n m` header, 1-based `e u v` lines).
+///
+/// Unlike the edge-list format, DIMACS declares the vertex count in its
+/// header, so isolated vertices survive a round trip through this writer.
+pub fn write_dimacs<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "c generated by mce-graph")?;
+    writeln!(out, "p edge {} {}", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(out, "e {} {}", u + 1, v + 1)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes `g` in DIMACS format to a file path. See [`write_dimacs`].
+pub fn write_dimacs_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    write_dimacs(g, File::create(path)?)
+}
+
+/// Writes `g` as `format` to `writer`.
+pub fn write_graph<W: Write>(g: &Graph, writer: W, format: GraphFormat) -> Result<(), GraphError> {
+    match format {
+        GraphFormat::EdgeList => write_edge_list(g, writer),
+        GraphFormat::Dimacs => write_dimacs(g, writer),
+    }
+}
+
 fn parse_token(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
     let token = token.ok_or_else(|| GraphError::Parse {
         line,
@@ -226,5 +309,70 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = read_edge_list_file("/definitely/not/a/path.txt").unwrap_err();
         assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_isolated_vertices() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (4, 5)]).unwrap();
+        let mut bytes = Vec::new();
+        write_dimacs(&g, &mut bytes).unwrap();
+        let g2 = read_dimacs(bytes.as_slice()).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g2.degree(3), 0);
+    }
+
+    #[test]
+    fn sniff_detects_dimacs_and_edge_list() {
+        assert_eq!(
+            GraphFormat::sniff("c comment\np edge 3 1\ne 1 2\n"),
+            GraphFormat::Dimacs
+        );
+        assert_eq!(GraphFormat::sniff("# hello\n0 1\n"), GraphFormat::EdgeList);
+        assert_eq!(GraphFormat::sniff(""), GraphFormat::EdgeList);
+        // DIMACS without a leading comment still sniffs via the 'p' header.
+        assert_eq!(
+            GraphFormat::sniff("p edge 2 1\ne 1 2\n"),
+            GraphFormat::Dimacs
+        );
+    }
+
+    #[test]
+    fn format_from_extension() {
+        use std::path::Path;
+        assert_eq!(
+            GraphFormat::from_extension(Path::new("g.col")),
+            Some(GraphFormat::Dimacs)
+        );
+        assert_eq!(
+            GraphFormat::from_extension(Path::new("g.CLQ")),
+            Some(GraphFormat::Dimacs)
+        );
+        assert_eq!(
+            GraphFormat::from_extension(Path::new("g.txt")),
+            Some(GraphFormat::EdgeList)
+        );
+        assert_eq!(GraphFormat::from_extension(Path::new("graph")), None);
+        // Unrecognised extensions defer to content sniffing.
+        assert_eq!(GraphFormat::from_extension(Path::new("g.dat")), None);
+    }
+
+    #[test]
+    fn read_graph_str_dispatches_on_format() {
+        let g = read_graph_str("0 1\n1 2\n", GraphFormat::EdgeList).unwrap();
+        assert_eq!(g.m(), 2);
+        let g = read_graph_str("p edge 3 1\ne 1 3\n", GraphFormat::Dimacs).unwrap();
+        assert_eq!(g.n(), 3);
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn write_graph_dispatches_on_format() {
+        let g = Graph::complete(3);
+        let mut el = Vec::new();
+        write_graph(&g, &mut el, GraphFormat::EdgeList).unwrap();
+        assert!(String::from_utf8(el).unwrap().contains("0 1"));
+        let mut dm = Vec::new();
+        write_graph(&g, &mut dm, GraphFormat::Dimacs).unwrap();
+        assert!(String::from_utf8(dm).unwrap().contains("p edge 3 3"));
     }
 }

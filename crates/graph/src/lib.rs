@@ -52,6 +52,7 @@ pub use degeneracy::{core_numbers, degeneracy_ordering, DegeneracyOrdering};
 pub use error::GraphError;
 pub use graph::{Graph, VertexId};
 pub use hindex::h_index;
+pub use io::GraphFormat;
 pub use kplex::{ComplementStructure, PlexCheck};
 pub use ordering::{EdgeOrderingKind, VertexOrderingKind};
 pub use stats::GraphStats;

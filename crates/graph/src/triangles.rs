@@ -97,10 +97,10 @@ pub fn edge_supports(g: &Graph) -> (EdgeIndex, Vec<u32>) {
     let index = EdgeIndex::new(g);
     let mut support = vec![0u32; index.len()];
     let mut buf = Vec::new();
-    for e in 0..index.len() {
+    for (e, s) in support.iter_mut().enumerate() {
         let (u, v) = index.endpoints(e as EdgeId);
         g.common_neighbors_into(u, v, &mut buf);
-        support[e] = buf.len() as u32;
+        *s = buf.len() as u32;
     }
     (index, support)
 }

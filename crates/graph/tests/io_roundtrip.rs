@@ -1,0 +1,132 @@
+//! Round-trip property tests for the text I/O formats.
+//!
+//! DIMACS declares its vertex count, so `write → read` must reproduce the
+//! graph *exactly* (isolated vertices included). The edge-list format carries
+//! no vertex universe and relabels in first-seen order, so its round trip is
+//! exact up to that documented relabelling: replaying the writer's edge
+//! sequence through the same first-seen rule must reproduce the read graph.
+//! Comment lines, blank lines and the 1-based DIMACS indexing are fuzzed in.
+
+use std::collections::HashMap;
+
+use mce_graph::io::{read_dimacs, read_edge_list, read_graph_str, write_dimacs, write_edge_list};
+use mce_graph::{Graph, GraphFormat, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..40).prop_flat_map(|n| {
+        let max_edges = n * n.saturating_sub(1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(160))
+            .prop_map(move |edges| Graph::from_edges(n, edges).expect("endpoints in range"))
+    })
+}
+
+/// Interleaves comment and blank lines into serialized graph text, exercising
+/// the reader's skip logic. `style` selects the comment flavour per line.
+fn salt_with_comments(text: &str, style: usize) -> String {
+    let comments = ["# comment", "% comment", "// comment", ""];
+    let mut salted = String::new();
+    for (i, line) in text.lines().enumerate() {
+        if i % 3 == 0 {
+            salted.push_str(comments[(style + i) % comments.len()]);
+            salted.push('\n');
+        }
+        salted.push_str(line);
+        salted.push('\n');
+    }
+    salted
+}
+
+/// The edge-list reader's documented relabelling: dense ids in first-seen
+/// order over the written edge sequence.
+fn first_seen_relabel(g: &Graph) -> (Vec<(VertexId, VertexId)>, usize) {
+    let mut map: HashMap<VertexId, VertexId> = HashMap::new();
+    let mut edges = Vec::new();
+    for (u, v) in g.edges() {
+        let next = map.len() as VertexId;
+        let iu = *map.entry(u).or_insert(next);
+        let next = map.len() as VertexId;
+        let iv = *map.entry(v).or_insert(next);
+        edges.push((iu, iv));
+    }
+    (edges, map.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dimacs_round_trip_is_exact(g in arb_graph()) {
+        let mut bytes = Vec::new();
+        write_dimacs(&g, &mut bytes).unwrap();
+        let g2 = read_dimacs(bytes.as_slice()).unwrap();
+        prop_assert_eq!(&g, &g2);
+    }
+
+    #[test]
+    fn dimacs_round_trip_survives_comments_and_blank_lines(g in arb_graph(), style in 0usize..4) {
+        let mut bytes = Vec::new();
+        write_dimacs(&g, &mut bytes).unwrap();
+        // DIMACS comments are 'c' lines; blanks are legal everywhere.
+        let mut salted = String::new();
+        for (i, line) in String::from_utf8(bytes).unwrap().lines().enumerate() {
+            if i % 2 == style % 2 {
+                salted.push_str(if style < 2 { "c noise\n" } else { "\n" });
+            }
+            salted.push_str(line);
+            salted.push('\n');
+        }
+        let g2 = read_dimacs(salted.as_bytes()).unwrap();
+        prop_assert_eq!(&g, &g2);
+    }
+
+    #[test]
+    fn dimacs_indices_on_the_wire_are_one_based(g in arb_graph()) {
+        let mut bytes = Vec::new();
+        write_dimacs(&g, &mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        for line in text.lines().filter(|l| l.starts_with('e')) {
+            let mut it = line.split_whitespace().skip(1);
+            let u: usize = it.next().unwrap().parse().unwrap();
+            let v: usize = it.next().unwrap().parse().unwrap();
+            prop_assert!(u >= 1 && v >= 1, "{line} must be 1-based");
+            prop_assert!(u <= g.n() && v <= g.n());
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trip_matches_first_seen_relabelling(g in arb_graph(), style in 0usize..4) {
+        let mut bytes = Vec::new();
+        write_edge_list(&g, &mut bytes).unwrap();
+        let salted = salt_with_comments(&String::from_utf8(bytes).unwrap(), style);
+        let g2 = read_edge_list(salted.as_bytes()).unwrap();
+
+        let (edges, seen) = first_seen_relabel(&g);
+        let expected = Graph::from_edges(seen, edges).unwrap();
+        prop_assert_eq!(&expected, &g2);
+        // Invariants that hold regardless of the relabelling.
+        prop_assert_eq!(g.m(), g2.m());
+        let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).filter(|&d| d > 0).collect();
+        let mut degrees2: Vec<usize> = g2.vertices().map(|v| g2.degree(v)).filter(|&d| d > 0).collect();
+        degrees.sort_unstable();
+        degrees2.sort_unstable();
+        prop_assert_eq!(degrees, degrees2);
+    }
+
+    #[test]
+    fn sniffing_recovers_the_written_format(g in arb_graph()) {
+        let mut dimacs = Vec::new();
+        write_dimacs(&g, &mut dimacs).unwrap();
+        let dimacs = String::from_utf8(dimacs).unwrap();
+        prop_assert_eq!(GraphFormat::sniff(&dimacs), GraphFormat::Dimacs);
+        let roundtrip = read_graph_str(&dimacs, GraphFormat::sniff(&dimacs)).unwrap();
+        prop_assert_eq!(&g, &roundtrip);
+
+        if g.m() > 0 {
+            let mut el = Vec::new();
+            write_edge_list(&g, &mut el).unwrap();
+            let el = String::from_utf8(el).unwrap();
+            prop_assert_eq!(GraphFormat::sniff(&el), GraphFormat::EdgeList);
+        }
+    }
+}

@@ -418,7 +418,8 @@ mod tests {
         #[test]
         fn macro_generates_and_asserts(a in 0usize..50, flag in any::<bool>()) {
             prop_assert!(a < 50);
-            prop_assert_eq!(flag || !flag, true);
+            let negated = !flag;
+            prop_assert_eq!(!negated, flag);
         }
     }
 }
