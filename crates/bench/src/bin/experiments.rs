@@ -24,10 +24,13 @@ use mce_bench::experiments::{
     table6, ExperimentScale, SyntheticModel,
 };
 use mce_bench::hotpath::{append_records, run_hotpath, HotpathOptions};
+use mce_bench::scheduler::{
+    append_records as append_scheduler_records, run_scheduler_bench, SchedulerBenchOptions,
+};
 
 const USAGE: &str = "usage: experiments [--quick] [--threads N] [--json PATH] [--variant NAME] <experiment>...\n\
-                     experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d ext1 solver all\n\
-                     (--threads/--json/--variant apply to the 'solver' experiment)";
+                     experiments: table1 table2 table3 table4 table5 table6 fig5a fig5b fig5c fig5d ext1 solver scheduler all\n\
+                     (--threads/--json/--variant apply to the 'solver' and 'scheduler' experiments)";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -96,6 +99,11 @@ fn main() {
             println!("(generated in {:.1}s)\n", start.elapsed().as_secs_f64());
             continue;
         }
+        if experiment == "scheduler" {
+            run_scheduler_experiment(quick, &variant, json_path.as_deref());
+            println!("(generated in {:.1}s)\n", start.elapsed().as_secs_f64());
+            continue;
+        }
         let table = match experiment.as_str() {
             "table1" => table1(&scale),
             "table2" => table2(&scale),
@@ -115,6 +123,35 @@ fn main() {
         };
         println!("{table}");
         println!("(generated in {:.1}s)\n", start.elapsed().as_secs_f64());
+    }
+}
+
+/// The `scheduler` experiment: the skewed-graph dynamic-vs-splitting matrix,
+/// optionally appended to the perf trajectory file.
+fn run_scheduler_experiment(quick: bool, variant: &str, json_path: Option<&std::path::Path>) {
+    let options = SchedulerBenchOptions {
+        variant: variant.to_string(),
+        quick,
+        repeats: 2,
+    };
+    println!(
+        "## scheduler load balance (variant={variant}, {} matrix)",
+        if quick { "quick" } else { "full" }
+    );
+    let records = run_scheduler_bench(&options);
+    if let Some(path) = json_path {
+        match append_scheduler_records(path, variant, &records) {
+            Ok(total) => println!(
+                "appended {} records to {} ({} scheduler records total, validated)",
+                records.len(),
+                path.display(),
+                total
+            ),
+            Err(e) => {
+                eprintln!("experiments: JSON emission failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -29,6 +29,7 @@ pub mod experiments;
 pub mod hotpath;
 pub mod json;
 pub mod runner;
+pub mod scheduler;
 pub mod table;
 
 pub use algorithms::{algorithm, baseline_algorithms, Algorithm};
@@ -36,4 +37,5 @@ pub use datasets::{all_datasets, dataset_by_name, Dataset, DatasetSpec};
 pub use hotpath::{run_hotpath, HotpathOptions, HotpathRecord};
 pub use json::JsonValue;
 pub use runner::{measure, Measurement};
+pub use scheduler::{run_scheduler_bench, SchedulerBenchOptions, SchedulerRecord};
 pub use table::Table;

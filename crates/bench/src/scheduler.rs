@@ -1,0 +1,427 @@
+//! The skewed-graph scheduler benchmark behind `cargo bench --bench
+//! bench_scheduler` and `experiments scheduler`.
+//!
+//! Root-pulling schedulers are bounded below by the largest root subtree, so
+//! this matrix measures exactly the workloads where that bound bites:
+//!
+//! * **planted-hub** instances (`mce_gen::planted_hub`) put the *entire*
+//!   recursion tree under one root under natural-order vertex branching —
+//!   the pulling schedulers degenerate to sequential execution while the
+//!   splitting scheduler spreads the hub subtree over all workers;
+//! * **Barabási–Albert** instances carry the realistic moderate skew of
+//!   preferential-attachment hubs.
+//!
+//! Each cell runs both [`RootScheduler::Dynamic`] and
+//! [`RootScheduler::Splitting`] at several thread counts and records
+//! wall-clock seconds, the split/steal/busy-time counters and
+//! `max_worker_share` — the largest share of the run's recursive calls
+//! executed by one worker, whose reciprocal bounds the achievable parallel
+//! speedup machine-independently (wall clock alone is meaningless on a
+//! host with fewer cores than threads; see EXPERIMENTS.md). One flat JSON
+//! object per cell is appended to the `BENCH_solver.json` trajectory
+//! (schema [`SCHEMA`], side by side with the hot-path records); splitting
+//! cells also record their wall-clock speedup over the matching dynamic
+//! cell.
+
+use std::path::Path;
+
+use hbbmc::{par_count_with_worker_stats, RootScheduler, SolverConfig};
+use mce_gen::{barabasi_albert, planted_hub};
+use mce_graph::Graph;
+
+use crate::json::{append_runs, parse, JsonValue};
+
+/// Schema tag stamped on every scheduler-benchmark record.
+pub const SCHEMA: &str = "hbbmc-bench-scheduler/v1";
+
+/// Options of one scheduler-benchmark invocation.
+#[derive(Clone, Debug)]
+pub struct SchedulerBenchOptions {
+    /// Label identifying the code state being measured.
+    pub variant: String,
+    /// Use the tiny graph matrix (CI smoke runs).
+    pub quick: bool,
+    /// Timed repetitions per cell; the best (minimum) time is recorded.
+    pub repeats: usize,
+}
+
+impl Default for SchedulerBenchOptions {
+    fn default() -> Self {
+        SchedulerBenchOptions {
+            variant: "unnamed".into(),
+            quick: false,
+            repeats: 2,
+        }
+    }
+}
+
+/// One measured cell of the scheduler matrix.
+#[derive(Clone, Debug)]
+pub struct SchedulerRecord {
+    /// Graph name.
+    pub graph: String,
+    /// Vertex count of the instance.
+    pub n: usize,
+    /// Edge count of the instance.
+    pub m: usize,
+    /// Preset name (paper algorithm name).
+    pub preset: String,
+    /// Scheduler policy name (`dynamic` / `splitting`).
+    pub scheduler: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Best wall-clock seconds over the repetitions.
+    pub seconds: f64,
+    /// Number of maximal cliques found.
+    pub cliques: u64,
+    /// Sub-branch tasks donated (splitting scheduler only).
+    pub splits: u64,
+    /// Donated tasks stolen and executed (equals `splits` after a run).
+    pub steals: u64,
+    /// Summed worker busy time divided by `seconds × threads` — the worker
+    /// utilisation this cell achieved (1.0 = perfectly balanced).
+    pub busy_fraction: f64,
+    /// Largest share of the run's recursive calls executed by any single
+    /// worker. This is the machine-independent load-balance gauge: `1 /
+    /// max_worker_share` bounds the achievable parallel speedup, so a skewed
+    /// graph under a pulling scheduler reports ≈ 1.0 (one worker owns the
+    /// giant root) while the splitting scheduler approaches `1 / threads`.
+    pub max_worker_share: f64,
+    /// Wall-clock speedup over the matching dynamic cell (same graph,
+    /// preset and thread count); `None` for the dynamic cells themselves.
+    pub speedup_vs_dynamic: Option<f64>,
+}
+
+impl SchedulerRecord {
+    /// The flat JSON object appended to the trajectory file.
+    pub fn to_json(&self, variant: &str) -> JsonValue {
+        let mut pairs = vec![
+            ("schema", JsonValue::Str(SCHEMA.into())),
+            ("variant", JsonValue::Str(variant.into())),
+            ("graph", JsonValue::Str(self.graph.clone())),
+            ("n", JsonValue::Num(self.n as f64)),
+            ("m", JsonValue::Num(self.m as f64)),
+            ("preset", JsonValue::Str(self.preset.clone())),
+            ("scheduler", JsonValue::Str(self.scheduler.clone())),
+            ("threads", JsonValue::Num(self.threads as f64)),
+            ("seconds", JsonValue::Num(self.seconds)),
+            ("cliques", JsonValue::Num(self.cliques as f64)),
+            ("splits", JsonValue::Num(self.splits as f64)),
+            ("steals", JsonValue::Num(self.steals as f64)),
+            ("busy_fraction", JsonValue::Num(self.busy_fraction)),
+            ("max_worker_share", JsonValue::Num(self.max_worker_share)),
+        ];
+        if let Some(speedup) = self.speedup_vs_dynamic {
+            pairs.push(("speedup_vs_dynamic", JsonValue::Num(speedup)));
+        }
+        JsonValue::obj(pairs)
+    }
+}
+
+/// The skewed benchmark instances: `(name, graph, preset name, config)`.
+/// Presets are chosen per graph to keep the skewed recursion alive (graph
+/// reduction or early termination would trivialise the planted hub).
+pub fn scheduler_graphs(quick: bool) -> Vec<(&'static str, Graph, &'static str, SolverConfig)> {
+    if quick {
+        vec![
+            (
+                "hub_n21",
+                planted_hub(21, 4),
+                "BK_Pivot",
+                SolverConfig::bk_pivot(),
+            ),
+            (
+                "ba_n300_k8",
+                barabasi_albert(300, 8, 7),
+                "HBBMC+",
+                SolverConfig::hbbmc_plus(),
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "hub_n41",
+                planted_hub(41, 4),
+                "BK_Pivot",
+                SolverConfig::bk_pivot(),
+            ),
+            (
+                "hub_n37",
+                planted_hub(37, 4),
+                "HBBMC+",
+                SolverConfig::hbbmc_plus(),
+            ),
+            (
+                "ba_n3000_k12",
+                barabasi_albert(3_000, 12, 7),
+                "HBBMC+",
+                SolverConfig::hbbmc_plus(),
+            ),
+        ]
+    }
+}
+
+/// Thread counts of the matrix.
+pub fn scheduler_threads(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 4]
+    } else {
+        vec![1, 4, 8]
+    }
+}
+
+fn measure_cell(
+    name: &str,
+    g: &Graph,
+    preset: &str,
+    config: &SolverConfig,
+    scheduler: RootScheduler,
+    threads: usize,
+    repeats: usize,
+) -> SchedulerRecord {
+    let mut config = *config;
+    config.scheduler = scheduler;
+    let mut best = f64::INFINITY;
+    let mut cliques = 0u64;
+    let mut splits = 0u64;
+    let mut steals = 0u64;
+    let mut busy_fraction = 0.0;
+    let mut max_worker_share = 0.0;
+    for _ in 0..repeats.max(1) {
+        let (count, stats, per_worker) = par_count_with_worker_stats(g, &config, threads);
+        cliques = count;
+        let secs = stats.elapsed.as_secs_f64();
+        if secs < best {
+            best = secs;
+            splits = stats.splits;
+            steals = stats.steals;
+            busy_fraction = if secs > 0.0 {
+                stats.busy_time.as_secs_f64() / (secs * threads as f64)
+            } else {
+                0.0
+            };
+            let total_calls: u64 = per_worker.iter().map(|w| w.recursive_calls).sum();
+            let max_calls = per_worker
+                .iter()
+                .map(|w| w.recursive_calls)
+                .max()
+                .unwrap_or(0);
+            max_worker_share = if total_calls > 0 {
+                max_calls as f64 / total_calls as f64
+            } else {
+                0.0
+            };
+        }
+    }
+    SchedulerRecord {
+        graph: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        preset: preset.to_string(),
+        scheduler: match scheduler {
+            RootScheduler::Dynamic => "dynamic".into(),
+            RootScheduler::Static => "static".into(),
+            RootScheduler::Splitting => "splitting".into(),
+        },
+        threads,
+        seconds: best,
+        cliques,
+        splits,
+        steals,
+        busy_fraction,
+        max_worker_share,
+        speedup_vs_dynamic: None,
+    }
+}
+
+/// Runs the full scheduler matrix, printing one line per cell and the
+/// dynamic→splitting speedup per `(graph, threads)` pair.
+pub fn run_scheduler_bench(options: &SchedulerBenchOptions) -> Vec<SchedulerRecord> {
+    let mut records = Vec::new();
+    for (name, g, preset, config) in scheduler_graphs(options.quick) {
+        for &threads in &scheduler_threads(options.quick) {
+            let dynamic = measure_cell(
+                name,
+                &g,
+                preset,
+                &config,
+                RootScheduler::Dynamic,
+                threads,
+                options.repeats,
+            );
+            let mut splitting = measure_cell(
+                name,
+                &g,
+                preset,
+                &config,
+                RootScheduler::Splitting,
+                threads,
+                options.repeats,
+            );
+            assert_eq!(
+                dynamic.cliques, splitting.cliques,
+                "{name}: schedulers disagree on the clique count"
+            );
+            let speedup = if splitting.seconds > 0.0 {
+                dynamic.seconds / splitting.seconds
+            } else {
+                1.0
+            };
+            splitting.speedup_vs_dynamic = Some(speedup);
+            for r in [&dynamic, &splitting] {
+                println!(
+                    "{:<14} {:<8} {:<9} threads={} {:>9.4}s {:>10} cliques  splits={:<5} \
+                     busy={:.2} max_share={:.2}{}",
+                    r.graph,
+                    r.preset,
+                    r.scheduler,
+                    r.threads,
+                    r.seconds,
+                    r.cliques,
+                    r.splits,
+                    r.busy_fraction,
+                    r.max_worker_share,
+                    match r.speedup_vs_dynamic {
+                        Some(s) => format!("  speedup={s:.2}x"),
+                        None => String::new(),
+                    }
+                );
+            }
+            records.push(dynamic);
+            records.push(splitting);
+        }
+    }
+    records
+}
+
+/// Appends every record to the trajectory file and re-validates it,
+/// including the scheduler-specific fields (the check the CI smoke job
+/// relies on).
+pub fn append_records(
+    path: &Path,
+    variant: &str,
+    records: &[SchedulerRecord],
+) -> Result<usize, String> {
+    append_runs(path, records.iter().map(|r| r.to_json(variant)).collect())?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("re-reading {}: {e}", path.display()))?;
+    let parsed = parse(&text)?;
+    let runs = parsed
+        .as_array()
+        .ok_or_else(|| format!("{} is not a JSON array", path.display()))?;
+    let mut scheduler_runs = 0usize;
+    for run in runs {
+        for key in ["schema", "variant", "graph", "preset", "seconds", "cliques"] {
+            if run.get(key).is_none() {
+                return Err(format!("run record missing key '{key}'"));
+            }
+        }
+        if run.get("schema").and_then(JsonValue::as_str) == Some(SCHEMA) {
+            scheduler_runs += 1;
+            for key in [
+                "scheduler",
+                "threads",
+                "splits",
+                "steals",
+                "busy_fraction",
+                "max_worker_share",
+            ] {
+                if run.get(key).is_none() {
+                    return Err(format!("scheduler record missing key '{key}'"));
+                }
+            }
+        }
+    }
+    Ok(scheduler_runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_measures_and_serialises() {
+        let options = SchedulerBenchOptions {
+            variant: "test".into(),
+            quick: true,
+            repeats: 1,
+        };
+        let records = run_scheduler_bench(&options);
+        assert_eq!(
+            records.len(),
+            scheduler_graphs(true).len() * scheduler_threads(true).len() * 2
+        );
+        for r in &records {
+            assert!(r.cliques > 0, "{} found no cliques", r.graph);
+            assert_eq!(r.splits, r.steals, "{}: unexecuted donations", r.graph);
+            let json = r.to_json("test");
+            assert_eq!(json.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+            assert!(json.get("splits").is_some());
+        }
+        // Splitting cells carry the speedup field, dynamic cells do not.
+        assert!(records
+            .iter()
+            .all(|r| (r.scheduler == "splitting") == r.speedup_vs_dynamic.is_some()));
+    }
+
+    #[test]
+    fn hub_instances_actually_split_at_four_threads() {
+        // The planted hub puts everything under one root: with starving
+        // workers the splitting scheduler *must* donate and spread the calls,
+        // otherwise the benchmark measures nothing. A larger instance than
+        // the smoke matrix is used so the run comfortably outlives the
+        // donation threshold even on slow machines.
+        let g = planted_hub(33, 4);
+        let config = SolverConfig::bk_pivot();
+        let dynamic = measure_cell(
+            "hub_n33",
+            &g,
+            "BK_Pivot",
+            &config,
+            RootScheduler::Dynamic,
+            4,
+            1,
+        );
+        let splitting = measure_cell(
+            "hub_n33",
+            &g,
+            "BK_Pivot",
+            &config,
+            RootScheduler::Splitting,
+            4,
+            1,
+        );
+        assert_eq!(dynamic.cliques, splitting.cliques);
+        assert!(splitting.splits > 0, "no donations: {splitting:?}");
+        // Dynamic: one worker owns the hub root (≈ every call); splitting
+        // spreads it.
+        assert!(dynamic.max_worker_share > 0.95, "{dynamic:?}");
+        assert!(splitting.max_worker_share < 0.75, "{splitting:?}");
+    }
+
+    #[test]
+    fn append_records_validates_scheduler_fields() {
+        let dir = std::env::temp_dir().join("mce_bench_scheduler_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_solver.json");
+        let _ = std::fs::remove_file(&path);
+        let record = SchedulerRecord {
+            graph: "toy".into(),
+            n: 5,
+            m: 7,
+            preset: "BK_Pivot".into(),
+            scheduler: "splitting".into(),
+            threads: 4,
+            seconds: 0.01,
+            cliques: 3,
+            splits: 2,
+            steals: 2,
+            busy_fraction: 0.9,
+            max_worker_share: 0.3,
+            speedup_vs_dynamic: Some(1.7),
+        };
+        let total = append_records(&path, "test", &[record]).unwrap();
+        assert_eq!(total, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

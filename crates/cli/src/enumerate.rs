@@ -1,11 +1,14 @@
 //! `mce enumerate` — the end-to-end enumeration driver.
 
 use std::io::Write;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use hbbmc::{
-    par_enumerate_ordered, CliqueLineFormat, CountReporter, EnumerationStats,
-    MaximumCliqueReporter, MinSizeFilter, RootScheduler, SizeHistogramReporter, SolverConfig,
-    WriterReporter,
+    par_enumerate_ordered, par_enumerate_ordered_observed, CliqueLineFormat, CountReporter,
+    EnumerationStats, MaximumCliqueReporter, MinSizeFilter, ProgressCounters, RootScheduler,
+    SizeHistogramReporter, SolverConfig, WriterReporter,
 };
 use mce_graph::Graph;
 
@@ -17,20 +20,26 @@ use crate::io::{load_graph, open_sink, FormatArg};
 pub const HELP: &str = "usage: mce enumerate [GRAPH] [options]
 
 Enumerates every maximal clique of GRAPH (a file path, or stdin for '-' /
-no argument). Output is streamed — buffering is bounded by a fixed
-out-of-order cap, never the full result set — and is byte-identical for a
-given graph regardless of --threads and --scheduler (enforced in CI by the
+no argument). Output is streamed — under the dynamic/static schedulers
+buffering is bounded by a fixed out-of-order cap, never the full result
+set; the splitting scheduler keeps buffering near the stream head instead
+of enforcing the hard cap — and is byte-identical for a given graph
+regardless of --threads and --scheduler (enforced in CI by the
 golden-corpus determinism gate).
 
 options:
   --format edge-list|dimacs|auto   input format (default: auto)
   --preset NAME                    solver preset, e.g. HBBMC++ (default), RDegen
   --threads N                      worker threads, 1..=1024 (default: 1)
-  --scheduler dynamic|static       root-branch scheduling policy (default: dynamic)
+  --scheduler dynamic|static|splitting   root-branch scheduling policy
+                                   (default: dynamic; splitting donates
+                                   sub-branches mid-recursion on skewed inputs)
   --min-size K                     only report cliques with >= K vertices
   --output count|text|ndjson|histogram|max   output mode (default: count)
   --out FILE                       write to FILE instead of stdout
-  --stats                          print run statistics to stderr";
+  --stats                          print run statistics to stderr
+  --progress                       print a periodic one-line rate report to
+                                   stderr (roots done, cliques found, cliques/s)";
 
 const VALUE_OPTS: &[&str] = &[
     "--format",
@@ -41,7 +50,7 @@ const VALUE_OPTS: &[&str] = &[
     "--output",
     "--out",
 ];
-const BOOL_FLAGS: &[&str] = &["--stats"];
+const BOOL_FLAGS: &[&str] = &["--stats", "--progress"];
 
 /// What `mce enumerate` writes to its sink.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,10 +79,89 @@ fn parse_scheduler(raw: Option<&str>) -> Result<RootScheduler, CliError> {
     match raw {
         None | Some("dynamic") => Ok(RootScheduler::Dynamic),
         Some("static") => Ok(RootScheduler::Static),
+        Some("splitting") => Ok(RootScheduler::Splitting),
         Some(other) => Err(CliError::usage(format!(
-            "unknown scheduler '{other}' (expected dynamic or static)"
+            "unknown scheduler '{other}' (expected dynamic, static or splitting)"
         ))),
     }
+}
+
+/// Interval between `--progress` reports.
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Runs `emit` with a monitor thread that prints a one-line rate report to
+/// stderr every [`PROGRESS_INTERVAL`] until the enumeration finishes. The
+/// sink output is untouched — the counters are observational only.
+fn emit_with_progress(
+    graph: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    min_size: usize,
+    mode: OutputMode,
+    sink: &mut (dyn Write + Send),
+) -> Result<EnumerationStats, CliError> {
+    /// Signals the monitor to exit when dropped — including when `emit`
+    /// panics, so the scope's implicit join cannot hang on a monitor that
+    /// would otherwise wait forever.
+    struct SignalDone<'a> {
+        done: &'a Mutex<bool>,
+        finished: &'a Condvar,
+    }
+    impl Drop for SignalDone<'_> {
+        fn drop(&mut self) {
+            let mut flag = self
+                .done
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            *flag = true;
+            self.finished.notify_all();
+        }
+    }
+
+    let progress = ProgressCounters::new();
+    let done = Mutex::new(false);
+    let finished = Condvar::new();
+    std::thread::scope(|scope| {
+        let monitor = scope.spawn(|| {
+            let start = Instant::now();
+            let mut flag = done.lock().expect("progress flag poisoned");
+            loop {
+                let (next, _) = finished
+                    .wait_timeout(flag, PROGRESS_INTERVAL)
+                    .expect("progress flag poisoned");
+                flag = next;
+                if *flag {
+                    return;
+                }
+                let roots_done = progress.roots_done.load(Ordering::Relaxed);
+                let total = progress.total_roots.load(Ordering::Relaxed);
+                let cliques = progress.cliques_found.load(Ordering::Relaxed);
+                let splits = progress.splits.load(Ordering::Relaxed);
+                let rate = cliques as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                eprintln!(
+                    "progress: roots {roots_done}/{total}, cliques {cliques} ({rate:.0}/s), \
+                     splits {splits}"
+                );
+            }
+        });
+        let result = {
+            let _signal = SignalDone {
+                done: &done,
+                finished: &finished,
+            };
+            emit(
+                graph,
+                config,
+                threads,
+                min_size,
+                mode,
+                Some(&progress),
+                sink,
+            )
+        };
+        monitor.join().expect("progress monitor panicked");
+        result
+    })
 }
 
 /// Runs the subcommand.
@@ -89,12 +177,30 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let graph = load_graph(p.positional(0), format)?;
     let mut sink = open_sink(p.value("--out"))?;
 
-    let stats = emit(&graph, &config, threads, min_size, mode, &mut sink)?;
+    let stats = if p.flag("--progress") {
+        emit_with_progress(&graph, &config, threads, min_size, mode, &mut sink)?
+    } else {
+        emit(&graph, &config, threads, min_size, mode, None, &mut sink)?
+    };
     sink.flush()?;
     if p.flag("--stats") {
         eprintln!("{stats}");
     }
     Ok(())
+}
+
+/// [`par_enumerate_ordered`], optionally observed by progress counters.
+fn enumerate_ordered<R: hbbmc::CliqueReporter + Send>(
+    graph: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    reporter: &mut R,
+    progress: Option<&ProgressCounters>,
+) -> Result<EnumerationStats, CliError> {
+    Ok(match progress {
+        Some(p) => par_enumerate_ordered_observed(graph, config, threads, reporter, p)?,
+        None => par_enumerate_ordered(graph, config, threads, reporter)?,
+    })
 }
 
 /// Enumerates `graph` into `sink` under the chosen output mode.
@@ -104,12 +210,13 @@ fn emit(
     threads: usize,
     min_size: usize,
     mode: OutputMode,
+    progress: Option<&ProgressCounters>,
     sink: &mut (dyn Write + Send),
 ) -> Result<EnumerationStats, CliError> {
     match mode {
         OutputMode::Count => {
             let mut reporter = MinSizeFilter::new(CountReporter::new(), min_size);
-            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
             let counter = reporter.into_inner();
             writeln!(sink, "cliques {}", counter.count)?;
             writeln!(sink, "max_size {}", counter.max_size)?;
@@ -124,7 +231,7 @@ fn emit(
             };
             let writer = WriterReporter::new(&mut *sink, line_format);
             let mut reporter = MinSizeFilter::new(writer, min_size);
-            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
             reporter
                 .into_inner()
                 .finish()
@@ -133,7 +240,7 @@ fn emit(
         }
         OutputMode::Histogram => {
             let mut reporter = MinSizeFilter::new(SizeHistogramReporter::new(), min_size);
-            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
             let histogram = reporter.into_inner();
             for (size, &count) in histogram.histogram.iter().enumerate() {
                 if count > 0 {
@@ -144,7 +251,7 @@ fn emit(
         }
         OutputMode::Max => {
             let mut reporter = MinSizeFilter::new(MaximumCliqueReporter::new(), min_size);
-            let stats = par_enumerate_ordered(graph, config, threads, &mut reporter)?;
+            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
             let best = reporter.into_inner().best;
             let line: Vec<String> = best.iter().map(|v| v.to_string()).collect();
             writeln!(sink, "{}", line.join(" "))?;
@@ -157,14 +264,23 @@ fn emit(
 mod tests {
     use super::*;
 
-    fn emit_to_string(g: &Graph, threads: usize, min_size: usize, mode: OutputMode) -> String {
+    fn emit_with_config(
+        g: &Graph,
+        config: &SolverConfig,
+        threads: usize,
+        min_size: usize,
+        mode: OutputMode,
+    ) -> String {
         let mut sink: Vec<u8> = Vec::new();
-        let config = SolverConfig::hbbmc_pp();
         // Vec<u8> is Write + Send.
         let mut boxed: Box<dyn Write + Send> = Box::new(&mut sink);
-        emit(g, &config, threads, min_size, mode, &mut *boxed).unwrap();
+        emit(g, config, threads, min_size, mode, None, &mut *boxed).unwrap();
         drop(boxed);
         String::from_utf8(sink).unwrap()
+    }
+
+    fn emit_to_string(g: &Graph, threads: usize, min_size: usize, mode: OutputMode) -> String {
+        emit_with_config(g, &SolverConfig::hbbmc_pp(), threads, min_size, mode)
     }
 
     fn diamond() -> Graph {
@@ -215,12 +331,37 @@ mod tests {
     }
 
     #[test]
-    fn output_is_identical_across_thread_counts() {
+    fn output_is_identical_across_thread_counts_and_schedulers() {
         let g = diamond();
         let baseline = emit_to_string(&g, 1, 1, OutputMode::Text);
-        for threads in [2, 4] {
-            assert_eq!(emit_to_string(&g, threads, 1, OutputMode::Text), baseline);
+        for scheduler in [
+            RootScheduler::Dynamic,
+            RootScheduler::Static,
+            RootScheduler::Splitting,
+        ] {
+            let mut config = SolverConfig::hbbmc_pp();
+            config.scheduler = scheduler;
+            for threads in [2, 4] {
+                assert_eq!(
+                    emit_with_config(&g, &config, threads, 1, OutputMode::Text),
+                    baseline,
+                    "{scheduler:?} x{threads}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn progress_reporting_does_not_perturb_sink_output() {
+        let g = diamond();
+        let baseline = emit_to_string(&g, 2, 1, OutputMode::Count);
+        let mut sink: Vec<u8> = Vec::new();
+        let mut config = SolverConfig::hbbmc_pp();
+        config.scheduler = RootScheduler::Splitting;
+        let mut boxed: Box<dyn Write + Send> = Box::new(&mut sink);
+        emit_with_progress(&g, &config, 2, 1, OutputMode::Count, &mut *boxed).unwrap();
+        drop(boxed);
+        assert_eq!(String::from_utf8(sink).unwrap(), baseline);
     }
 
     #[test]
@@ -229,5 +370,9 @@ mod tests {
         assert!(parse_scheduler(Some("magic")).is_err());
         assert_eq!(parse_output_mode(None).unwrap(), OutputMode::Count);
         assert_eq!(parse_scheduler(None).unwrap(), RootScheduler::Dynamic);
+        assert_eq!(
+            parse_scheduler(Some("splitting")).unwrap(),
+            RootScheduler::Splitting
+        );
     }
 }

@@ -1,11 +1,12 @@
 //! The golden-corpus determinism gate.
 //!
 //! Replays `mce enumerate` over every checked-in corpus graph at 1/2/4
-//! threads under both root schedulers and asserts the output is byte-identical
-//! to the committed golden file — "same cliques regardless of parallelism" as
-//! an executable contract rather than a test-only property. Regenerate the
-//! goldens with `crates/cli/tests/corpus/regen.sh` after an intentional
-//! format change.
+//! threads under all three root schedulers (including the subtree-splitting
+//! one, whose donated tasks must resequence exactly) and asserts the output
+//! is byte-identical to the committed golden file — "same cliques regardless
+//! of parallelism" as an executable contract rather than a test-only
+//! property. Regenerate the goldens with `crates/cli/tests/corpus/regen.sh`
+//! after an intentional format change.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -50,7 +51,7 @@ fn replay(graph: &str, output: &str, preset: Option<&str>, golden: &str) {
         .unwrap_or_else(|e| panic!("reading {golden}: {e}"));
     assert!(!expected.is_empty(), "{golden} must not be empty");
     for threads in [1usize, 2, 4] {
-        for scheduler in ["dynamic", "static"] {
+        for scheduler in ["dynamic", "static", "splitting"] {
             let got = enumerate(graph, output, preset, threads, scheduler);
             assert_eq!(
                 got, expected,

@@ -83,7 +83,12 @@ pub enum InitialBranching {
 /// instead lets workers *pull* the next chunk of root ranks from a shared
 /// atomic counter as they finish — a work-stealing queue degenerate case that
 /// needs no deques because root tasks are already materialised in the
-/// ordering. Sequential runs ignore this setting.
+/// ordering. Both pulling schedulers remain bounded below by the *largest
+/// single root branch*: once the rank queue drains, whoever holds the biggest
+/// subtree finishes alone. The splitting scheduler removes that bound by
+/// donating unexplored sub-branches mid-recursion (see
+/// [`parallel`](crate::parallel) for the task-pool protocol). Sequential runs
+/// ignore this setting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum RootScheduler {
     /// Workers claim chunks of root ranks from a shared atomic counter in
@@ -92,6 +97,14 @@ pub enum RootScheduler {
     Dynamic,
     /// Worker `k` of `p` processes the fixed ranks `{r : r ≡ k (mod p)}`.
     Static,
+    /// Adaptive subtree splitting: workers pull root ranks from a shared
+    /// task pool (grouped into per-connected-component shards) and, when the
+    /// pool starves while they grind a long root, package the unexplored
+    /// sibling branches of their shallowest recursion frame into
+    /// self-contained tasks that idle workers steal and resume. Parallelism
+    /// is no longer bounded by the largest root branch; ordered output stays
+    /// byte-identical to the sequential stream at any thread count.
+    Splitting,
 }
 
 /// Full configuration of a maximal clique enumeration run.

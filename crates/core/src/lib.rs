@@ -51,6 +51,7 @@ pub mod local;
 pub mod naive;
 pub mod parallel;
 pub mod pivot;
+mod pool;
 pub mod reduction;
 pub mod report;
 mod scratch;
@@ -64,8 +65,9 @@ pub use config::{
 pub use kclique::{count_k_cliques, k_clique_census, list_k_cliques};
 pub use naive::{naive_count, naive_maximal_cliques};
 pub use parallel::{
-    par_count_maximal_cliques, par_enumerate_collect, par_enumerate_ordered,
-    par_enumerate_streaming,
+    par_count_maximal_cliques, par_count_with_worker_stats, par_enumerate_collect,
+    par_enumerate_ordered, par_enumerate_ordered_observed, par_enumerate_streaming,
+    ProgressCounters,
 };
 pub use report::{
     CallbackReporter, CliqueLineFormat, CliqueReporter, CollectReporter, CountReporter,

@@ -1,4 +1,5 @@
-//! Parallel enumeration over root branches with dynamic work distribution.
+//! Parallel enumeration: pulling schedulers over root branches and the
+//! splitting scheduler's shared task pool with mid-branch work donation.
 //!
 //! The paper's algorithms are sequential, but its root branching step (Eq. 1 /
 //! Eq. 2) produces a large number of independent branches, which is exactly
@@ -10,19 +11,58 @@
 //!   `O(δm)` preprocessing, which dominated multi-threaded runs.
 //! * Under the default [`RootScheduler::Dynamic`] policy, workers *pull*
 //!   chunks of root ranks from a shared atomic counter as they drain their
-//!   previous chunk. Root work is heavily skewed (a few hub vertices/edges
-//!   own most of the recursion tree), so static `rank % threads` striping
-//!   strands the fast workers; pulling keeps everyone busy until the queue is
-//!   empty. [`RootScheduler::Static`] retains the old striping for
-//!   deterministic per-worker assignment.
+//!   previous chunk. [`RootScheduler::Static`] retains fixed `rank % threads`
+//!   striping for deterministic per-worker assignment.
 //! * Each worker owns a private scratch arena
 //!   ([`EnumerationState`](crate::EnumerationState)-equivalent), so the
 //!   recursion allocates nothing in steady state, and per-worker results are
 //!   returned from the scoped threads' `JoinHandle`s and merged at join — no
 //!   shared `Mutex` collection.
+//!
+//! # The task-pool protocol of [`RootScheduler::Splitting`]
+//!
+//! Both pulling policies are bounded below by the **largest root branch**:
+//! real clique workloads are heavily skewed, so once the rank queue drains,
+//! whoever holds the biggest subtree finishes alone while the other workers
+//! idle. The splitting scheduler removes that bound with mid-branch work
+//! donation (in the spirit of Das et al.'s dynamic sub-branch distribution
+//! and Almasri et al.'s GPU worker-list donation):
+//!
+//! 1. **Claiming.** Root ranks are pre-grouped into per-connected-component
+//!    chunks (components never share a clique, so each is an independent
+//!    shard); workers claim chunks — or donated tasks, which take priority —
+//!    from a shared `TaskPool` (the crate-private `pool` module) built on
+//!    `Mutex` + `Condvar` only.
+//! 2. **Donation.** A worker that has run at least a threshold of branch
+//!    steps inside its current chunk checks a relaxed atomic: are any peers
+//!    starving? If so it packages the unexplored sibling candidates of its
+//!    *shallowest* splittable frame — the `R` prefix, the `(C, X)` bitsets,
+//!    the remaining branch list and a snapshot of the root's local graph —
+//!    into a self-contained `BranchTask` and pushes it to the pool. The
+//!    donated loop stops once its in-flight child returns.
+//! 3. **Stealing.** A starving worker wakes, pops the task and resumes it
+//!    through the same allocation-free recursion; stolen tasks can be split
+//!    again, so even a single giant root spreads over every idle worker.
+//! 4. **Sequencing.** For [`par_enumerate_ordered`], every task carries a
+//!    `(root_rank, SeqKey)` pair. The rank orders output coarsely; the key
+//!    linearises the donation tree within a rank (the `pool` module docs
+//!    derive why lexicographic key order equals the sequential emission
+//!    order). The sequencer holds a rank's parts until
+//!    the rank is *complete* — donations are registered with the sequencer
+//!    before the task enters the pool, so "parts received = 1 + donations
+//!    registered" is an exact completeness test — then emits them in key
+//!    order. The output stream is therefore byte-identical to the
+//!    sequential one at any thread count, under any scheduler.
+//!
+//! Backpressure: the pulling schedulers park at most `SEQUENCER_BUFFER_CAP`
+//! (2¹⁶) out-of-order cliques (later depositors wait for the stream head).
+//! Splitting deposits never wait — a blocked depositor
+//! could be the only worker able to execute the stream head's stolen tasks —
+//! so ordered splitting runs trade the hard buffer bound for progress
+//! (donated work is claimed FIFO, which keeps buffering close to the head).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -30,13 +70,14 @@ use std::time::Instant;
 use mce_graph::{Graph, VertexId};
 
 use crate::config::{ConfigError, RootScheduler, SolverConfig};
+use crate::pool::{BranchTask, DonationSink, PoolConfig, PoolWork, SeqKey, TaskPool};
 use crate::report::{CliqueReporter, CollectReporter, CountReporter};
 use crate::scratch::WorkerState;
 use crate::solver::{RootPlan, Solver};
 use crate::stats::EnumerationStats;
 
-/// Ranks per atomic-counter claim. Small enough to balance skewed roots,
-/// large enough to keep counter contention negligible.
+/// Ranks per atomic-counter claim of the pulling scheduler. Small enough to
+/// balance skewed roots, large enough to keep counter contention negligible.
 const CHUNK: usize = 16;
 
 /// An iterator handing out root ranks from a shared atomic counter in chunks.
@@ -76,10 +117,103 @@ impl Iterator for StealingRanks<'_> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Progress observation
+// ----------------------------------------------------------------------
+
+/// Live counters of an in-flight enumeration, safe to poll from a monitoring
+/// thread (e.g. the CLI's `--progress` reporter). All counters are updated
+/// with relaxed atomics; they are informational and never synchronise the
+/// enumeration itself.
+#[derive(Debug, Default)]
+pub struct ProgressCounters {
+    /// Total number of root branches of the run (set once at startup).
+    pub total_roots: AtomicU64,
+    /// Root branches fully processed so far.
+    pub roots_done: AtomicU64,
+    /// Maximal cliques discovered so far (counted at discovery, which may
+    /// run ahead of the ordered output stream).
+    pub cliques_found: AtomicU64,
+    /// Sub-branch tasks donated by the splitting scheduler so far.
+    pub splits: AtomicU64,
+}
+
+impl ProgressCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Worker-side view of the optional progress counters.
+#[derive(Clone, Copy)]
+struct ProgressHook<'a>(Option<&'a ProgressCounters>);
+
+impl ProgressHook<'_> {
+    fn root_done(&self) {
+        if let Some(p) = self.0 {
+            p.roots_done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn cliques(&self, cliques: u64) {
+        if let Some(p) = self.0 {
+            p.cliques_found.fetch_add(cliques, Ordering::Relaxed);
+        }
+    }
+
+    fn split(&self) {
+        if let Some(p) = self.0 {
+            p.splits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Pass-through reporter that counts every clique into the progress hook at
+/// discovery time (so `--progress` style monitors tick even while one giant
+/// root branch is still in flight).
+struct CountingReporter<'a, R: CliqueReporter + ?Sized> {
+    inner: &'a mut R,
+    hook: ProgressHook<'a>,
+}
+
+impl<R: CliqueReporter + ?Sized> CliqueReporter for CountingReporter<'_, R> {
+    fn report(&mut self, clique: &[VertexId]) {
+        self.hook.cliques(1);
+        self.inner.report(clique);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Unordered drivers
+// ----------------------------------------------------------------------
+
 /// Runs `threads` workers over the shared plan, streaming cliques to the
 /// per-worker reporters produced by `make_reporter`, and returns the
 /// `(reporter, stats)` pairs collected from the join handles.
 fn run_workers<R, F>(
+    solver: &Solver<'_>,
+    plan: &RootPlan,
+    threads: usize,
+    make_reporter: F,
+) -> Vec<(R, EnumerationStats)>
+where
+    R: CliqueReporter + Send,
+    F: Fn() -> R + Sync,
+{
+    match solver.config().scheduler {
+        RootScheduler::Splitting => {
+            run_workers_splitting(solver, plan, threads, PoolConfig::default(), make_reporter)
+        }
+        RootScheduler::Dynamic | RootScheduler::Static => {
+            run_workers_pulling(solver, plan, threads, make_reporter)
+        }
+    }
+}
+
+/// The pulling-scheduler worker fleet (dynamic atomic-counter chunks or
+/// static striping).
+fn run_workers_pulling<R, F>(
     solver: &Solver<'_>,
     plan: &RootPlan,
     threads: usize,
@@ -102,13 +236,6 @@ where
                     let mut reporter = make_reporter();
                     let mut state = WorkerState::new();
                     let stats = match scheduler {
-                        RootScheduler::Dynamic => solver.run_on_plan(
-                            plan,
-                            StealingRanks::new(next_rank, total),
-                            worker_id == 0,
-                            &mut state,
-                            &mut reporter,
-                        ),
                         RootScheduler::Static => solver.run_on_plan(
                             plan,
                             (worker_id..total).step_by(threads),
@@ -116,7 +243,84 @@ where
                             &mut state,
                             &mut reporter,
                         ),
+                        _ => solver.run_on_plan(
+                            plan,
+                            StealingRanks::new(next_rank, total),
+                            worker_id == 0,
+                            &mut state,
+                            &mut reporter,
+                        ),
                     };
+                    (reporter, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    })
+}
+
+/// The splitting-scheduler worker fleet: claim component chunks or donated
+/// tasks from the shared pool until it drains.
+fn run_workers_splitting<R, F>(
+    solver: &Solver<'_>,
+    plan: &RootPlan,
+    threads: usize,
+    pool_config: PoolConfig,
+    make_reporter: F,
+) -> Vec<(R, EnumerationStats)>
+where
+    R: CliqueReporter + Send,
+    F: Fn() -> R + Sync,
+{
+    let shards = plan
+        .shards
+        .as_ref()
+        .expect("splitting plan carries component shards");
+    let pool = TaskPool::new(shards.chunk_count(), pool_config);
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker_id| {
+                let pool = &pool;
+                let make_reporter = &make_reporter;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut reporter = make_reporter();
+                    let mut state = WorkerState::new();
+                    let mut stats = EnumerationStats::default();
+                    if worker_id == 0 {
+                        let s = solver.run_on_plan(
+                            plan,
+                            std::iter::empty(),
+                            true,
+                            &mut state,
+                            &mut reporter,
+                        );
+                        stats.merge(&s);
+                    }
+                    while let Some(work) = pool.claim() {
+                        let s = match work {
+                            PoolWork::Chunk(chunk) => solver.run_ranks_donating(
+                                plan,
+                                shards.chunk(chunk),
+                                &mut state,
+                                pool,
+                                &mut reporter,
+                            ),
+                            PoolWork::Task(task) => {
+                                solver.run_branch_task(*task, &mut state, pool, &mut reporter)
+                            }
+                        };
+                        stats.merge(&s);
+                        pool.complete();
+                    }
+                    // `merge` summed per-item busy time but took the max of
+                    // per-item wall times; the worker's wall time is the
+                    // whole claim loop.
+                    stats.elapsed = start.elapsed();
                     (reporter, stats)
                 })
             })
@@ -135,6 +339,21 @@ pub fn par_count_maximal_cliques(
     config: &SolverConfig,
     threads: usize,
 ) -> (u64, EnumerationStats) {
+    let (total, merged, _) = par_count_with_worker_stats(g, config, threads);
+    (total, merged)
+}
+
+/// [`par_count_maximal_cliques`] that additionally returns each worker's own
+/// statistics, making the load balance of a run observable: comparing the
+/// per-worker `recursive_calls` (or `busy_time`) shares shows how evenly the
+/// scheduler spread the recursion tree — under a pulling scheduler one
+/// worker owns a skewed graph's giant root, under the splitting scheduler
+/// the shares approach `1 / threads`.
+pub fn par_count_with_worker_stats(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+) -> (u64, EnumerationStats, Vec<EnumerationStats>) {
     let threads = threads.max(1);
     let solver = Solver::new(g, *config).expect("invalid solver configuration");
     let plan = solver.prepare();
@@ -142,11 +361,13 @@ pub fn par_count_maximal_cliques(
 
     let mut total = 0u64;
     let mut merged = EnumerationStats::default();
+    let mut per_worker = Vec::with_capacity(results.len());
     for (reporter, stats) in results {
         total += reporter.count;
         merged.merge(&stats);
+        per_worker.push(stats);
     }
-    (total, merged)
+    (total, merged, per_worker)
 }
 
 /// Collects all maximal cliques using `threads` workers, in canonical order.
@@ -208,24 +429,54 @@ pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
 // Deterministic ordered streaming
 // ----------------------------------------------------------------------
 
-/// Per-rank clique buffer: preserves the sequential recursion order of one
-/// root branch without sorting anything.
-#[derive(Default)]
-struct RankBuffer {
+/// Per-task clique buffer: preserves the sequential recursion order of one
+/// work item (a root branch or a stolen sub-branch) without sorting
+/// anything, ticking the progress counters at discovery time.
+struct RankBuffer<'a> {
     cliques: Vec<Vec<VertexId>>,
+    hook: ProgressHook<'a>,
 }
 
-impl CliqueReporter for RankBuffer {
+impl<'a> RankBuffer<'a> {
+    fn new(hook: ProgressHook<'a>) -> Self {
+        RankBuffer {
+            cliques: Vec::new(),
+            hook,
+        }
+    }
+}
+
+impl CliqueReporter for RankBuffer<'_> {
     fn report(&mut self, clique: &[VertexId]) {
+        self.hook.cliques(1);
         self.cliques.push(clique.to_vec());
     }
 }
 
-/// Reorders per-rank clique buffers arriving from any worker in any order
-/// into strict root-rank order before they reach the output reporter.
+/// The parts of one root rank collected so far.
+#[derive(Default)]
+struct RankParts {
+    /// `(key, cliques)` deposits, unsorted until the rank completes.
+    parts: Vec<(SeqKey, Vec<Vec<VertexId>>)>,
+    /// Donations registered for this rank. A rank is complete when
+    /// `parts.len() == donations + 1` (the `+ 1` is the root's own task);
+    /// donations are registered *before* their task enters the pool, so the
+    /// test is exact.
+    donations: usize,
+}
+
+impl RankParts {
+    fn is_complete(&self) -> bool {
+        self.parts.len() == self.donations + 1
+    }
+}
+
+/// Reorders per-task clique buffers arriving from any worker in any order
+/// into the sequential stream: strict root-rank order, and within one rank
+/// the donation-tree order encoded by [`SeqKey`].
 struct Sequencer<'a, R: CliqueReporter + ?Sized> {
     next: usize,
-    pending: BTreeMap<usize, Vec<Vec<VertexId>>>,
+    pending: BTreeMap<usize, RankParts>,
     /// Total cliques currently parked in `pending` (the backpressure gauge).
     buffered_cliques: usize,
     out: &'a mut R,
@@ -241,38 +492,52 @@ impl<'a, R: CliqueReporter + ?Sized> Sequencer<'a, R> {
         }
     }
 
-    fn emit(&mut self, cliques: &[Vec<VertexId>]) {
-        for clique in cliques {
-            self.out.report(clique);
-        }
-        self.next += 1;
+    /// Records that `rank` will receive one more part than previously known.
+    fn register_donation(&mut self, rank: usize) {
+        self.pending.entry(rank).or_default().donations += 1;
     }
 
-    fn deposit(&mut self, rank: usize, cliques: Vec<Vec<VertexId>>) {
-        if rank == self.next {
-            self.emit(&cliques);
-            while let Some(buffered) = self.pending.remove(&self.next) {
-                self.buffered_cliques -= buffered.len();
-                self.emit(&buffered);
+    /// Adds one task's cliques and emits every now-complete head rank.
+    /// Returns whether the stream head advanced (capacity was freed).
+    fn deposit(&mut self, rank: usize, key: SeqKey, cliques: Vec<Vec<VertexId>>) -> bool {
+        self.buffered_cliques += cliques.len();
+        self.pending
+            .entry(rank)
+            .or_default()
+            .parts
+            .push((key, cliques));
+        let before = self.next;
+        while self
+            .pending
+            .get(&self.next)
+            .is_some_and(RankParts::is_complete)
+        {
+            let mut slot = self.pending.remove(&self.next).expect("checked above");
+            slot.parts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            for (_, cliques) in &slot.parts {
+                self.buffered_cliques -= cliques.len();
+                for clique in cliques {
+                    self.out.report(clique);
+                }
             }
-        } else {
-            self.buffered_cliques += cliques.len();
-            self.pending.insert(rank, cliques);
+            self.next += 1;
         }
+        self.next != before
     }
 }
 
 /// Out-of-order cliques the sequencer may park before depositors must wait
-/// for the stream head to catch up. Bounds the ordered driver's memory at
-/// roughly this many cliques (plus one in-flight rank per worker) instead of
-/// the full result set when one early root branch is much slower than the
-/// rest.
+/// for the stream head to catch up (pulling schedulers only — see the module
+/// docs for why splitting deposits never wait). Bounds the ordered driver's
+/// memory at roughly this many cliques (plus one in-flight rank per worker)
+/// instead of the full result set when one early root branch is much slower
+/// than the rest.
 const SEQUENCER_BUFFER_CAP: usize = 1 << 16;
 
 /// Deposits `cliques` for `rank`, waiting while the out-of-order buffer is
-/// over `cap`. Deadlock-free: the depositor holding the next-to-emit rank
-/// never waits (its deposit is what drains the buffer and advances `next`,
-/// which eventually makes every waiting depositor the head of the stream).
+/// over `cap`. Deadlock-free: the depositor holding a head-rank part never
+/// waits (its deposit is what drains the buffer and advances `next`, which
+/// eventually makes every waiting depositor the head of the stream).
 fn bounded_deposit<R: CliqueReporter + ?Sized>(
     sequencer: &Mutex<Sequencer<'_, R>>,
     drained: &Condvar,
@@ -284,9 +549,7 @@ fn bounded_deposit<R: CliqueReporter + ?Sized>(
     while rank != seq.next && seq.buffered_cliques + cliques.len() > cap {
         seq = drained.wait(seq).expect("sequencer lock poisoned");
     }
-    let advanced = rank == seq.next;
-    seq.deposit(rank, cliques);
-    if advanced {
+    if seq.deposit(rank, SeqKey::root(), cliques) {
         // `next` moved (possibly past several parked ranks): capacity was
         // freed and some waiter may now be the stream head.
         drained.notify_all();
@@ -301,28 +564,89 @@ fn bounded_deposit<R: CliqueReporter + ?Sized>(
 /// is byte-for-byte reproducible for any formatting reporter layered on top,
 /// which is what the CLI's golden-output determinism gate enforces.
 ///
-/// Workers still *claim* root branches according to `config.scheduler`; a
-/// rank-order sequencer reorders their buffered output before it reaches
-/// `reporter`. Memory is bounded: at most a fixed cap (currently 2¹⁶) of
-/// out-of-order cliques are parked (plus one in-flight rank per worker) —
-/// when one early root branch lags far behind the rest, later depositors
-/// wait instead of accumulating the full result set.
+/// Workers still *claim* work according to `config.scheduler` — including
+/// stealing donated sub-branches under [`RootScheduler::Splitting`] — and a
+/// rank-plus-key sequencer reorders their buffered output before it reaches
+/// `reporter`. Under the pulling schedulers memory is bounded: at most a
+/// fixed cap (currently 2¹⁶) of out-of-order cliques are parked, with later
+/// depositors waiting instead of accumulating the full result set.
 pub fn par_enumerate_ordered<R: CliqueReporter + Send + ?Sized>(
     g: &Graph,
     config: &SolverConfig,
     threads: usize,
     reporter: &mut R,
 ) -> Result<EnumerationStats, ConfigError> {
-    par_enumerate_ordered_with_cap(g, config, threads, SEQUENCER_BUFFER_CAP, reporter)
+    par_enumerate_ordered_driver(
+        g,
+        config,
+        threads,
+        SEQUENCER_BUFFER_CAP,
+        PoolConfig::default(),
+        None,
+        reporter,
+    )
 }
 
-/// [`par_enumerate_ordered`] with an explicit out-of-order buffer cap
-/// (exposed for tests that force the backpressure path).
-fn par_enumerate_ordered_with_cap<R: CliqueReporter + Send + ?Sized>(
+/// [`par_enumerate_ordered`] with live progress counters: `progress` is
+/// updated as roots complete, cliques are discovered and sub-branches are
+/// donated, so a monitoring thread can report enumeration rates without
+/// touching the output stream.
+pub fn par_enumerate_ordered_observed<R: CliqueReporter + Send + ?Sized>(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    reporter: &mut R,
+    progress: &ProgressCounters,
+) -> Result<EnumerationStats, ConfigError> {
+    par_enumerate_ordered_driver(
+        g,
+        config,
+        threads,
+        SEQUENCER_BUFFER_CAP,
+        PoolConfig::default(),
+        Some(progress),
+        reporter,
+    )
+}
+
+/// The donation sink of ordered splitting runs: registers every donation
+/// with the sequencer (so rank completeness stays exact) before the task
+/// becomes visible in the pool.
+struct OrderedSink<'s, 'r, R: CliqueReporter + Send + ?Sized> {
+    pool: &'s TaskPool,
+    sequencer: &'s Mutex<Sequencer<'r, R>>,
+    progress: ProgressHook<'s>,
+}
+
+impl<R: CliqueReporter + Send + ?Sized> DonationSink for OrderedSink<'_, '_, R> {
+    fn hungry(&self) -> bool {
+        self.pool.hungry()
+    }
+
+    fn step_threshold(&self) -> u32 {
+        self.pool.step_threshold()
+    }
+
+    fn donate(&self, task: BranchTask) {
+        self.sequencer
+            .lock()
+            .expect("sequencer lock poisoned")
+            .register_donation(task.rank);
+        self.progress.split();
+        self.pool.push(task);
+    }
+}
+
+/// The full ordered driver (internal): explicit buffer cap, pool tuning and
+/// optional progress counters, exposed for tests that force the backpressure
+/// or aggressive-splitting paths.
+pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     g: &Graph,
     config: &SolverConfig,
     threads: usize,
     cap: usize,
+    pool_config: PoolConfig,
+    progress: Option<&ProgressCounters>,
     mut reporter: &mut R,
 ) -> Result<EnumerationStats, ConfigError> {
     let start = Instant::now();
@@ -330,6 +654,10 @@ fn par_enumerate_ordered_with_cap<R: CliqueReporter + Send + ?Sized>(
     let solver = Solver::new(g, *config)?;
     let plan = solver.prepare();
     let total = plan.root_count();
+    let hook = ProgressHook(progress);
+    if let Some(p) = progress {
+        p.total_roots.store(total as u64, Ordering::Relaxed);
+    }
 
     // Rank-independent output first (deterministic given the plan).
     // `&mut reporter` re-borrows through the blanket `&mut R: CliqueReporter`
@@ -338,33 +666,85 @@ fn par_enumerate_ordered_with_cap<R: CliqueReporter + Send + ?Sized>(
         let mut warm = WorkerState::new();
         solver.run_on_plan(&plan, std::iter::empty(), true, &mut warm, &mut reporter)
     };
+    hook.cliques(merged.maximal_cliques);
 
     if threads == 1 {
         let mut state = WorkerState::new();
-        let stats = solver.run_on_plan(&plan, 0..total, false, &mut state, &mut reporter);
-        merged.merge(&stats);
+        if progress.is_some() {
+            // Counted per clique (and per chunk of roots) so the counters
+            // tick while the run progresses, even inside one giant root.
+            let mut counted = CountingReporter {
+                inner: &mut *reporter,
+                hook,
+            };
+            let mut rank = 0usize;
+            while rank < total {
+                let end = (rank + CHUNK).min(total);
+                let stats = solver.run_on_plan(&plan, rank..end, false, &mut state, &mut counted);
+                if let Some(p) = progress {
+                    p.roots_done
+                        .fetch_add((end - rank) as u64, Ordering::Relaxed);
+                }
+                merged.merge(&stats);
+                rank = end;
+            }
+        } else {
+            let stats = solver.run_on_plan(&plan, 0..total, false, &mut state, &mut reporter);
+            merged.merge(&stats);
+        }
         merged.elapsed = start.elapsed();
+        merged.busy_time = merged.elapsed;
         return Ok(merged);
     }
 
     let scheduler = solver.config().scheduler;
     let sequencer = Mutex::new(Sequencer::new(reporter));
     let drained = Condvar::new();
+
+    let worker_stats: Vec<EnumerationStats> = match scheduler {
+        RootScheduler::Splitting => {
+            ordered_splitting_workers(&solver, &plan, threads, pool_config, hook, &sequencer)
+        }
+        RootScheduler::Dynamic | RootScheduler::Static => ordered_pulling_workers(
+            &solver, &plan, threads, cap, scheduler, hook, &sequencer, &drained,
+        ),
+    };
+    for stats in &worker_stats {
+        merged.merge(stats);
+    }
+    let sequencer = sequencer.into_inner().expect("sequencer lock poisoned");
+    debug_assert_eq!(sequencer.next, total, "every rank must have been emitted");
+    debug_assert!(sequencer.pending.is_empty());
+    debug_assert_eq!(sequencer.buffered_cliques, 0);
+    merged.elapsed = start.elapsed();
+    Ok(merged)
+}
+
+/// Ordered workers under the pulling schedulers: one deposit per root rank,
+/// bounded by the sequencer buffer cap.
+#[allow(clippy::too_many_arguments)]
+fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
+    solver: &Solver<'_>,
+    plan: &RootPlan,
+    threads: usize,
+    cap: usize,
+    scheduler: RootScheduler,
+    hook: ProgressHook<'_>,
+    sequencer: &Mutex<Sequencer<'_, R>>,
+    drained: &Condvar,
+) -> Vec<EnumerationStats> {
+    let total = plan.root_count();
     let next_rank = AtomicUsize::new(0);
-    let worker_stats: Vec<EnumerationStats> = thread::scope(|scope| {
+    thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker_id| {
-                let sequencer = &sequencer;
-                let drained = &drained;
                 let next_rank = &next_rank;
-                let solver = &solver;
-                let plan = &plan;
                 scope.spawn(move || {
                     let mut state = WorkerState::new();
                     let mut stats = EnumerationStats::default();
                     let run_rank =
                         |rank: usize, state: &mut WorkerState, stats: &mut EnumerationStats| {
-                            let mut buffer = RankBuffer::default();
+                            let mut buffer = RankBuffer::new(hook);
                             let s = solver.run_on_plan(
                                 plan,
                                 std::iter::once(rank),
@@ -373,16 +753,17 @@ fn par_enumerate_ordered_with_cap<R: CliqueReporter + Send + ?Sized>(
                                 &mut buffer,
                             );
                             stats.merge(&s);
+                            hook.root_done();
                             bounded_deposit(sequencer, drained, cap, rank, buffer.cliques);
                         };
                     match scheduler {
-                        RootScheduler::Dynamic => {
-                            for rank in StealingRanks::new(next_rank, total) {
+                        RootScheduler::Static => {
+                            for rank in (worker_id..total).step_by(threads) {
                                 run_rank(rank, &mut state, &mut stats);
                             }
                         }
-                        RootScheduler::Static => {
-                            for rank in (worker_id..total).step_by(threads) {
+                        _ => {
+                            for rank in StealingRanks::new(next_rank, total) {
                                 run_rank(rank, &mut state, &mut stats);
                             }
                         }
@@ -395,16 +776,84 @@ fn par_enumerate_ordered_with_cap<R: CliqueReporter + Send + ?Sized>(
             .into_iter()
             .map(|h| h.join().expect("enumeration worker panicked"))
             .collect()
-    });
-    for stats in &worker_stats {
-        merged.merge(stats);
-    }
-    let sequencer = sequencer.into_inner().expect("sequencer lock poisoned");
-    debug_assert_eq!(sequencer.next, total, "every rank must have been emitted");
-    debug_assert!(sequencer.pending.is_empty());
-    debug_assert_eq!(sequencer.buffered_cliques, 0);
-    merged.elapsed = start.elapsed();
-    Ok(merged)
+    })
+}
+
+/// Ordered workers under the splitting scheduler: claim component chunks or
+/// donated tasks, deposit each work item's buffer under its `(rank, key)`.
+fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
+    solver: &Solver<'_>,
+    plan: &RootPlan,
+    threads: usize,
+    pool_config: PoolConfig,
+    hook: ProgressHook<'_>,
+    sequencer: &Mutex<Sequencer<'_, R>>,
+) -> Vec<EnumerationStats> {
+    let shards = plan
+        .shards
+        .as_ref()
+        .expect("splitting plan carries component shards");
+    let pool = TaskPool::new(shards.chunk_count(), pool_config);
+    let deposit = |rank: usize, key: SeqKey, cliques: Vec<Vec<VertexId>>| {
+        sequencer
+            .lock()
+            .expect("sequencer lock poisoned")
+            .deposit(rank, key, cliques);
+    };
+
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let pool = &pool;
+                let deposit = &deposit;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let sink = OrderedSink {
+                        pool,
+                        sequencer,
+                        progress: hook,
+                    };
+                    let mut state = WorkerState::new();
+                    let mut stats = EnumerationStats::default();
+                    while let Some(work) = pool.claim() {
+                        match work {
+                            PoolWork::Chunk(chunk) => {
+                                for rank in shards.chunk(chunk) {
+                                    let mut buffer = RankBuffer::new(hook);
+                                    let s = solver.run_ranks_donating(
+                                        plan,
+                                        std::iter::once(rank),
+                                        &mut state,
+                                        &sink,
+                                        &mut buffer,
+                                    );
+                                    hook.root_done();
+                                    stats.merge(&s);
+                                    deposit(rank, SeqKey::root(), buffer.cliques);
+                                }
+                            }
+                            PoolWork::Task(task) => {
+                                let rank = task.rank;
+                                let key = task.key.clone();
+                                let mut buffer = RankBuffer::new(hook);
+                                let s =
+                                    solver.run_branch_task(*task, &mut state, &sink, &mut buffer);
+                                stats.merge(&s);
+                                deposit(rank, key, buffer.cliques);
+                            }
+                        }
+                        pool.complete();
+                    }
+                    stats.elapsed = start.elapsed();
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -441,26 +890,36 @@ mod tests {
         .unwrap()
     }
 
-    #[test]
-    fn parallel_count_matches_sequential() {
-        let g = test_graph();
-        let (seq, _) = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp());
-        for threads in [1, 2, 4, 7] {
-            let (par, stats) = par_count_maximal_cliques(&g, &SolverConfig::hbbmc_pp(), threads);
-            assert_eq!(par, seq, "threads = {threads}");
-            assert_eq!(stats.maximal_cliques, seq);
+    /// `hbbmc_pp` with the given scheduler.
+    fn cfg_with(scheduler: RootScheduler) -> SolverConfig {
+        let mut cfg = SolverConfig::hbbmc_pp();
+        cfg.scheduler = scheduler;
+        cfg
+    }
+
+    /// A pool configuration that donates at every single branch step,
+    /// maximising task fragmentation even on tiny graphs.
+    fn aggressive_pool() -> PoolConfig {
+        PoolConfig {
+            step_threshold: 0,
+            always_hungry: true,
         }
     }
 
     #[test]
-    fn static_scheduler_matches_dynamic() {
+    fn parallel_count_matches_sequential() {
         let g = test_graph();
         let (seq, _) = count_maximal_cliques(&g, &SolverConfig::hbbmc_pp());
-        let mut cfg = SolverConfig::hbbmc_pp();
-        cfg.scheduler = RootScheduler::Static;
-        for threads in [1, 3, 5] {
-            let (par, _) = par_count_maximal_cliques(&g, &cfg, threads);
-            assert_eq!(par, seq, "static, threads = {threads}");
+        for scheduler in [
+            RootScheduler::Dynamic,
+            RootScheduler::Static,
+            RootScheduler::Splitting,
+        ] {
+            for threads in [1, 2, 4, 7] {
+                let (par, stats) = par_count_maximal_cliques(&g, &cfg_with(scheduler), threads);
+                assert_eq!(par, seq, "{scheduler:?}, threads = {threads}");
+                assert_eq!(stats.maximal_cliques, seq);
+            }
         }
     }
 
@@ -470,16 +929,22 @@ mod tests {
         let expected = naive_maximal_cliques(&g);
         let (got, _) = par_enumerate_collect(&g, &SolverConfig::r_degen(), 3);
         assert_eq!(got, expected);
+        let mut cfg = SolverConfig::r_degen();
+        cfg.scheduler = RootScheduler::Splitting;
+        let (got, _) = par_enumerate_collect(&g, &cfg, 3);
+        assert_eq!(got, expected);
     }
 
     #[test]
     fn streaming_reporter_sees_every_clique() {
         let g = test_graph();
         let expected = naive_maximal_cliques(&g).len() as u64;
-        let mut counter = CountReporter::new();
-        let stats = par_enumerate_streaming(&g, &SolverConfig::hbbmc_pp(), 4, &mut counter);
-        assert_eq!(counter.count, expected);
-        assert_eq!(stats.maximal_cliques, expected);
+        for scheduler in [RootScheduler::Dynamic, RootScheduler::Splitting] {
+            let mut counter = CountReporter::new();
+            let stats = par_enumerate_streaming(&g, &cfg_with(scheduler), 4, &mut counter);
+            assert_eq!(counter.count, expected, "{scheduler:?}");
+            assert_eq!(stats.maximal_cliques, expected);
+        }
     }
 
     #[test]
@@ -492,9 +957,15 @@ mod tests {
     #[test]
     fn more_threads_than_roots_is_fine() {
         let g = Graph::complete(3); // one root survives reduction
-        for threads in [2, 8, 16] {
-            let (count, _) = par_count_maximal_cliques(&g, &SolverConfig::hbbmc_pp(), threads);
-            assert_eq!(count, 1, "threads = {threads}");
+        for scheduler in [
+            RootScheduler::Dynamic,
+            RootScheduler::Static,
+            RootScheduler::Splitting,
+        ] {
+            for threads in [2, 8, 16] {
+                let (count, _) = par_count_maximal_cliques(&g, &cfg_with(scheduler), threads);
+                assert_eq!(count, 1, "{scheduler:?}, threads = {threads}");
+            }
         }
     }
 
@@ -510,11 +981,13 @@ mod tests {
         let g = test_graph();
         let baseline = ordered_bytes(&g, &SolverConfig::hbbmc_pp(), 1);
         assert!(!baseline.is_empty());
-        for scheduler in [RootScheduler::Dynamic, RootScheduler::Static] {
-            let mut cfg = SolverConfig::hbbmc_pp();
-            cfg.scheduler = scheduler;
+        for scheduler in [
+            RootScheduler::Dynamic,
+            RootScheduler::Static,
+            RootScheduler::Splitting,
+        ] {
             for threads in [1, 2, 4, 7] {
-                let bytes = ordered_bytes(&g, &cfg, threads);
+                let bytes = ordered_bytes(&g, &cfg_with(scheduler), threads);
                 assert_eq!(
                     bytes, baseline,
                     "scheduler {scheduler:?}, threads {threads}"
@@ -531,32 +1004,92 @@ mod tests {
         let baseline = ordered_bytes(&g, &SolverConfig::hbbmc_pp(), 1);
         for cap in [0usize, 1, 3] {
             let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
-            par_enumerate_ordered_with_cap(&g, &SolverConfig::hbbmc_pp(), 4, cap, &mut reporter)
-                .unwrap();
+            par_enumerate_ordered_driver(
+                &g,
+                &SolverConfig::hbbmc_pp(),
+                4,
+                cap,
+                PoolConfig::default(),
+                None,
+                &mut reporter,
+            )
+            .unwrap();
             assert_eq!(reporter.finish().unwrap(), baseline, "cap {cap}");
         }
+    }
+
+    #[test]
+    fn ordered_splitting_with_forced_fragmentation_still_matches() {
+        // Donate at every branch step: the donation tree is as deep and as
+        // fragmented as it can get, and the sequence keys must still
+        // reassemble the sequential stream exactly.
+        let g = test_graph();
+        let baseline = ordered_bytes(&g, &SolverConfig::hbbmc_pp(), 1);
+        for threads in [2, 3, 4, 8] {
+            let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+            let stats = par_enumerate_ordered_driver(
+                &g,
+                &cfg_with(RootScheduler::Splitting),
+                threads,
+                SEQUENCER_BUFFER_CAP,
+                aggressive_pool(),
+                None,
+                &mut reporter,
+            )
+            .unwrap();
+            assert_eq!(reporter.finish().unwrap(), baseline, "threads {threads}");
+            assert_eq!(stats.splits, stats.steals, "every donation is executed");
+        }
+    }
+
+    #[test]
+    fn forced_fragmentation_actually_splits() {
+        // Sanity for the test above: with aggressive settings and several
+        // workers the run must produce at least one donation, otherwise the
+        // fragmentation test exercises nothing. Use the bare preset — graph
+        // reduction and early termination would otherwise resolve this dense
+        // instance without any splittable recursion.
+        let g = mce_gen::moon_moser(4);
+        let mut cfg = SolverConfig::hbbmc_bare();
+        cfg.scheduler = RootScheduler::Splitting;
+        let mut count = CountReporter::new();
+        let stats = par_enumerate_ordered_driver(
+            &g,
+            &cfg,
+            4,
+            SEQUENCER_BUFFER_CAP,
+            aggressive_pool(),
+            None,
+            &mut count,
+        )
+        .unwrap();
+        assert_eq!(count.count, 81); // 3^4
+        assert!(stats.splits > 0, "aggressive pool must split: {stats:?}");
+        assert_eq!(stats.splits, stats.steals);
     }
 
     #[test]
     fn ordered_stream_reports_every_clique() {
         let g = test_graph();
         let expected = naive_maximal_cliques(&g);
-        let mut collector = CollectReporter::new();
-        let stats =
-            par_enumerate_ordered(&g, &SolverConfig::hbbmc_pp(), 4, &mut collector).unwrap();
-        assert_eq!(collector.into_sorted(), expected);
-        assert_eq!(stats.maximal_cliques as usize, expected.len());
+        for scheduler in [RootScheduler::Dynamic, RootScheduler::Splitting] {
+            let mut collector = CollectReporter::new();
+            let stats = par_enumerate_ordered(&g, &cfg_with(scheduler), 4, &mut collector).unwrap();
+            assert_eq!(collector.into_sorted(), expected, "{scheduler:?}");
+            assert_eq!(stats.maximal_cliques as usize, expected.len());
+        }
     }
 
     #[test]
     fn ordered_stream_matches_for_vertex_oriented_presets() {
         let g = test_graph();
         let baseline = ordered_bytes(&g, &SolverConfig::r_degen(), 1);
-        for threads in [2, 5] {
-            assert_eq!(
-                ordered_bytes(&g, &SolverConfig::r_degen(), threads),
-                baseline
-            );
+        for scheduler in [RootScheduler::Dynamic, RootScheduler::Splitting] {
+            let mut cfg = SolverConfig::r_degen();
+            cfg.scheduler = scheduler;
+            for threads in [2, 5] {
+                assert_eq!(ordered_bytes(&g, &cfg, threads), baseline, "{scheduler:?}");
+            }
         }
     }
 
@@ -570,16 +1103,59 @@ mod tests {
     }
 
     #[test]
+    fn progress_counters_reach_final_totals() {
+        let g = test_graph();
+        let expected = naive_maximal_cliques(&g).len() as u64;
+        for threads in [1usize, 4] {
+            let progress = ProgressCounters::new();
+            let mut count = CountReporter::new();
+            let cfg = cfg_with(RootScheduler::Splitting);
+            par_enumerate_ordered_observed(&g, &cfg, threads, &mut count, &progress).unwrap();
+            assert_eq!(count.count, expected, "threads {threads}");
+            assert_eq!(
+                progress.cliques_found.load(Ordering::Relaxed),
+                expected,
+                "threads {threads}"
+            );
+            assert_eq!(
+                progress.roots_done.load(Ordering::Relaxed),
+                progress.total_roots.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    #[test]
     fn sequencer_reorders_out_of_order_deposits() {
         let mut out = CollectReporter::new();
         let mut seq = Sequencer::new(&mut out);
-        seq.deposit(2, vec![vec![2]]);
-        seq.deposit(0, vec![vec![0]]);
+        seq.deposit(2, SeqKey::root(), vec![vec![2]]);
+        seq.deposit(0, SeqKey::root(), vec![vec![0]]);
         assert_eq!(seq.next, 1);
-        seq.deposit(1, vec![vec![1]]);
+        seq.deposit(1, SeqKey::root(), vec![vec![1]]);
         assert_eq!(seq.next, 3);
         assert!(seq.pending.is_empty());
         assert_eq!(out.cliques, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn sequencer_holds_ranks_until_all_parts_arrive() {
+        let mut out = CollectReporter::new();
+        let mut seq = Sequencer::new(&mut out);
+        // Rank 0 donates twice; parts arrive thief-first and out of key order.
+        seq.register_donation(0);
+        seq.register_donation(0);
+        let first = SeqKey::root().child(u32::MAX);
+        let second = SeqKey::root().child(u32::MAX - 1);
+        seq.deposit(0, first, vec![vec![30]]);
+        assert_eq!(seq.next, 0, "incomplete rank must not emit");
+        seq.deposit(0, SeqKey::root(), vec![vec![10]]);
+        assert_eq!(seq.next, 0);
+        seq.deposit(0, second, vec![vec![20]]);
+        // Root part first, then the second (deeper) donation, then the first.
+        assert_eq!(seq.next, 1);
+        assert_eq!(seq.buffered_cliques, 0);
+        drop(seq);
+        assert_eq!(out.cliques, vec![vec![10], vec![20], vec![30]]);
     }
 
     #[test]
@@ -600,5 +1176,36 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn splitting_stats_balance_on_a_skewed_graph() {
+        // A dense core plus sparse periphery: with an aggressive pool the
+        // core's roots must donate, and splits/steals must balance. The bare
+        // preset keeps the core's recursion alive (GR/ET would resolve it
+        // without branching).
+        let core = mce_gen::moon_moser(3);
+        let mut g_edges = core.edges().collect::<Vec<_>>();
+        for v in 9..40u32 {
+            g_edges.push((v - 1, v));
+        }
+        let g = Graph::from_edges(40, g_edges).unwrap();
+        let expected = naive_maximal_cliques(&g).len() as u64;
+        let mut cfg = SolverConfig::hbbmc_bare();
+        cfg.scheduler = RootScheduler::Splitting;
+        let solver = Solver::new(&g, cfg).unwrap();
+        let plan = solver.prepare();
+        let results =
+            run_workers_splitting(&solver, &plan, 4, aggressive_pool(), CountReporter::new);
+        let mut total = 0;
+        let mut merged = EnumerationStats::default();
+        for (reporter, stats) in results {
+            total += reporter.count;
+            merged.merge(&stats);
+        }
+        assert_eq!(total, expected);
+        assert!(merged.splits > 0);
+        assert_eq!(merged.splits, merged.steals);
+        assert!(merged.busy_time > std::time::Duration::ZERO);
     }
 }

@@ -1,0 +1,377 @@
+//! The shared task pool behind [`RootScheduler::Splitting`]: self-contained
+//! sub-branch tasks, their deterministic sequence keys, and the std-only
+//! injector that moves them between workers.
+//!
+//! The pulling schedulers distribute whole *root* branches, so a run can
+//! never finish faster than its largest root subtree. The splitting scheduler
+//! removes that bound with **mid-branch work donation**: a worker that has
+//! been grinding one root for a while (and observes starving peers) packages
+//! the unexplored sibling candidates of its shallowest recursion frame into a
+//! [`BranchTask`] — the `R` prefix, the `(C, X)` bitsets, the remaining
+//! branch list and a snapshot of the root's [`LocalGraph`] — and pushes it to
+//! the shared [`TaskPool`]. Idle workers steal those tasks and resume them
+//! through the same allocation-free recursion (and may split them again).
+//!
+//! Everything here is `std`-only by design: the pool is a `Mutex<VecDeque>`
+//! plus a `Condvar`, with one relaxed atomic (`starving`) that lets the
+//! donation check in the enumeration hot loop stay a single load. The build
+//! environment vendors no lock-free queue crates, and donations are rare
+//! enough (one per [`PoolConfig::step_threshold`] branch steps at most) that
+//! a mutex injector is nowhere near the bottleneck.
+//!
+//! # Why donated output can still be ordered deterministically
+//!
+//! [`par_enumerate_ordered`](crate::par_enumerate_ordered) must emit a byte
+//! stream that is independent of the thread count. Root ranks provide the
+//! coarse order; within one root, every task carries a [`SeqKey`] that
+//! linearises the donation tree:
+//!
+//! * the root's own task has the empty key;
+//! * a donor's `i`-th donation (counting from 0) gets the donor's key with
+//!   `u32::MAX - i` appended.
+//!
+//! Keys compare lexicographically with the *shorter-prefix-first* rule, which
+//! encodes exactly the sequential emission order: a donor's retained work is
+//! always a prefix of what it would have emitted sequentially (its key, a
+//! strict prefix, sorts first), donated siblings come after the subtree the
+//! donor keeps, and a *later* donation is always carved from *deeper* in the
+//! tree than an earlier one — i.e. it precedes the earlier donation in
+//! sequential order, which the decreasing counter encodes. Sorting a
+//! completed rank's task buffers by key therefore reproduces the sequential
+//! stream exactly; see the sequencer in [`parallel`](crate::parallel).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use mce_graph::{BitSet, VertexId};
+
+use crate::local::LocalGraph;
+
+/// Default number of branch steps a worker invests in its current chunk
+/// before it considers donating (see [`PoolConfig::step_threshold`]).
+pub(crate) const DEFAULT_STEP_THRESHOLD: u32 = 512;
+
+/// Root ranks claimed per pool chunk. Smaller than the dynamic scheduler's
+/// chunk because the splitting pool takes a lock per claim and donation
+/// already smooths intra-chunk imbalance.
+pub(crate) const SPLIT_CHUNK: usize = 8;
+
+/// Position of a task's output within its root rank's sequential stream.
+///
+/// Compares lexicographically (shorter prefix first), which matches the
+/// sequential emission order of the donation tree — see the module docs.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct SeqKey(Vec<u32>);
+
+impl SeqKey {
+    /// The key of a root's own task: the empty sequence.
+    pub fn root() -> Self {
+        SeqKey(Vec::new())
+    }
+
+    /// The key of a donation made by the task holding `self`, given the
+    /// donor's decreasing donation counter.
+    pub fn child(&self, counter: u32) -> Self {
+        let mut path = Vec::with_capacity(self.0.len() + 1);
+        path.extend_from_slice(&self.0);
+        path.push(counter);
+        SeqKey(path)
+    }
+
+    /// Resets this key to the root key in place (buffer reuse across ranks).
+    pub fn reset(&mut self) {
+        self.0.clear();
+    }
+
+    /// Copies `other` into this key in place.
+    pub fn clone_from_key(&mut self, other: &SeqKey) {
+        self.0.clear();
+        self.0.extend_from_slice(&other.0);
+    }
+}
+
+/// A self-contained, stealable continuation of one recursion frame: "branch
+/// on each of `branch` under `(partial, c, x)` inside `lg`".
+///
+/// Everything a worker needs to resume the donated siblings is carried by
+/// value — no references into the donor's scratch arena — so the task can
+/// cross threads and outlive the donor's frames.
+#[derive(Clone, Debug)]
+pub(crate) struct BranchTask {
+    /// Root rank the donated work belongs to (coarse sequencing key).
+    pub rank: usize,
+    /// Position of this task's output within the rank (fine sequencing key).
+    pub key: SeqKey,
+    /// The partial clique `R` at the donated frame (original vertex ids).
+    pub partial: Vec<VertexId>,
+    /// Candidate set of the donated frame, current vertex already excluded.
+    pub c: BitSet,
+    /// Exclusion set of the donated frame, current vertex already included.
+    pub x: BitSet,
+    /// The unexplored sibling candidates, in branching order (local ids).
+    pub branch: Vec<usize>,
+    /// Snapshot of the root branch's dense local graph.
+    pub lg: LocalGraph,
+}
+
+/// Where a donating solver pushes split-off work. Implemented by the plain
+/// pool (unordered drivers) and by the ordered driver's wrapper that also
+/// registers the donation with the output sequencer.
+pub(crate) trait DonationSink: Sync {
+    /// Cheap check consulted once per branch step: is anyone starving?
+    fn hungry(&self) -> bool;
+    /// Branch steps a worker invests in its chunk before donating.
+    fn step_threshold(&self) -> u32;
+    /// Hands a packaged task over to the pool.
+    fn donate(&self, task: BranchTask);
+}
+
+/// Tunables of a [`TaskPool`], separated out so tests can force aggressive
+/// splitting on tiny graphs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PoolConfig {
+    /// Branch steps between donation attempts.
+    pub step_threshold: u32,
+    /// Ignore the starvation signal and donate at every opportunity
+    /// (test-only: maximises task fragmentation).
+    pub always_hungry: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            step_threshold: DEFAULT_STEP_THRESHOLD,
+            always_hungry: false,
+        }
+    }
+}
+
+/// One unit of work handed to a splitting worker.
+pub(crate) enum PoolWork {
+    /// Process the root-rank chunk with this index (see
+    /// [`RootShards::chunk`](crate::solver::RootShards)).
+    Chunk(usize),
+    /// Resume a donated sub-branch.
+    Task(Box<BranchTask>),
+}
+
+struct PoolState {
+    /// Donated tasks, stolen FIFO (oldest donations carry the shallowest —
+    /// largest — subtrees and belong to the earliest ranks).
+    tasks: VecDeque<BranchTask>,
+    /// Next unclaimed root chunk index.
+    next_chunk: usize,
+    /// Workers currently executing claimed work (a donor counts as active,
+    /// so the pool can only drain once every potential producer is done).
+    active: usize,
+}
+
+/// The shared injector of the splitting scheduler.
+///
+/// Claiming prefers donated tasks over fresh root chunks: donated work
+/// belongs to already-started (earliest) ranks, so finishing it first keeps
+/// the ordered sequencer's head moving and bounds buffering.
+pub(crate) struct TaskPool {
+    state: Mutex<PoolState>,
+    /// Signalled when work arrives or the pool drains.
+    ready: Condvar,
+    /// Number of workers currently blocked in [`TaskPool::claim`]. Read with
+    /// a relaxed load by the donation check in the enumeration hot loop.
+    starving: AtomicUsize,
+    chunk_count: usize,
+    config: PoolConfig,
+}
+
+impl TaskPool {
+    /// A pool over `chunk_count` root chunks.
+    pub fn new(chunk_count: usize, config: PoolConfig) -> Self {
+        TaskPool {
+            state: Mutex::new(PoolState {
+                tasks: VecDeque::new(),
+                next_chunk: 0,
+                active: 0,
+            }),
+            ready: Condvar::new(),
+            starving: AtomicUsize::new(0),
+            chunk_count,
+            config,
+        }
+    }
+
+    /// Blocks until work is available or the run is complete. Returns `None`
+    /// exactly once per worker, when no work remains *and* no active worker
+    /// could still donate more.
+    pub fn claim(&self) -> Option<PoolWork> {
+        let mut state = self.state.lock().expect("task pool poisoned");
+        loop {
+            if let Some(task) = state.tasks.pop_front() {
+                state.active += 1;
+                return Some(PoolWork::Task(Box::new(task)));
+            }
+            if state.next_chunk < self.chunk_count {
+                let chunk = state.next_chunk;
+                state.next_chunk += 1;
+                state.active += 1;
+                return Some(PoolWork::Chunk(chunk));
+            }
+            if state.active == 0 {
+                // Termination: every chunk claimed, every task executed, no
+                // producer left. Wake the other sleepers so they exit too.
+                self.ready.notify_all();
+                return None;
+            }
+            self.starving.fetch_add(1, Ordering::Relaxed);
+            state = self.ready.wait(state).expect("task pool poisoned");
+            self.starving.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks one previously claimed unit of work as finished.
+    pub fn complete(&self) {
+        let mut state = self.state.lock().expect("task pool poisoned");
+        state.active -= 1;
+        let drained =
+            state.active == 0 && state.tasks.is_empty() && state.next_chunk >= self.chunk_count;
+        drop(state);
+        if drained {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Pushes a donated task and wakes one starving worker.
+    pub fn push(&self, task: BranchTask) {
+        let mut state = self.state.lock().expect("task pool poisoned");
+        state.tasks.push_back(task);
+        drop(state);
+        self.ready.notify_one();
+    }
+}
+
+impl DonationSink for TaskPool {
+    fn hungry(&self) -> bool {
+        self.config.always_hungry || self.starving.load(Ordering::Relaxed) > 0
+    }
+
+    fn step_threshold(&self) -> u32 {
+        self.config.step_threshold
+    }
+
+    fn donate(&self, task: BranchTask) {
+        self.push(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(rank: usize) -> BranchTask {
+        BranchTask {
+            rank,
+            key: SeqKey::root(),
+            partial: Vec::new(),
+            c: BitSet::with_capacity(0),
+            x: BitSet::with_capacity(0),
+            branch: Vec::new(),
+            lg: LocalGraph::new(),
+        }
+    }
+
+    #[test]
+    fn seq_keys_order_like_the_sequential_stream() {
+        let root = SeqKey::root();
+        let first_donation = root.child(u32::MAX);
+        let second_donation = root.child(u32::MAX - 1);
+        let nested = first_donation.child(u32::MAX);
+        // Donor's retained output before everything it donated.
+        assert!(root < first_donation);
+        assert!(root < second_donation);
+        // Later donations are deeper in the tree, i.e. sequentially earlier.
+        assert!(second_donation < first_donation);
+        // A thief's own retained output precedes its re-donations.
+        assert!(first_donation < nested);
+        // And a re-donation of the first donation still follows the donor's
+        // second (deeper) donation.
+        assert!(second_donation < nested);
+    }
+
+    #[test]
+    fn seq_key_reuse_helpers() {
+        let mut k = SeqKey::root().child(7);
+        k.reset();
+        assert_eq!(k, SeqKey::root());
+        let other = SeqKey::root().child(3).child(9);
+        k.clone_from_key(&other);
+        assert_eq!(k, other);
+    }
+
+    #[test]
+    fn pool_hands_out_chunks_then_terminates() {
+        let pool = TaskPool::new(2, PoolConfig::default());
+        let Some(PoolWork::Chunk(a)) = pool.claim() else {
+            panic!("expected a chunk")
+        };
+        let Some(PoolWork::Chunk(b)) = pool.claim() else {
+            panic!("expected a chunk")
+        };
+        assert_eq!((a, b), (0, 1));
+        pool.complete();
+        pool.complete();
+        assert!(pool.claim().is_none());
+    }
+
+    #[test]
+    fn pool_prefers_donated_tasks_fifo() {
+        let pool = TaskPool::new(1, PoolConfig::default());
+        pool.push(task(3));
+        pool.push(task(5));
+        match pool.claim() {
+            Some(PoolWork::Task(t)) => assert_eq!(t.rank, 3),
+            _ => panic!("expected the oldest donated task"),
+        }
+        match pool.claim() {
+            Some(PoolWork::Task(t)) => assert_eq!(t.rank, 5),
+            _ => panic!("expected the second donated task"),
+        }
+    }
+
+    #[test]
+    fn starving_workers_wake_on_donation() {
+        let pool = TaskPool::new(1, PoolConfig::default());
+        // A "donor" holds the only chunk, keeping the pool active.
+        assert!(matches!(pool.claim(), Some(PoolWork::Chunk(0))));
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| pool.claim());
+            // Give the consumer a moment to block on the condvar, then donate.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            pool.push(task(1));
+            let got = consumer.join().expect("consumer panicked");
+            assert!(matches!(got, Some(PoolWork::Task(t)) if t.rank == 1));
+        });
+        pool.complete(); // the stolen task
+        pool.complete(); // the donor's chunk
+        assert!(pool.claim().is_none());
+    }
+
+    #[test]
+    fn empty_pool_terminates_immediately() {
+        let pool = TaskPool::new(0, PoolConfig::default());
+        assert!(pool.claim().is_none());
+    }
+
+    #[test]
+    fn hungry_reflects_starvation_and_test_override() {
+        let pool = TaskPool::new(0, PoolConfig::default());
+        assert!(!pool.hungry());
+        let aggressive = TaskPool::new(
+            0,
+            PoolConfig {
+                always_hungry: true,
+                step_threshold: 0,
+            },
+        );
+        assert!(aggressive.hungry());
+        assert_eq!(aggressive.step_threshold(), 0);
+    }
+}

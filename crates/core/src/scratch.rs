@@ -73,6 +73,19 @@ impl SearchScratch {
         (&mut left[depth], &mut right[0])
     }
 
+    /// Loads frame 0 with an externally captured branch state (the resume
+    /// path of a donated [`BranchTask`](crate::pool::BranchTask)): the
+    /// `(C, X)` sets and the remaining branch list, reusing the frame's
+    /// buffers.
+    pub fn load_root(&mut self, c: &BitSet, x: &BitSet, branch: &[usize]) {
+        self.ensure(0);
+        let f0 = self.frame_mut(0);
+        f0.c.copy_from(c);
+        f0.x.copy_from(x);
+        f0.branch.clear();
+        f0.branch.extend_from_slice(branch);
+    }
+
     /// Fills frame `depth + 1` with the child branch obtained by moving local
     /// vertex `v` into the partial clique:
     /// `C' = C ∩ N_cand(v)`, `X' = ((C ∪ X) ∩ N_G(v)) \ C'`.
@@ -91,6 +104,25 @@ impl SearchScratch {
         child.x.intersect_with_words(lg.gadj(v));
         child.x.difference_with(&child.c);
     }
+}
+
+/// Donation bookkeeping for one in-progress branch loop: which frame it owns,
+/// how much of the partial clique belongs to it, and where its next
+/// unexplored sibling sits in the frame's branch list. The splitting
+/// scheduler walks these entries shallowest-first to find the largest
+/// donatable remainder; see [`pool`](crate::pool).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SplitFrame {
+    /// Recursion depth of the loop (index into the scratch arena).
+    pub depth: usize,
+    /// Length of the partial clique `R` when the loop started.
+    pub partial_len: usize,
+    /// Index into the frame's branch list of the next unexplored sibling;
+    /// `branch[next_idx - 1]` is the vertex currently being recursed into.
+    pub next_idx: usize,
+    /// Whether this loop's remaining siblings have been donated — the loop
+    /// must stop after its current vertex returns.
+    pub donated: bool,
 }
 
 /// The complete reusable state of one enumeration worker.
@@ -166,6 +198,24 @@ mod tests {
         assert_eq!(s.frame(1).x.iter().collect::<Vec<_>>(), vec![0]);
         // Parent frame is untouched.
         assert_eq!(s.frame(0).c.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn load_root_restores_a_captured_branch_state() {
+        let mut s = SearchScratch::default();
+        let mut c = BitSet::with_capacity(6);
+        c.insert(1);
+        c.insert(4);
+        let mut x = BitSet::with_capacity(6);
+        x.insert(0);
+        s.load_root(&c, &x, &[4, 1]);
+        assert_eq!(s.frame(0).c.iter().collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(s.frame(0).x.iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.frame(0).branch, vec![4, 1]);
+        // Reloading reuses the frame and replaces its contents.
+        s.load_root(&x, &c, &[2]);
+        assert_eq!(s.frame(0).c.iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.frame(0).branch, vec![2]);
     }
 
     #[test]

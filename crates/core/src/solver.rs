@@ -38,17 +38,18 @@
 use std::time::{Duration, Instant};
 
 use mce_graph::ordering::{edge_ordering, vertex_ordering, EdgeOrdering};
-use mce_graph::{Graph, VertexId};
+use mce_graph::{connected_components, Graph, VertexId};
 
 use crate::config::{
-    ConfigError, InitialBranching, PivotStrategy, RecursionStrategy, SolverConfig,
+    ConfigError, InitialBranching, PivotStrategy, RecursionStrategy, RootScheduler, SolverConfig,
 };
 use crate::early_term::enumerate_plex_branch;
 use crate::local::LocalGraph;
 use crate::pivot::{plex_condition, scan_branch};
+use crate::pool::{BranchTask, DonationSink, SeqKey, SPLIT_CHUNK};
 use crate::reduction::{reduce, Reduction};
 use crate::report::{CliqueReporter, CollectReporter, CountReporter};
-use crate::scratch::{Frame, SearchScratch, WorkerState};
+use crate::scratch::{Frame, SearchScratch, SplitFrame, WorkerState};
 use crate::stats::EnumerationStats;
 
 /// Maximal clique enumeration driver for a fixed graph and configuration.
@@ -64,6 +65,9 @@ pub(crate) struct RootPlan {
     pub reduction: Reduction,
     pub kind: RootKind,
     pub ordering_time: Duration,
+    /// Component-grouped claim chunks for the splitting scheduler; `None`
+    /// under the pulling schedulers (which claim plain rank ranges).
+    pub shards: Option<RootShards>,
 }
 
 /// Which initial branching the plan's root tasks follow.
@@ -87,6 +91,81 @@ impl RootPlan {
     }
 }
 
+/// Root ranks grouped into per-connected-component claim chunks.
+///
+/// Components never share a clique, so each component's roots form an
+/// independent, trivially parallel shard: a claim chunk never straddles a
+/// component boundary, small components are claimed whole, and large ones
+/// are cut into [`SPLIT_CHUNK`]-sized runs. Groups are ordered by each
+/// component's first root rank (rank-ascending inside a group), so claim
+/// order tracks rank order closely and the ordered sequencer's out-of-order
+/// buffering stays small.
+pub(crate) struct RootShards {
+    /// Root ranks in claim order.
+    claim_order: Vec<u32>,
+    /// `(start, end)` index pairs into `claim_order`, one per chunk.
+    chunks: Vec<(u32, u32)>,
+    /// Number of connected components owning at least one root.
+    shard_count: usize,
+}
+
+impl RootShards {
+    /// Groups `root_component[rank]` assignments into claim chunks.
+    fn build(root_component: &[usize]) -> Self {
+        let total = root_component.len();
+        let mut first_rank: Vec<usize> = Vec::new();
+        for (rank, &c) in root_component.iter().enumerate() {
+            if c >= first_rank.len() {
+                first_rank.resize(c + 1, usize::MAX);
+            }
+            if first_rank[c] == usize::MAX {
+                first_rank[c] = rank;
+            }
+        }
+        let shard_count = first_rank.iter().filter(|&&r| r != usize::MAX).count();
+        let mut claim_order: Vec<u32> = (0..total as u32).collect();
+        claim_order.sort_unstable_by_key(|&r| (first_rank[root_component[r as usize]], r));
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        while start < total {
+            let component = root_component[claim_order[start] as usize];
+            let mut end = start + 1;
+            while end < total
+                && end - start < SPLIT_CHUNK
+                && root_component[claim_order[end] as usize] == component
+            {
+                end += 1;
+            }
+            chunks.push((start as u32, end as u32));
+            start = end;
+        }
+        RootShards {
+            claim_order,
+            chunks,
+            shard_count,
+        }
+    }
+
+    /// Number of claim chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The root ranks of chunk `i`, in rank-ascending order.
+    pub fn chunk(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        let (start, end) = self.chunks[i];
+        self.claim_order[start as usize..end as usize]
+            .iter()
+            .map(|&r| r as usize)
+    }
+
+    /// Number of independent component shards.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+}
+
 /// Reusable enumeration state: the scratch arena, local-graph buffers and
 /// root-phase vectors of one worker.
 ///
@@ -106,10 +185,58 @@ impl EnumerationState {
     }
 }
 
+/// Donation state of one in-flight work item (a root branch or a resumed
+/// [`BranchTask`]): the sink to push split-off work to, the item's sequence
+/// key, its decreasing donation counter, the branch-step budget and the
+/// stack of currently splittable loops.
+pub(crate) struct Donor<'a> {
+    sink: &'a dyn DonationSink,
+    rank: usize,
+    key: SeqKey,
+    next_donation: u32,
+    steps: u32,
+    threshold: u32,
+    stack: Vec<SplitFrame>,
+}
+
+impl<'a> Donor<'a> {
+    fn new(sink: &'a dyn DonationSink) -> Self {
+        Donor {
+            sink,
+            rank: 0,
+            key: SeqKey::root(),
+            next_donation: u32::MAX,
+            steps: 0,
+            threshold: sink.step_threshold(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Rearms the donor for a fresh root branch (buffers reused).
+    fn reset_for_root(&mut self, rank: usize) {
+        self.rank = rank;
+        self.key.reset();
+        self.next_donation = u32::MAX;
+        self.steps = 0;
+        self.stack.clear();
+    }
+
+    /// Rearms the donor for a resumed task (inherits the task's key).
+    fn reset_for_task(&mut self, task: &BranchTask) {
+        self.rank = task.rank;
+        self.key.clone_from_key(&task.key);
+        self.next_donation = u32::MAX;
+        self.steps = 0;
+        self.stack.clear();
+    }
+}
+
 struct Ctx<'a> {
     config: SolverConfig,
     stats: EnumerationStats,
     reporter: &'a mut dyn CliqueReporter,
+    /// `Some` only when running under the splitting scheduler.
+    donor: Option<Donor<'a>>,
 }
 
 impl Ctx<'_> {
@@ -117,6 +244,43 @@ impl Ctx<'_> {
         self.stats.maximal_cliques += 1;
         self.stats.max_clique_size = self.stats.max_clique_size.max(clique.len());
         self.reporter.report(clique);
+    }
+
+    /// Registers a splittable branch loop at `depth`; returns its stack slot.
+    fn begin_branch_loop(&mut self, depth: usize, partial_len: usize) -> Option<usize> {
+        let donor = self.donor.as_mut()?;
+        donor.stack.push(SplitFrame {
+            depth,
+            partial_len,
+            next_idx: 0,
+            donated: false,
+        });
+        Some(donor.stack.len() - 1)
+    }
+
+    /// Records that the loop in `slot` is about to recurse into
+    /// `branch[next_idx - 1]`, leaving `branch[next_idx..]` unexplored.
+    fn advance_branch_loop(&mut self, slot: Option<usize>, next_idx: usize) {
+        if let (Some(slot), Some(donor)) = (slot, self.donor.as_mut()) {
+            donor.stack[slot].next_idx = next_idx;
+        }
+    }
+
+    /// Whether the loop in `slot` donated its remaining siblings (the loop
+    /// must stop once its current recursion returns).
+    fn branch_loop_donated(&self, slot: Option<usize>) -> bool {
+        match (slot, &self.donor) {
+            (Some(slot), Some(donor)) => donor.stack[slot].donated,
+            _ => false,
+        }
+    }
+
+    /// Unregisters the loop in `slot` (its frame is being unwound).
+    fn end_branch_loop(&mut self, slot: Option<usize>) {
+        if let (Some(slot), Some(donor)) = (slot, self.donor.as_mut()) {
+            debug_assert_eq!(donor.stack.len(), slot + 1, "unbalanced split stack");
+            donor.stack.truncate(slot);
+        }
     }
 }
 
@@ -208,10 +372,28 @@ impl<'g> Solver<'g> {
                 depth,
             },
         };
+        // The splitting scheduler claims roots in per-connected-component
+        // chunks (components are independent shards); the pulling schedulers
+        // claim plain rank ranges and skip the O(n + m) component pass.
+        let shards = (self.config.scheduler == RootScheduler::Splitting).then(|| {
+            let cc = connected_components(g);
+            let root_component: Vec<usize> = match &kind {
+                RootKind::Vertex { order, .. } => {
+                    order.iter().map(|&v| cc.component_of[v as usize]).collect()
+                }
+                RootKind::Edge { eo, .. } => eo
+                    .order
+                    .iter()
+                    .map(|&e| cc.component_of[eo.index.endpoints(e).0 as usize])
+                    .collect(),
+            };
+            RootShards::build(&root_component)
+        });
         RootPlan {
             reduction,
             kind,
             ordering_time: ordering_start.elapsed(),
+            shards,
         }
     }
 
@@ -232,6 +414,7 @@ impl<'g> Solver<'g> {
             config: self.config,
             stats: EnumerationStats::default(),
             reporter,
+            donor: None,
         };
         worker.prepare_for(self.graph.n());
         if with_static {
@@ -242,7 +425,147 @@ impl<'g> Solver<'g> {
             self.run_root(plan, rank, worker, &mut ctx);
         }
         ctx.stats.elapsed = start.elapsed();
+        ctx.stats.busy_time = ctx.stats.elapsed;
         ctx.stats
+    }
+
+    /// Runs the given root ranks with donation enabled: whenever the shared
+    /// pool reports starving workers and this worker has invested at least
+    /// the sink's step threshold in its chunk, the unexplored siblings of the
+    /// shallowest splittable frame are packaged into a [`BranchTask`] and
+    /// pushed to `sink`. Used by the splitting scheduler only.
+    pub(crate) fn run_ranks_donating(
+        &self,
+        plan: &RootPlan,
+        ranks: impl IntoIterator<Item = usize>,
+        worker: &mut WorkerState,
+        sink: &dyn DonationSink,
+        reporter: &mut dyn CliqueReporter,
+    ) -> EnumerationStats {
+        let start = Instant::now();
+        let mut ctx = Ctx {
+            config: self.config,
+            stats: EnumerationStats::default(),
+            reporter,
+            donor: Some(Donor::new(sink)),
+        };
+        worker.prepare_for(self.graph.n());
+        for rank in ranks {
+            if let Some(donor) = ctx.donor.as_mut() {
+                donor.reset_for_root(rank);
+            }
+            self.run_root(plan, rank, worker, &mut ctx);
+        }
+        ctx.stats.elapsed = start.elapsed();
+        ctx.stats.busy_time = ctx.stats.elapsed;
+        ctx.stats
+    }
+
+    /// Resumes a stolen [`BranchTask`] through the same allocation-free
+    /// recursion (further splits included): loads the task's `(C, X)` sets
+    /// and branch list into frame 0 of the worker's arena, adopts its
+    /// [`LocalGraph`] snapshot and partial clique, and re-enters the branch
+    /// loop the donor abandoned.
+    pub(crate) fn run_branch_task(
+        &self,
+        task: BranchTask,
+        worker: &mut WorkerState,
+        sink: &dyn DonationSink,
+        reporter: &mut dyn CliqueReporter,
+    ) -> EnumerationStats {
+        let start = Instant::now();
+        let RecursionStrategy::Pivoting(strategy) = self.config.recursion else {
+            unreachable!("donated tasks only exist under pivoting recursion")
+        };
+        let mut donor = Donor::new(sink);
+        donor.reset_for_task(&task);
+        let mut ctx = Ctx {
+            config: self.config,
+            stats: EnumerationStats::default(),
+            reporter,
+            donor: Some(donor),
+        };
+        let BranchTask {
+            partial: prefix,
+            c,
+            x,
+            branch,
+            lg: task_lg,
+            ..
+        } = task;
+        worker.lg = task_lg;
+        worker.scratch.load_root(&c, &x, &branch);
+        worker.partial.clear();
+        worker.partial.extend_from_slice(&prefix);
+        let WorkerState {
+            scratch,
+            lg,
+            partial,
+            ..
+        } = worker;
+        self.branch_on(lg, partial, 0, strategy, &mut ctx, scratch);
+        ctx.stats.steals = 1;
+        ctx.stats.elapsed = start.elapsed();
+        ctx.stats.busy_time = ctx.stats.elapsed;
+        ctx.stats
+    }
+
+    /// The donation check, run once per branch step: after `threshold` steps,
+    /// if anyone is starving, package the unexplored siblings of the
+    /// *shallowest* splittable frame (the largest remaining piece of this
+    /// subtree) into a self-contained task and push it to the pool. The
+    /// donated loop is flagged so it stops once its current child returns.
+    fn maybe_donate(
+        &self,
+        lg: &LocalGraph,
+        partial: &[VertexId],
+        ctx: &mut Ctx<'_>,
+        scratch: &SearchScratch,
+    ) {
+        let Some(donor) = ctx.donor.as_mut() else {
+            return;
+        };
+        donor.steps += 1;
+        if donor.steps < donor.threshold || !donor.sink.hungry() {
+            return;
+        }
+        for slot in 0..donor.stack.len() {
+            let entry = donor.stack[slot];
+            if entry.donated {
+                continue;
+            }
+            debug_assert!(entry.next_idx > 0, "loop registered but never advanced");
+            let f = scratch.frame(entry.depth);
+            if entry.next_idx >= f.branch.len() {
+                continue; // the current vertex is this loop's last
+            }
+            if !f.branch[entry.next_idx..].iter().any(|&w| f.c.contains(w)) {
+                continue;
+            }
+            // The loop is inside `branch[next_idx - 1]`'s subtree: in the
+            // sequential order the donated siblings run *after* it finishes,
+            // with the current vertex moved from C to X.
+            let cur = f.branch[entry.next_idx - 1];
+            let mut c = f.c.clone();
+            c.remove(cur);
+            let mut x = f.x.clone();
+            x.insert(cur);
+            let task = BranchTask {
+                rank: donor.rank,
+                key: donor.key.child(donor.next_donation),
+                partial: partial[..entry.partial_len].to_vec(),
+                c,
+                x,
+                branch: f.branch[entry.next_idx..].to_vec(),
+                lg: lg.clone(),
+            };
+            donor.next_donation -= 1;
+            donor.steps = 0;
+            donor.stack[slot].donated = true;
+            donor.sink.donate(task);
+            ctx.stats.splits += 1;
+            return;
+        }
     }
 
     /// Emits the output that is independent of any root rank: the cliques
@@ -589,6 +912,12 @@ impl<'g> Solver<'g> {
 
     /// Branches on every vertex of the frame's branch list, moving each to
     /// `X` afterwards.
+    ///
+    /// This loop is the splitting scheduler's donation point: it registers
+    /// itself as a splittable frame, each iteration counts as one branch
+    /// step, and when a (possibly deeper) [`Solver::maybe_donate`] gives this
+    /// loop's remaining siblings away the loop stops after its current child
+    /// returns — the thief continues exactly where the donor left off.
     fn branch_on(
         &self,
         lg: &LocalGraph,
@@ -598,20 +927,27 @@ impl<'g> Solver<'g> {
         ctx: &mut Ctx<'_>,
         scratch: &mut SearchScratch,
     ) {
+        let slot = ctx.begin_branch_loop(depth, partial.len());
         let mut i = 0;
         while let Some(&v) = scratch.frame(depth).branch.get(i) {
             i += 1;
             if !scratch.frame(depth).c.contains(v) {
                 continue;
             }
+            ctx.advance_branch_loop(slot, i);
+            self.maybe_donate(lg, partial, ctx, scratch);
             scratch.make_child(depth, lg, v);
             partial.push(lg.orig[v]);
             self.pivot_rec(lg, partial, depth + 1, strategy, ctx, scratch);
             partial.pop();
+            if ctx.branch_loop_donated(slot) {
+                break;
+            }
             let f = scratch.frame_mut(depth);
             f.c.remove(v);
             f.x.insert(v);
         }
+        ctx.end_branch_loop(slot);
     }
 
     /// The `BK_Fac` loop (Algorithm 10): start from an arbitrary pivot and shrink
@@ -1109,5 +1445,62 @@ mod tests {
         let mut cfg = SolverConfig::hbbmc_pp();
         cfg.early_termination_t = 9;
         assert!(Solver::new(&g, cfg).is_err());
+    }
+
+    #[test]
+    fn pulling_plans_skip_component_shards() {
+        let g = Graph::complete(4);
+        let solver = Solver::new(&g, SolverConfig::hbbmc_pp()).unwrap();
+        assert!(solver.prepare().shards.is_none());
+    }
+
+    #[test]
+    fn splitting_plan_builds_component_shards() {
+        // Two triangles in separate components plus a pendant.
+        let g =
+            Graph::from_edges(8, [(0, 1), (1, 2), (0, 2), (4, 5), (5, 6), (4, 6), (6, 7)]).unwrap();
+        let mut cfg = SolverConfig::hbbmc_bare();
+        cfg.scheduler = RootScheduler::Splitting;
+        let solver = Solver::new(&g, cfg).unwrap();
+        let plan = solver.prepare();
+        let shards = plan.shards.as_ref().expect("splitting plan has shards");
+        assert_eq!(shards.shard_count(), 2);
+        // Every rank is claimed exactly once across all chunks.
+        let mut seen = vec![0usize; plan.root_count()];
+        for chunk in 0..shards.chunk_count() {
+            for rank in shards.chunk(chunk) {
+                seen[rank] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn root_shards_group_by_component_and_cap_chunks() {
+        // Interleaved component assignment: component 1 first appears at
+        // rank 0, component 0 at rank 1.
+        let shards = RootShards::build(&[1, 0, 1, 0, 0, 1]);
+        assert_eq!(shards.shard_count(), 2);
+        let claimed: Vec<Vec<usize>> = (0..shards.chunk_count())
+            .map(|c| shards.chunk(c).collect())
+            .collect();
+        // Component 1's ranks (first seen at rank 0) come first, in rank
+        // order; then component 0's.
+        assert_eq!(claimed.concat(), vec![0, 2, 5, 1, 3, 4]);
+        for chunk in &claimed {
+            assert!(chunk.len() <= crate::pool::SPLIT_CHUNK);
+        }
+        // A chunk never straddles components.
+        assert!(claimed.iter().all(|chunk| {
+            let comps: Vec<usize> = chunk.iter().map(|&r| [1, 0, 1, 0, 0, 1][r]).collect();
+            comps.windows(2).all(|w| w[0] == w[1])
+        }));
+
+        // A big single component is cut into SPLIT_CHUNK-sized runs.
+        let big = RootShards::build(&[0; 20]);
+        assert_eq!(big.shard_count(), 1);
+        assert!(big.chunk_count() >= 20 / crate::pool::SPLIT_CHUNK);
+        let all: Vec<usize> = (0..big.chunk_count()).flat_map(|c| big.chunk(c)).collect();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
     }
 }

@@ -25,10 +25,23 @@ pub struct EnumerationStats {
     pub gr_cliques: u64,
     /// Vertices removed by the graph-reduction preprocessing.
     pub gr_removed_vertices: u64,
+    /// Sub-branch tasks donated to the shared pool by the splitting scheduler
+    /// (0 unless [`RootScheduler::Splitting`](crate::RootScheduler) ran).
+    pub splits: u64,
+    /// Donated tasks stolen from the pool and resumed by a worker (equals
+    /// `splits` after a completed run — every donated task is eventually
+    /// executed).
+    pub steals: u64,
     /// Wall-clock time of the whole run (ordering + reduction + enumeration).
     pub elapsed: Duration,
     /// Wall-clock time spent computing the vertex/edge ordering of the root.
     pub ordering_time: Duration,
+    /// Summed per-worker wall time spent executing enumeration work (as
+    /// opposed to waiting for work). `busy_time / (elapsed × threads)` is the
+    /// utilisation of a parallel run; sequential runs report
+    /// `busy_time == elapsed`. Measured as wall time per work item, so on a
+    /// machine with fewer cores than threads it includes descheduled time.
+    pub busy_time: Duration,
 }
 
 impl EnumerationStats {
@@ -56,8 +69,11 @@ impl EnumerationStats {
         self.et_cliques += other.et_cliques;
         self.gr_cliques += other.gr_cliques;
         self.gr_removed_vertices += other.gr_removed_vertices;
+        self.splits += other.splits;
+        self.steals += other.steals;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.ordering_time += other.ordering_time;
+        self.busy_time += other.busy_time;
     }
 }
 
@@ -66,7 +82,8 @@ impl std::fmt::Display for EnumerationStats {
         write!(
             f,
             "{} maximal cliques (max size {}) in {:.3}s — {} calls, {} root branches, \
-             ET {}/{} (ratio {:.1}%), GR reported {} over {} removed vertices",
+             ET {}/{} (ratio {:.1}%), GR reported {} over {} removed vertices, \
+             {} splits / {} steals, busy {:.3}s",
             self.maximal_cliques,
             self.max_clique_size,
             self.elapsed.as_secs_f64(),
@@ -77,6 +94,9 @@ impl std::fmt::Display for EnumerationStats {
             100.0 * self.et_ratio(),
             self.gr_cliques,
             self.gr_removed_vertices,
+            self.splits,
+            self.steals,
+            self.busy_time.as_secs_f64(),
         )
     }
 }

@@ -4,14 +4,22 @@
 
 use hbbmc::{
     enumerate_collect, naive_maximal_cliques, par_count_maximal_cliques, par_enumerate_collect,
-    verify_cliques, RootScheduler, SolverConfig,
+    par_enumerate_ordered, verify_cliques, CliqueLineFormat, RootScheduler, SolverConfig,
+    WriterReporter,
 };
 use mce_gen::{
-    barabasi_albert, erdos_renyi, erdos_renyi_gnp, moon_moser, planted_communities, random_t_plex,
-    PlantedConfig,
+    barabasi_albert, erdos_renyi, erdos_renyi_gnp, moon_moser, planted_communities, planted_hub,
+    planted_hub_clique_count, random_t_plex, PlantedConfig,
 };
 use mce_graph::Graph;
 use proptest::prelude::*;
+
+/// Renders the full ordered stream of `g` under `cfg` to text bytes.
+fn ordered_text(g: &Graph, cfg: &SolverConfig, threads: usize) -> Vec<u8> {
+    let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+    par_enumerate_ordered(g, cfg, threads, &mut reporter).expect("valid config");
+    reporter.finish().expect("in-memory sink")
+}
 
 /// Strategy: a random graph given as (n, edge list) with n ≤ 28.
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -129,11 +137,15 @@ proptest! {
 
     #[test]
     fn thread_counts_are_deterministic(n in 10usize..50, density in 1usize..6, seed in 0u64..500) {
-        // The same clique count must come out of 1/2/4/8 workers, under both
-        // the dynamic (work-stealing) and the static scheduler.
+        // The same clique count must come out of 1/2/4/8 workers, under the
+        // dynamic (work-stealing), static and subtree-splitting schedulers.
         let g = erdos_renyi(n, n * density, seed);
         let expected = naive_maximal_cliques(&g).len() as u64;
-        for scheduler in [RootScheduler::Dynamic, RootScheduler::Static] {
+        for scheduler in [
+            RootScheduler::Dynamic,
+            RootScheduler::Static,
+            RootScheduler::Splitting,
+        ] {
             let mut cfg = SolverConfig::hbbmc_pp();
             cfg.scheduler = scheduler;
             for threads in [1usize, 2, 4, 8] {
@@ -141,6 +153,55 @@ proptest! {
                 prop_assert_eq!(count, expected, "{:?} x{}", scheduler, threads);
                 prop_assert_eq!(stats.maximal_cliques, expected);
             }
+        }
+    }
+
+    #[test]
+    fn splitting_ordered_stream_matches_sequential_on_ba_graphs(
+        n in 10usize..44,
+        k in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        // The ordered stream must be byte-identical to the sequential one at
+        // any thread count, even when sub-branches are donated mid-recursion.
+        let g = barabasi_albert(n, k, seed);
+        for preset in [SolverConfig::hbbmc_pp(), SolverConfig::r_degen()] {
+            let baseline = ordered_text(&g, &preset, 1);
+            let mut cfg = preset;
+            cfg.scheduler = RootScheduler::Splitting;
+            for threads in [1usize, 2, 4, 8] {
+                prop_assert_eq!(
+                    ordered_text(&g, &cfg, threads),
+                    baseline.clone(),
+                    "BA n={} k={} seed={} x{}", n, k, seed, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_ordered_stream_matches_sequential_on_planted_hub(
+        parts in 2usize..5,
+        part_size in 2usize..5,
+    ) {
+        // Planted-hub graphs put the whole recursion tree under one root —
+        // the maximum-skew case where the splitting scheduler does the most
+        // donation work and must still resequence exactly.
+        let g = planted_hub(1 + parts * part_size, part_size);
+        let expected = planted_hub_clique_count(g.n(), part_size);
+        for preset in [SolverConfig::bk_pivot(), SolverConfig::hbbmc_plus()] {
+            let baseline = ordered_text(&g, &preset, 1);
+            let mut cfg = preset;
+            cfg.scheduler = RootScheduler::Splitting;
+            for threads in [1usize, 2, 4, 8] {
+                prop_assert_eq!(
+                    ordered_text(&g, &cfg, threads),
+                    baseline.clone(),
+                    "hub parts={} size={} x{}", parts, part_size, threads
+                );
+            }
+            let (count, _) = par_count_maximal_cliques(&g, &cfg, 4);
+            prop_assert_eq!(count, expected);
         }
     }
 

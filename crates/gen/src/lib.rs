@@ -14,7 +14,9 @@
 //! * [`plex`] — random t-plexes (dense graphs whose complement is a bounded
 //!   degree structure),
 //! * [`planted`] — overlapping planted communities, a clique-rich model that
-//!   mimics the social-network datasets of Table I at laptop scale.
+//!   mimics the social-network datasets of Table I at laptop scale,
+//! * [`hub`] — planted-hub graphs whose entire recursion tree hangs off one
+//!   root branch, the stress case for the parallel schedulers.
 //!
 //! All generators are deterministic given a seed (`rand::rngs::StdRng`).
 
@@ -23,6 +25,7 @@
 
 pub mod ba;
 pub mod er;
+pub mod hub;
 pub mod moon_moser;
 pub mod planted;
 pub mod plex;
@@ -31,6 +34,7 @@ pub mod structured;
 
 pub use ba::barabasi_albert;
 pub use er::{erdos_renyi, erdos_renyi_gnp};
+pub use hub::{planted_hub, planted_hub_clique_count};
 pub use moon_moser::moon_moser;
 pub use planted::{planted_communities, PlantedConfig};
 pub use plex::{random_t_plex, t_plex_from_complement};

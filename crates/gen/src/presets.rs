@@ -11,6 +11,7 @@ use mce_graph::Graph;
 
 use crate::ba::barabasi_albert;
 use crate::er::erdos_renyi;
+use crate::hub::planted_hub;
 use crate::moon_moser::moon_moser;
 use crate::planted::{planted_communities, PlantedConfig};
 use crate::plex::random_t_plex;
@@ -60,6 +61,10 @@ fn build_planted(n: usize, seed: u64) -> Graph {
         background_edges: 2 * n,
         seed,
     })
+}
+
+fn build_planted_hub(n: usize, _seed: u64) -> Graph {
+    planted_hub(n, 4)
 }
 
 fn build_plex(n: usize, seed: u64) -> Graph {
@@ -136,6 +141,11 @@ pub const GEN_PRESETS: &[GenPreset] = &[
         name: "planted",
         description: "overlapping planted communities over a sparse background",
         build: build_planted,
+    },
+    GenPreset {
+        name: "planted-hub",
+        description: "hub vertex over a K_{4,4,…} core: every maximal clique contains the hub (scheduler stress case)",
+        build: build_planted_hub,
     },
     GenPreset {
         name: "plex",
