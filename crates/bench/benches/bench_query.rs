@@ -1,0 +1,70 @@
+//! Anchored-query benchmark with a JSON trajectory emitter.
+//!
+//! ```text
+//! cargo bench --bench bench_query -- [--quick] [--repeats N]
+//!                                    [--variant NAME] [--json PATH]
+//! ```
+//!
+//! Runs the anchored-vs-full matrix of [`mce_bench::query`] and, when
+//! `--json` is given, appends one record per anchored cell to the trajectory
+//! file (typically the workspace-level `BENCH_solver.json`), re-validating
+//! the file — including the query-specific counter fields — afterwards.
+//! Unknown flags injected by the cargo bench harness (`--bench`, ...) are
+//! ignored.
+
+use std::path::PathBuf;
+
+use mce_bench::query::{append_records, run_query_bench, QueryBenchOptions};
+
+fn main() {
+    let mut options = QueryBenchOptions::default();
+    let mut json_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--repeats" => {
+                options.repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats takes a positive integer");
+            }
+            "--variant" => {
+                options.variant = args.next().expect("--variant takes a label");
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(args.next().expect("--json takes a path")));
+            }
+            // `cargo bench` passes `--bench`; ignore it and anything unknown.
+            other => {
+                if !other.starts_with("--bench") {
+                    eprintln!("bench_query: ignoring unknown argument '{other}'");
+                }
+            }
+        }
+    }
+
+    println!(
+        "# bench_query variant={} repeats={} ({} matrix)",
+        options.variant,
+        options.repeats,
+        if options.quick { "quick" } else { "full" }
+    );
+    let records = run_query_bench(&options);
+
+    if let Some(path) = json_path {
+        match append_records(&path, &options.variant, &records) {
+            Ok(total) => println!(
+                "appended {} records to {} ({} query records total, validated)",
+                records.len(),
+                path.display(),
+                total
+            ),
+            Err(e) => {
+                eprintln!("bench_query: JSON emission failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

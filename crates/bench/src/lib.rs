@@ -28,6 +28,7 @@ pub mod datasets;
 pub mod experiments;
 pub mod hotpath;
 pub mod json;
+pub mod query;
 pub mod runner;
 pub mod scheduler;
 pub mod table;
@@ -36,6 +37,7 @@ pub use algorithms::{algorithm, baseline_algorithms, Algorithm};
 pub use datasets::{all_datasets, dataset_by_name, Dataset, DatasetSpec};
 pub use hotpath::{run_hotpath, HotpathOptions, HotpathRecord};
 pub use json::JsonValue;
+pub use query::{run_query_bench, QueryBenchOptions, QueryRecord};
 pub use runner::{measure, Measurement};
 pub use scheduler::{run_scheduler_bench, SchedulerBenchOptions, SchedulerRecord};
 pub use table::Table;

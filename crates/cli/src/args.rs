@@ -119,6 +119,16 @@ impl ParsedArgs {
         raw.parse()
             .map_err(|_| CliError::usage(format!("{name}: '{raw}' is not a number")))
     }
+
+    /// Parses an option as a `u64`, distinguishing "absent" from a value.
+    pub fn opt_u64(&self, name: &str) -> Result<Option<u64>, CliError> {
+        let Some(raw) = self.value(name) else {
+            return Ok(None);
+        };
+        raw.parse()
+            .map(Some)
+            .map_err(|_| CliError::usage(format!("{name}: '{raw}' is not a number")))
+    }
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use hbbmc::{
-    par_enumerate_ordered, par_enumerate_ordered_observed, CliqueLineFormat, CountReporter,
-    EnumerationStats, MaximumCliqueReporter, MinSizeFilter, ProgressCounters, RootScheduler,
+    par_enumerate_ordered_budgeted, Budget, CliqueLineFormat, CountReporter, EnumerationStats,
+    MaximumCliqueReporter, MinSizeFilter, Outcome, ProgressCounters, RootScheduler,
     SizeHistogramReporter, SolverConfig, WriterReporter,
 };
 use mce_graph::Graph;
@@ -35,9 +35,17 @@ options:
                                    (default: dynamic; splitting donates
                                    sub-branches mid-recursion on skewed inputs)
   --min-size K                     only report cliques with >= K vertices
+  --limit N                        stop after the first N cliques of the
+                                   deterministic stream (exit 0; a truncated
+                                   outcome is noted on --stats). Applied
+                                   before --min-size filtering.
+  --max-steps N                    abort after N branch steps summed across
+                                   all workers; the emitted stream is an
+                                   exact prefix of the unbudgeted one
   --output count|text|ndjson|histogram|max   output mode (default: count)
   --out FILE                       write to FILE instead of stdout
-  --stats                          print run statistics to stderr
+  --stats                          print run statistics (and the outcome:
+                                   complete or truncated) to stderr
   --progress                       print a periodic one-line rate report to
                                    stderr (roots done, cliques found, cliques/s)";
 
@@ -47,6 +55,8 @@ const VALUE_OPTS: &[&str] = &[
     "--threads",
     "--scheduler",
     "--min-size",
+    "--limit",
+    "--max-steps",
     "--output",
     "--out",
 ];
@@ -96,10 +106,11 @@ fn emit_with_progress(
     graph: &Graph,
     config: &SolverConfig,
     threads: usize,
+    budget: &Budget,
     min_size: usize,
     mode: OutputMode,
     sink: &mut (dyn Write + Send),
-) -> Result<EnumerationStats, CliError> {
+) -> Result<(EnumerationStats, Outcome), CliError> {
     /// Signals the monitor to exit when dropped — including when `emit`
     /// panics, so the scope's implicit join cannot hang on a monitor that
     /// would otherwise wait forever.
@@ -153,6 +164,7 @@ fn emit_with_progress(
                 graph,
                 config,
                 threads,
+                budget,
                 min_size,
                 mode,
                 Some(&progress),
@@ -164,6 +176,34 @@ fn emit_with_progress(
     })
 }
 
+/// Builds the session [`Budget`] from `--limit` / `--max-steps`. Shared with
+/// `mce query`, which accepts the same flags.
+pub(crate) fn parse_budget(p: &ParsedArgs) -> Result<Budget, CliError> {
+    Ok(Budget {
+        max_cliques: p.opt_u64("--limit")?,
+        max_steps: p.opt_u64("--max-steps")?,
+        cancel: None,
+    })
+}
+
+/// Prints the run statistics (and outcome) to stderr for `--stats`.
+pub(crate) fn print_stats(stats: &EnumerationStats, outcome: Outcome) {
+    eprintln!("{stats}");
+    eprintln!("outcome: {outcome}");
+}
+
+/// Writes the three-line count summary shared by `enumerate --output count`
+/// and `query --output count` — one definition so the formats cannot drift.
+pub(crate) fn write_count_summary(
+    sink: &mut (dyn Write + Send),
+    counter: &CountReporter,
+) -> Result<(), CliError> {
+    writeln!(sink, "cliques {}", counter.count)?;
+    writeln!(sink, "max_size {}", counter.max_size)?;
+    writeln!(sink, "avg_size {:.4}", counter.average_size())?;
+    Ok(())
+}
+
 /// Runs the subcommand.
 pub fn run(args: &[String]) -> Result<(), CliError> {
     let p = ParsedArgs::parse(args, VALUE_OPTS, BOOL_FLAGS)?;
@@ -173,55 +213,58 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     config.scheduler = parse_scheduler(p.value("--scheduler"))?;
     let threads = p.usize_value("--threads", 1, 1, 1024)?;
     let min_size = p.usize_value("--min-size", 1, 1, usize::MAX)?;
+    let budget = parse_budget(&p)?;
     let format = FormatArg::parse(p.value("--format"))?;
     let graph = load_graph(p.positional(0), format)?;
     let mut sink = open_sink(p.value("--out"))?;
 
-    let stats = if p.flag("--progress") {
-        emit_with_progress(&graph, &config, threads, min_size, mode, &mut sink)?
+    let (stats, outcome) = if p.flag("--progress") {
+        emit_with_progress(&graph, &config, threads, &budget, min_size, mode, &mut sink)?
     } else {
-        emit(&graph, &config, threads, min_size, mode, None, &mut sink)?
+        emit(
+            &graph, &config, threads, &budget, min_size, mode, None, &mut sink,
+        )?
     };
     sink.flush()?;
     if p.flag("--stats") {
-        eprintln!("{stats}");
+        print_stats(&stats, outcome);
     }
     Ok(())
 }
 
-/// [`par_enumerate_ordered`], optionally observed by progress counters.
+/// [`par_enumerate_ordered_budgeted`], optionally observed by progress
+/// counters.
 fn enumerate_ordered<R: hbbmc::CliqueReporter + Send>(
     graph: &Graph,
     config: &SolverConfig,
     threads: usize,
+    budget: &Budget,
     reporter: &mut R,
     progress: Option<&ProgressCounters>,
-) -> Result<EnumerationStats, CliError> {
-    Ok(match progress {
-        Some(p) => par_enumerate_ordered_observed(graph, config, threads, reporter, p)?,
-        None => par_enumerate_ordered(graph, config, threads, reporter)?,
-    })
+) -> Result<(EnumerationStats, Outcome), CliError> {
+    Ok(par_enumerate_ordered_budgeted(
+        graph, config, threads, budget, progress, reporter,
+    )?)
 }
 
 /// Enumerates `graph` into `sink` under the chosen output mode.
+#[allow(clippy::too_many_arguments)]
 fn emit(
     graph: &Graph,
     config: &SolverConfig,
     threads: usize,
+    budget: &Budget,
     min_size: usize,
     mode: OutputMode,
     progress: Option<&ProgressCounters>,
     sink: &mut (dyn Write + Send),
-) -> Result<EnumerationStats, CliError> {
+) -> Result<(EnumerationStats, Outcome), CliError> {
     match mode {
         OutputMode::Count => {
             let mut reporter = MinSizeFilter::new(CountReporter::new(), min_size);
-            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
-            let counter = reporter.into_inner();
-            writeln!(sink, "cliques {}", counter.count)?;
-            writeln!(sink, "max_size {}", counter.max_size)?;
-            writeln!(sink, "avg_size {:.4}", counter.average_size())?;
-            Ok(stats)
+            let run = enumerate_ordered(graph, config, threads, budget, &mut reporter, progress)?;
+            write_count_summary(sink, &reporter.into_inner())?;
+            Ok(run)
         }
         OutputMode::Text | OutputMode::Ndjson => {
             let line_format = if mode == OutputMode::Text {
@@ -231,31 +274,31 @@ fn emit(
             };
             let writer = WriterReporter::new(&mut *sink, line_format);
             let mut reporter = MinSizeFilter::new(writer, min_size);
-            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
+            let run = enumerate_ordered(graph, config, threads, budget, &mut reporter, progress)?;
             reporter
                 .into_inner()
                 .finish()
                 .map_err(|e| CliError::runtime(format!("writing output: {e}")))?;
-            Ok(stats)
+            Ok(run)
         }
         OutputMode::Histogram => {
             let mut reporter = MinSizeFilter::new(SizeHistogramReporter::new(), min_size);
-            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
+            let run = enumerate_ordered(graph, config, threads, budget, &mut reporter, progress)?;
             let histogram = reporter.into_inner();
             for (size, &count) in histogram.histogram.iter().enumerate() {
                 if count > 0 {
                     writeln!(sink, "{size} {count}")?;
                 }
             }
-            Ok(stats)
+            Ok(run)
         }
         OutputMode::Max => {
             let mut reporter = MinSizeFilter::new(MaximumCliqueReporter::new(), min_size);
-            let stats = enumerate_ordered(graph, config, threads, &mut reporter, progress)?;
+            let run = enumerate_ordered(graph, config, threads, budget, &mut reporter, progress)?;
             let best = reporter.into_inner().best;
             let line: Vec<String> = best.iter().map(|v| v.to_string()).collect();
             writeln!(sink, "{}", line.join(" "))?;
-            Ok(stats)
+            Ok(run)
         }
     }
 }
@@ -274,7 +317,17 @@ mod tests {
         let mut sink: Vec<u8> = Vec::new();
         // Vec<u8> is Write + Send.
         let mut boxed: Box<dyn Write + Send> = Box::new(&mut sink);
-        emit(g, config, threads, min_size, mode, None, &mut *boxed).unwrap();
+        emit(
+            g,
+            config,
+            threads,
+            &Budget::unlimited(),
+            min_size,
+            mode,
+            None,
+            &mut *boxed,
+        )
+        .unwrap();
         drop(boxed);
         String::from_utf8(sink).unwrap()
     }
@@ -359,9 +412,41 @@ mod tests {
         let mut config = SolverConfig::hbbmc_pp();
         config.scheduler = RootScheduler::Splitting;
         let mut boxed: Box<dyn Write + Send> = Box::new(&mut sink);
-        emit_with_progress(&g, &config, 2, 1, OutputMode::Count, &mut *boxed).unwrap();
+        emit_with_progress(
+            &g,
+            &config,
+            2,
+            &Budget::unlimited(),
+            1,
+            OutputMode::Count,
+            &mut *boxed,
+        )
+        .unwrap();
         drop(boxed);
         assert_eq!(String::from_utf8(sink).unwrap(), baseline);
+    }
+
+    #[test]
+    fn limit_truncates_text_output_to_a_prefix() {
+        let g = diamond();
+        let full = emit_to_string(&g, 1, 1, OutputMode::Text);
+        let mut sink: Vec<u8> = Vec::new();
+        let mut boxed: Box<dyn Write + Send> = Box::new(&mut sink);
+        let (_, outcome) = emit(
+            &g,
+            &SolverConfig::hbbmc_pp(),
+            1,
+            &Budget::cliques(1),
+            1,
+            OutputMode::Text,
+            None,
+            &mut *boxed,
+        )
+        .unwrap();
+        drop(boxed);
+        let got = String::from_utf8(sink).unwrap();
+        assert_eq!(got, full.lines().next().unwrap().to_owned() + "\n");
+        assert!(outcome.is_truncated());
     }
 
     #[test]

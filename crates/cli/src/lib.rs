@@ -5,7 +5,12 @@
 //! * [`enumerate`](mod@enumerate) — stream the maximal cliques of a graph
 //!   file (or stdin) through one of five output sinks (`count`, `text`,
 //!   `ndjson`, `histogram`, `max`), at any thread count, with byte-identical
-//!   output regardless of parallelism (the golden-corpus determinism gate).
+//!   output regardless of parallelism (the golden-corpus determinism gate),
+//!   optionally bounded by `--limit` / `--max-steps`.
+//! * [`query`](mod@query) — budgeted, cancellable queries over the unified
+//!   engine: anchored enumeration (`--anchor`), top-k by size (`--top`),
+//!   counting (`--count`) and k-clique listing (`--kclique`), each with a
+//!   `complete` / `truncated` outcome on `--stats`.
 //! * [`gen`](mod@gen) — write any named `mce-gen` preset to a graph file.
 //! * [`stats`](mod@stats) — Table-I style graph and degeneracy summary.
 //! * [`verify`](mod@verify) — re-check an enumeration output against the
@@ -27,6 +32,7 @@ pub mod enumerate;
 pub mod error;
 pub mod gen;
 pub mod io;
+pub mod query;
 pub mod stats;
 pub mod verify;
 
@@ -39,6 +45,7 @@ usage: mce <command> [options]
 
 commands:
   enumerate [GRAPH]    enumerate maximal cliques of a graph file or stdin
+  query [GRAPH]        budgeted / anchored / top-k / count queries
   gen PRESET           generate a synthetic graph from a named preset
   stats [GRAPH]        print graph + degeneracy statistics
   verify GRAPH [OUT]   check an enumeration output against the naive solver
@@ -50,6 +57,7 @@ run 'mce help <command>' or 'mce <command> --help' for command options";
 fn help_for(command: &str) -> Option<&'static str> {
     match command {
         "enumerate" => Some(enumerate::HELP),
+        "query" => Some(query::HELP),
         "gen" => Some(gen::HELP),
         "stats" => Some(stats::HELP),
         "verify" => Some(verify::HELP),
@@ -96,6 +104,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     }
     match command {
         "enumerate" => enumerate::run(rest),
+        "query" => query::run(rest),
         "gen" => gen::run(rest),
         "stats" => stats::run(rest),
         "verify" => verify::run(rest),
@@ -138,7 +147,7 @@ mod tests {
 
     #[test]
     fn every_command_has_help() {
-        for c in ["enumerate", "gen", "stats", "verify", "convert"] {
+        for c in ["enumerate", "query", "gen", "stats", "verify", "convert"] {
             assert!(help_for(c).is_some(), "{c}");
             assert!(help_for(c).unwrap().contains("usage: mce"), "{c}");
         }

@@ -1,6 +1,6 @@
 //! `mce verify` — re-check an enumeration output against the naive solver.
 
-use hbbmc::{matches_reference, verify_cliques};
+use hbbmc::{matches_reference_budgeted, verify_cliques, Budget, ReferenceError};
 use mce_graph::{Graph, VertexId};
 
 use crate::args::ParsedArgs;
@@ -16,15 +16,23 @@ be a distinct maximal clique, and the collection must match the naive
 reference solver exactly. CLIQUES defaults to stdin. Exits 0 only when the
 output is provably correct and complete.
 
-The naive reference is exponential, so verification is capped at --limit
-vertices (default 512).
+The naive reference is exponential, so it runs under the shared branch-step
+budget of the query engine: when the budget is exhausted before the
+reference finishes, verification fails cleanly instead of running without
+bound.
 
 options:
   --format edge-list|dimacs|auto   graph format (default: auto)
-  --limit N                        max graph size for the naive check";
+  --max-steps N                    branch-step budget for the naive
+                                   reference (default 5000000)";
 
-const VALUE_OPTS: &[&str] = &["--format", "--limit"];
+const VALUE_OPTS: &[&str] = &["--format", "--max-steps"];
 const BOOL_FLAGS: &[&str] = &[];
+
+/// Default branch-step budget of the naive reference run: enough for every
+/// corpus-sized graph, small enough that an adversarial input fails in
+/// seconds instead of running unboundedly.
+const DEFAULT_MAX_STEPS: u64 = 5_000_000;
 
 /// Runs the subcommand.
 pub fn run(args: &[String]) -> Result<(), CliError> {
@@ -39,19 +47,12 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             "GRAPH and CLIQUES cannot both come from stdin",
         ));
     }
-    let limit = p.usize_value("--limit", 512, 1, usize::MAX)?;
+    let budget = Budget::steps(p.u64_value("--max-steps", DEFAULT_MAX_STEPS)?);
     let format = FormatArg::parse(p.value("--format"))?;
     let graph = load_graph(Some(graph_spec), format)?;
-    if graph.n() > limit {
-        return Err(CliError::runtime(format!(
-            "graph has {} vertices; the naive reference check is capped at {limit} \
-             (raise with --limit at your own patience)",
-            graph.n()
-        )));
-    }
     let (name, content) = read_input(cliques_spec)?;
     let cliques = parse_cliques(&name, &content, &graph)?;
-    check(&graph, &cliques)?;
+    check(&graph, &cliques, &budget)?;
     println!(
         "OK: {} maximal cliques match the naive reference",
         cliques.len()
@@ -90,8 +91,9 @@ fn parse_cliques(name: &str, content: &str, g: &Graph) -> Result<Vec<Vec<VertexI
     Ok(cliques)
 }
 
-/// The actual verification: per-clique soundness, then completeness.
-fn check(g: &Graph, cliques: &[Vec<VertexId>]) -> Result<(), CliError> {
+/// The actual verification: per-clique soundness (polynomial, unbudgeted),
+/// then completeness against the budgeted naive reference.
+fn check(g: &Graph, cliques: &[Vec<VertexId>], budget: &Budget) -> Result<(), CliError> {
     let violations = verify_cliques(g, cliques);
     if !violations.is_empty() {
         let shown: Vec<String> = violations.iter().take(3).map(|v| v.to_string()).collect();
@@ -101,7 +103,13 @@ fn check(g: &Graph, cliques: &[Vec<VertexId>]) -> Result<(), CliError> {
             shown.join("; ")
         )));
     }
-    matches_reference(g, cliques).map_err(CliError::runtime)
+    matches_reference_budgeted(g, cliques, budget).map_err(|e| match e {
+        ReferenceError::Mismatch(msg) => CliError::runtime(msg),
+        ReferenceError::BudgetExhausted(reason) => CliError::runtime(format!(
+            "naive reference check exhausted its step budget ({reason}); \
+             raise with --max-steps at your own patience"
+        )),
+    })
 }
 
 #[cfg(test)]
@@ -116,14 +124,14 @@ mod tests {
     fn accepts_a_correct_enumeration() {
         let g = triangle_plus_edge();
         let cliques = parse_cliques("t", "# comment\n0 1 2\n\n2 3\n", &g).unwrap();
-        assert!(check(&g, &cliques).is_ok());
+        assert!(check(&g, &cliques, &Budget::unlimited()).is_ok());
     }
 
     #[test]
     fn rejects_a_missing_clique() {
         let g = triangle_plus_edge();
         let cliques = parse_cliques("t", "0 1 2\n", &g).unwrap();
-        let err = check(&g, &cliques).unwrap_err();
+        let err = check(&g, &cliques, &Budget::unlimited()).unwrap_err();
         assert_eq!(err.exit_code(), 1);
     }
 
@@ -131,7 +139,7 @@ mod tests {
     fn rejects_a_non_maximal_clique() {
         let g = triangle_plus_edge();
         let cliques = parse_cliques("t", "0 1\n0 1 2\n2 3\n", &g).unwrap();
-        let err = check(&g, &cliques).unwrap_err();
+        let err = check(&g, &cliques, &Budget::unlimited()).unwrap_err();
         assert!(err.to_string().contains("not maximal"));
     }
 
@@ -139,8 +147,18 @@ mod tests {
     fn rejects_duplicates() {
         let g = triangle_plus_edge();
         let cliques = parse_cliques("t", "0 1 2\n2 1 0\n2 3\n", &g).unwrap();
-        let err = check(&g, &cliques).unwrap_err();
+        let err = check(&g, &cliques, &Budget::unlimited()).unwrap_err();
         assert!(err.to_string().contains("identical"));
+    }
+
+    #[test]
+    fn reports_budget_exhaustion_cleanly() {
+        let g = Graph::complete(10);
+        let cliques = vec![(0..10u32).collect::<Vec<_>>()];
+        let err = check(&g, &cliques, &Budget::steps(2)).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("--max-steps"), "{err}");
+        assert!(check(&g, &cliques, &Budget::steps(1_000_000)).is_ok());
     }
 
     #[test]

@@ -103,20 +103,41 @@ fn verify_detects_a_wrong_enumeration() {
 }
 
 #[test]
-fn verify_limit_guards_naive_blowup() {
+fn query_rejects_bad_flag_combinations() {
+    // All of these fail during flag validation, before any input is read.
+    assert_clean_failure(&["query", "-", "--count", "--top", "2"], 2);
+    assert_clean_failure(&["query", "-", "--anchor", "x"], 2);
+    assert_clean_failure(&["query", "-", "--kclique", "0"], 2);
+    assert_clean_failure(&["query", "-", "--count", "--output", "text"], 2);
+    assert_clean_failure(&["query", "-", "--top", "2", "--min-size", "3"], 2);
+    assert_clean_failure(&["query", "-", "--limit", "abc"], 2);
+}
+
+#[test]
+fn verify_step_budget_guards_naive_blowup() {
     let dir = std::env::temp_dir().join("mce_cli_errors_test");
     std::fs::create_dir_all(&dir).unwrap();
-    let graph = dir.join("big.txt");
-    // 600 vertices in a path: over the default 512-vertex naive cap.
+    let graph = dir.join("dense.txt");
+    // A 12-clique: the naive reference run cannot finish inside 10 branch
+    // steps, so verification must fail cleanly via the shared budget instead
+    // of succeeding or hanging.
     let mut text = String::new();
-    for v in 0..599 {
-        text.push_str(&format!("{} {}\n", v, v + 1));
+    for u in 0..12u32 {
+        for v in (u + 1)..12 {
+            text.push_str(&format!("{u} {v}\n"));
+        }
     }
     std::fs::write(&graph, text).unwrap();
-    let cliques = dir.join("big.cliques");
-    std::fs::write(&cliques, "0 1\n").unwrap();
+    let cliques = dir.join("dense.cliques");
+    std::fs::write(&cliques, "0 1 2 3 4 5 6 7 8 9 10 11\n").unwrap();
     assert_clean_failure(
-        &["verify", graph.to_str().unwrap(), cliques.to_str().unwrap()],
+        &[
+            "verify",
+            graph.to_str().unwrap(),
+            cliques.to_str().unwrap(),
+            "--max-steps",
+            "10",
+        ],
         1,
     );
     std::fs::remove_file(&graph).ok();

@@ -120,6 +120,135 @@ fn vertex_oriented_preset_matches_golden() {
     );
 }
 
+/// Runs an arbitrary `mce` invocation on a corpus graph and returns stdout.
+fn run_mce(args: &[&str]) -> Vec<u8> {
+    let out = mce().args(args).output().expect("spawning mce");
+    assert!(
+        out.status.success(),
+        "mce {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn query_anchored_golden_matches_across_threads_and_schedulers() {
+    let graph = corpus_dir().join("planted-60.txt");
+    let graph = graph.to_str().unwrap();
+    let expected = std::fs::read(corpus_dir().join("planted-60.anchor27.golden")).unwrap();
+    assert!(!expected.is_empty());
+    for threads in [1usize, 2, 4] {
+        for scheduler in ["dynamic", "static", "splitting"] {
+            let got = run_mce(&[
+                "query",
+                graph,
+                "--anchor",
+                "27",
+                "--output",
+                "text",
+                "--threads",
+                &threads.to_string(),
+                "--scheduler",
+                scheduler,
+            ]);
+            assert_eq!(
+                got, expected,
+                "anchored query differs at {threads} threads, {scheduler}"
+            );
+        }
+    }
+}
+
+#[test]
+fn query_top_k_golden_matches_across_threads_and_schedulers() {
+    let graph = corpus_dir().join("planted-60.txt");
+    let graph = graph.to_str().unwrap();
+    let expected = std::fs::read(corpus_dir().join("planted-60.top3.golden")).unwrap();
+    assert_eq!(expected.iter().filter(|&&b| b == b'\n').count(), 3);
+    for threads in [1usize, 2, 4] {
+        for scheduler in ["dynamic", "static", "splitting"] {
+            let got = run_mce(&[
+                "query",
+                graph,
+                "--top",
+                "3",
+                "--threads",
+                &threads.to_string(),
+                "--scheduler",
+                scheduler,
+            ]);
+            assert_eq!(
+                got, expected,
+                "top-3 query differs at {threads} threads, {scheduler}"
+            );
+        }
+    }
+}
+
+#[test]
+fn query_count_matches_the_count_golden() {
+    let graph = corpus_dir().join("planted-60.txt");
+    let count_golden =
+        std::fs::read_to_string(corpus_dir().join("planted-60.count.golden")).unwrap();
+    let expected_count = count_golden
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("cliques "))
+        .expect("count golden starts with 'cliques N'");
+    let got = run_mce(&["query", graph.to_str().unwrap(), "--count"]);
+    assert_eq!(
+        String::from_utf8(got).unwrap(),
+        format!("cliques {expected_count}\n")
+    );
+}
+
+/// The golden-corpus prefix gate: `--limit N` must emit exactly the first N
+/// lines of the committed full text golden, at 1/2/4 threads under every
+/// scheduler, for both `enumerate` and `query`.
+#[test]
+fn limit_emits_the_exact_golden_prefix_across_threads_and_schedulers() {
+    let graph = corpus_dir().join("planted-60.txt");
+    let graph = graph.to_str().unwrap();
+    let full = std::fs::read_to_string(corpus_dir().join("planted-60.text.golden")).unwrap();
+    let prefix: String = full.lines().take(10).map(|l| format!("{l}\n")).collect();
+    assert_eq!(prefix.lines().count(), 10, "corpus graph has > 10 cliques");
+    for threads in [1usize, 2, 4] {
+        for scheduler in ["dynamic", "static", "splitting"] {
+            let threads_s = threads.to_string();
+            let enumerate_args = [
+                "enumerate",
+                graph,
+                "--output",
+                "text",
+                "--limit",
+                "10",
+                "--threads",
+                &threads_s,
+                "--scheduler",
+                scheduler,
+            ];
+            let query_args = [
+                "query",
+                graph,
+                "--limit",
+                "10",
+                "--threads",
+                &threads_s,
+                "--scheduler",
+                scheduler,
+            ];
+            for args in [&enumerate_args[..], &query_args[..]] {
+                let got = run_mce(args);
+                assert_eq!(
+                    String::from_utf8(got).unwrap(),
+                    prefix,
+                    "{args:?}: --limit 10 must be the exact 10-line golden prefix"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn golden_text_outputs_pass_mce_verify() {
     for (graph, golden) in [

@@ -12,6 +12,7 @@
 use mce_graph::ordering::{edge_ordering, EdgeOrderingKind};
 use mce_graph::{BitSet, Graph, VertexId};
 
+use crate::budget::{Budget, BudgetState, Outcome};
 use crate::local::LocalGraph;
 
 /// Lists every k-clique of `g` (each clique sorted ascending, cliques in
@@ -43,17 +44,56 @@ pub fn k_clique_census(g: &Graph, max_k: usize) -> Vec<u64> {
 
 /// Streams every k-clique to `visit` exactly once.
 pub fn for_each_k_clique<F: FnMut(&[VertexId])>(g: &Graph, k: usize, mut visit: F) {
+    let state = BudgetState::new(&Budget::unlimited());
+    for_each_k_clique_with_state(g, k, &state, &mut |clique| visit(clique));
+}
+
+/// [`for_each_k_clique`] under a [`Budget`]: stops streaming when the
+/// emission cap, step bound or cancellation trips, and returns the run's
+/// [`Outcome`]. The stream order is deterministic, so a truncated run emits
+/// an exact prefix of the unbudgeted stream.
+pub fn for_each_k_clique_budgeted<F: FnMut(&[VertexId])>(
+    g: &Graph,
+    k: usize,
+    budget: &Budget,
+    mut visit: F,
+) -> Outcome {
+    let state = BudgetState::new(budget);
+    for_each_k_clique_with_state(g, k, &state, &mut |clique| visit(clique));
+    state.outcome()
+}
+
+/// The shared driver: streams k-cliques under an existing session
+/// [`BudgetState`] (the query layer passes its own so the session's cancel
+/// token applies).
+pub(crate) fn for_each_k_clique_with_state(
+    g: &Graph,
+    k: usize,
+    state: &BudgetState,
+    visit: &mut dyn FnMut(&[VertexId]),
+) {
+    let mut gated = |clique: &[VertexId]| {
+        if state.try_emit() {
+            visit(clique);
+        }
+    };
     match k {
         0 => return,
         1 => {
             for v in g.vertices() {
-                visit(&[v]);
+                if state.should_stop() {
+                    return;
+                }
+                gated(&[v]);
             }
             return;
         }
         2 => {
             for (u, v) in g.edges() {
-                visit(&[u, v]);
+                if state.should_stop() {
+                    return;
+                }
+                gated(&[u, v]);
             }
             return;
         }
@@ -63,6 +103,9 @@ pub fn for_each_k_clique<F: FnMut(&[VertexId])>(g: &Graph, k: usize, mut visit: 
     let eo = edge_ordering(g, EdgeOrderingKind::Truss);
     let mut common = Vec::new();
     for (rank, &edge) in eo.order.iter().enumerate() {
+        if state.note_step() {
+            return;
+        }
         let (u, v) = eo.index.endpoints(edge);
         g.common_neighbors_into(u, v, &mut common);
         // Candidates: common neighbours whose edges to both endpoints come
@@ -92,7 +135,7 @@ pub fn for_each_k_clique<F: FnMut(&[VertexId])>(g: &Graph, k: usize, mut visit: 
             c.insert(i);
         }
         let mut partial = vec![u, v];
-        extend_clique(&lg, &c, 0, k - 2, &mut partial, &mut visit);
+        extend_clique(&lg, &c, 0, k - 2, &mut partial, state, &mut gated);
     }
 }
 
@@ -104,6 +147,7 @@ fn extend_clique<F: FnMut(&[VertexId])>(
     from: usize,
     remaining: usize,
     partial: &mut Vec<VertexId>,
+    state: &BudgetState,
     visit: &mut F,
 ) {
     if remaining == 0 {
@@ -117,10 +161,13 @@ fn extend_clique<F: FnMut(&[VertexId])>(
         if v < from {
             continue;
         }
+        if state.note_step() {
+            return;
+        }
         let mut next = c.clone();
         next.intersect_with_words(lg.cand(v));
         partial.push(lg.orig[v]);
-        extend_clique(lg, &next, v + 1, remaining - 1, partial, visit);
+        extend_clique(lg, &next, v + 1, remaining - 1, partial, state, visit);
         partial.pop();
     }
 }

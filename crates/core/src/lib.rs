@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod config;
 pub mod early_term;
 pub mod kclique;
@@ -52,6 +53,7 @@ pub mod naive;
 pub mod parallel;
 pub mod pivot;
 mod pool;
+pub mod query;
 pub mod reduction;
 pub mod report;
 mod scratch;
@@ -59,25 +61,32 @@ pub mod solver;
 pub mod stats;
 pub mod verify;
 
+pub use budget::{Budget, CancelToken, Outcome, TruncationReason};
 pub use config::{
     ConfigError, InitialBranching, PivotStrategy, RecursionStrategy, RootScheduler, SolverConfig,
 };
-pub use kclique::{count_k_cliques, k_clique_census, list_k_cliques};
-pub use naive::{naive_count, naive_maximal_cliques};
+pub use kclique::{
+    count_k_cliques, for_each_k_clique, for_each_k_clique_budgeted, k_clique_census, list_k_cliques,
+};
+pub use naive::{naive_count, naive_maximal_cliques, naive_maximal_cliques_budgeted};
 pub use parallel::{
     par_count_maximal_cliques, par_count_with_worker_stats, par_enumerate_collect,
-    par_enumerate_ordered, par_enumerate_ordered_observed, par_enumerate_streaming,
-    ProgressCounters,
+    par_enumerate_ordered, par_enumerate_ordered_budgeted, par_enumerate_ordered_observed,
+    par_enumerate_streaming, ProgressCounters,
 };
+pub use query::{run_query, ExecSession, Query, QueryError, QueryResult, QuerySpec, QueryValue};
 pub use report::{
     CallbackReporter, CliqueLineFormat, CliqueReporter, CollectReporter, CountReporter,
-    MaximumCliqueReporter, MinSizeFilter, SizeHistogramReporter, WriterReporter,
+    MaximumCliqueReporter, MinSizeFilter, SizeHistogramReporter, TopKReporter, WriterReporter,
 };
 pub use solver::{
     count_maximal_cliques, enumerate, enumerate_collect, maximum_clique, EnumerationState, Solver,
 };
 pub use stats::EnumerationStats;
-pub use verify::{is_maximal_clique, matches_reference, verify_cliques, Violation};
+pub use verify::{
+    is_maximal_clique, matches_reference, matches_reference_budgeted, verify_cliques,
+    ReferenceError, Violation,
+};
 
 // Re-export the substrate types users need to build inputs.
 pub use mce_graph::{Graph, GraphBuilder, GraphStats, VertexId};

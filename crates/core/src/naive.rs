@@ -8,19 +8,54 @@
 
 use mce_graph::{Graph, VertexId};
 
+use crate::budget::{Budget, BudgetState, Outcome, TruncationReason};
+
 /// Enumerates all maximal cliques of `g` with the unoptimised reference
 /// algorithm. Returns them in canonical order (each clique sorted, cliques
 /// sorted lexicographically).
 pub fn naive_maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
+    naive_maximal_cliques_budgeted(g, &Budget::unlimited())
+        .expect("unlimited budget cannot truncate")
+}
+
+/// [`naive_maximal_cliques`] under a [`Budget`]: counts one branch step per
+/// recursion-loop iteration and one emission per clique, and returns the
+/// reason when a bound trips. A truncated reference result would be useless
+/// for a completeness check, so no partial output is returned.
+///
+/// This is the shared budget path `mce verify` uses instead of a private
+/// vertex-count cap: the exponential reference run is bounded by actual work
+/// done, not by a proxy on the input size.
+pub fn naive_maximal_cliques_budgeted(
+    g: &Graph,
+    budget: &Budget,
+) -> Result<Vec<Vec<VertexId>>, TruncationReason> {
     if g.n() == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
+    let state = BudgetState::new(budget);
     let mut out = Vec::new();
     let candidates: Vec<VertexId> = g.vertices().collect();
     let mut partial = Vec::new();
-    recurse(g, &mut partial, candidates, Vec::new(), &mut out);
-    out.sort();
-    out
+    recurse(g, &mut partial, candidates, Vec::new(), &state, &mut out)?;
+    match state.outcome() {
+        Outcome::Complete => {
+            out.sort();
+            Ok(out)
+        }
+        // A token cancelled after the last step still truncates the result.
+        Outcome::Truncated { reason } => Err(reason),
+    }
+}
+
+fn emit(partial: &[VertexId], state: &BudgetState, out: &mut Vec<Vec<VertexId>>) -> bool {
+    if !state.try_emit() {
+        return false;
+    }
+    let mut clique = partial.to_vec();
+    clique.sort_unstable();
+    out.push(clique);
+    true
 }
 
 fn recurse(
@@ -28,15 +63,23 @@ fn recurse(
     partial: &mut Vec<VertexId>,
     mut candidates: Vec<VertexId>,
     mut excluded: Vec<VertexId>,
+    state: &BudgetState,
     out: &mut Vec<Vec<VertexId>>,
-) {
+) -> Result<(), TruncationReason> {
+    let truncated = || match state.outcome() {
+        Outcome::Truncated { reason } => reason,
+        Outcome::Complete => unreachable!("stop observed without a tripped bound"),
+    };
     if candidates.is_empty() && excluded.is_empty() {
-        let mut clique = partial.clone();
-        clique.sort_unstable();
-        out.push(clique);
-        return;
+        if !emit(partial, state, out) {
+            return Err(truncated());
+        }
+        return Ok(());
     }
     while let Some(v) = candidates.last().copied() {
+        if state.note_step() {
+            return Err(truncated());
+        }
         let next_candidates: Vec<VertexId> = candidates
             .iter()
             .copied()
@@ -48,17 +91,13 @@ fn recurse(
             .filter(|&u| g.has_edge(u, v))
             .collect();
         partial.push(v);
-        recurse(g, partial, next_candidates, next_excluded, out);
+        let result = recurse(g, partial, next_candidates, next_excluded, state, out);
         partial.pop();
+        result?;
         candidates.pop();
         excluded.push(v);
     }
-    if candidates.is_empty() && excluded.is_empty() {
-        // Unreachable (handled above) but keeps the logic obviously total.
-        let mut clique = partial.clone();
-        clique.sort_unstable();
-        out.push(clique);
-    }
+    Ok(())
 }
 
 /// Counts the maximal cliques of `g` with the reference algorithm.
@@ -115,6 +154,32 @@ mod tests {
         }
         let g = Graph::from_edges(9, edges).unwrap();
         assert_eq!(naive_count(&g), 27);
+    }
+
+    #[test]
+    fn budgeted_naive_truncates_and_completes() {
+        let g = Graph::complete(6);
+        assert_eq!(
+            naive_maximal_cliques_budgeted(&g, &Budget::steps(2)),
+            Err(TruncationReason::StepLimit)
+        );
+        assert_eq!(
+            naive_maximal_cliques_budgeted(&g, &Budget::steps(1_000_000)).unwrap(),
+            naive_maximal_cliques(&g)
+        );
+        // A clique cap below the result size also truncates.
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(
+            naive_maximal_cliques_budgeted(&path, &Budget::cliques(1)),
+            Err(TruncationReason::CliqueLimit)
+        );
+        // A pre-cancelled token truncates immediately.
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        assert_eq!(
+            naive_maximal_cliques_budgeted(&g, &Budget::unlimited().with_cancel(token)),
+            Err(TruncationReason::Cancelled)
+        );
     }
 
     #[test]

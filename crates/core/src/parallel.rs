@@ -69,6 +69,7 @@ use std::time::Instant;
 
 use mce_graph::{Graph, VertexId};
 
+use crate::budget::{Budget, BudgetReporter, BudgetState, Outcome};
 use crate::config::{ConfigError, RootScheduler, SolverConfig};
 use crate::pool::{BranchTask, DonationSink, PoolConfig, PoolWork, SeqKey, TaskPool};
 use crate::report::{CliqueReporter, CollectReporter, CountReporter};
@@ -241,6 +242,7 @@ where
                             (worker_id..total).step_by(threads),
                             worker_id == 0,
                             &mut state,
+                            None,
                             &mut reporter,
                         ),
                         _ => solver.run_on_plan(
@@ -248,6 +250,7 @@ where
                             StealingRanks::new(next_rank, total),
                             worker_id == 0,
                             &mut state,
+                            None,
                             &mut reporter,
                         ),
                     };
@@ -297,6 +300,7 @@ where
                             std::iter::empty(),
                             true,
                             &mut state,
+                            None,
                             &mut reporter,
                         );
                         stats.merge(&s);
@@ -308,10 +312,11 @@ where
                                 shards.chunk(chunk),
                                 &mut state,
                                 pool,
+                                None,
                                 &mut reporter,
                             ),
                             PoolWork::Task(task) => {
-                                solver.run_branch_task(*task, &mut state, pool, &mut reporter)
+                                solver.run_branch_task(*task, &mut state, pool, None, &mut reporter)
                             }
                         };
                         stats.merge(&s);
@@ -456,8 +461,11 @@ impl CliqueReporter for RankBuffer<'_> {
 /// The parts of one root rank collected so far.
 #[derive(Default)]
 struct RankParts {
-    /// `(key, cliques)` deposits, unsorted until the rank completes.
-    parts: Vec<(SeqKey, Vec<Vec<VertexId>>)>,
+    /// `(key, cliques, truncated)` deposits, unsorted until the rank
+    /// completes. `truncated` marks a part whose work item was cut short by
+    /// the session budget — its cliques are a prefix of that item's
+    /// sequential contribution.
+    parts: Vec<(SeqKey, Vec<Vec<VertexId>>, bool)>,
     /// Donations registered for this rank. A rank is complete when
     /// `parts.len() == donations + 1` (the `+ 1` is the root's own task);
     /// donations are registered *before* their task enters the pool, so the
@@ -479,6 +487,10 @@ struct Sequencer<'a, R: CliqueReporter + ?Sized> {
     pending: BTreeMap<usize, RankParts>,
     /// Total cliques currently parked in `pending` (the backpressure gauge).
     buffered_cliques: usize,
+    /// Whether a truncated part reached the stream head: the emitted bytes
+    /// end at a clean budget cut and nothing later may follow (the
+    /// sequential stream has a gap from that point on).
+    closed: bool,
     out: &'a mut R,
 }
 
@@ -488,6 +500,7 @@ impl<'a, R: CliqueReporter + ?Sized> Sequencer<'a, R> {
             next: 0,
             pending: BTreeMap::new(),
             buffered_cliques: 0,
+            closed: false,
             out,
         }
     }
@@ -497,32 +510,60 @@ impl<'a, R: CliqueReporter + ?Sized> Sequencer<'a, R> {
         self.pending.entry(rank).or_default().donations += 1;
     }
 
-    /// Adds one task's cliques and emits every now-complete head rank.
-    /// Returns whether the stream head advanced (capacity was freed).
-    fn deposit(&mut self, rank: usize, key: SeqKey, cliques: Vec<Vec<VertexId>>) -> bool {
+    /// Adds one task's cliques and emits every now-complete head rank. A
+    /// part marked `truncated` was cut short by the session budget: once it
+    /// reaches the stream head its (prefix) cliques are emitted and the
+    /// stream closes — everything later is discarded, keeping the output an
+    /// exact byte-prefix of the full deterministic stream. Returns whether
+    /// the head advanced or the stream closed (both free waiting
+    /// depositors).
+    fn deposit(
+        &mut self,
+        rank: usize,
+        key: SeqKey,
+        cliques: Vec<Vec<VertexId>>,
+        truncated: bool,
+    ) -> bool {
+        if self.closed {
+            return true; // nothing further emits; park nothing
+        }
         self.buffered_cliques += cliques.len();
         self.pending
             .entry(rank)
             .or_default()
             .parts
-            .push((key, cliques));
+            .push((key, cliques, truncated));
         let before = self.next;
-        while self
-            .pending
-            .get(&self.next)
-            .is_some_and(RankParts::is_complete)
+        while !self.closed
+            && self
+                .pending
+                .get(&self.next)
+                .is_some_and(RankParts::is_complete)
         {
             let mut slot = self.pending.remove(&self.next).expect("checked above");
             slot.parts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-            for (_, cliques) in &slot.parts {
+            for (_, cliques, part_truncated) in &slot.parts {
                 self.buffered_cliques -= cliques.len();
                 for clique in cliques {
                     self.out.report(clique);
                 }
+                if *part_truncated {
+                    self.closed = true;
+                    break;
+                }
+            }
+            if self.closed {
+                break;
             }
             self.next += 1;
         }
-        self.next != before
+        if self.closed {
+            // Drop everything still parked; later deposits are dropped on
+            // arrival.
+            self.pending.clear();
+            self.buffered_cliques = 0;
+        }
+        self.next != before || self.closed
     }
 }
 
@@ -544,14 +585,16 @@ fn bounded_deposit<R: CliqueReporter + ?Sized>(
     cap: usize,
     rank: usize,
     cliques: Vec<Vec<VertexId>>,
+    truncated: bool,
 ) {
     let mut seq = sequencer.lock().expect("sequencer lock poisoned");
-    while rank != seq.next && seq.buffered_cliques + cliques.len() > cap {
+    while !seq.closed && rank != seq.next && seq.buffered_cliques + cliques.len() > cap {
         seq = drained.wait(seq).expect("sequencer lock poisoned");
     }
-    if seq.deposit(rank, SeqKey::root(), cliques) {
-        // `next` moved (possibly past several parked ranks): capacity was
-        // freed and some waiter may now be the stream head.
+    if seq.deposit(rank, SeqKey::root(), cliques, truncated) {
+        // `next` moved (possibly past several parked ranks) or the stream
+        // closed: capacity was freed and some waiter may now be the stream
+        // head (or free to drop its deposit).
         drained.notify_all();
     }
 }
@@ -583,6 +626,7 @@ pub fn par_enumerate_ordered<R: CliqueReporter + Send + ?Sized>(
         SEQUENCER_BUFFER_CAP,
         PoolConfig::default(),
         None,
+        None,
         reporter,
     )
 }
@@ -605,7 +649,57 @@ pub fn par_enumerate_ordered_observed<R: CliqueReporter + Send + ?Sized>(
         SEQUENCER_BUFFER_CAP,
         PoolConfig::default(),
         Some(progress),
+        None,
         reporter,
+    )
+}
+
+/// [`par_enumerate_ordered`] under a [`Budget`]: the stream stops at the
+/// budget's clique cap, step bound or cancellation, and the emitted bytes are
+/// always an exact prefix of the unbudgeted deterministic stream — at any
+/// thread count, under any [`RootScheduler`]. With `max_cliques = Some(n)`
+/// the output is exactly the first `n` cliques of that stream.
+///
+/// Workers observe the budget between branch steps, so cancellation latency
+/// is bounded by one branch step plus the cost of unwinding. `progress`
+/// optionally attaches live [`ProgressCounters`]. Returns the run statistics
+/// and the [`Outcome`] (`Complete`, or `Truncated` with the first bound that
+/// tripped).
+pub fn par_enumerate_ordered_budgeted<R: CliqueReporter + Send + ?Sized>(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    budget: &Budget,
+    progress: Option<&ProgressCounters>,
+    reporter: &mut R,
+) -> Result<(EnumerationStats, Outcome), ConfigError> {
+    let state = BudgetState::new(budget);
+    let stats = par_enumerate_ordered_with_state(g, config, threads, &state, progress, reporter)?;
+    Ok((stats, state.outcome()))
+}
+
+/// [`par_enumerate_ordered_budgeted`] over an existing session
+/// [`BudgetState`] (the query layer owns the state so its cancel token can be
+/// handed out before the run starts). Applies the clique-cap gate here —
+/// after the deterministic sequencer — so callers pass their raw reporter.
+pub(crate) fn par_enumerate_ordered_with_state<R: CliqueReporter + Send + ?Sized>(
+    g: &Graph,
+    config: &SolverConfig,
+    threads: usize,
+    state: &BudgetState,
+    progress: Option<&ProgressCounters>,
+    reporter: &mut R,
+) -> Result<EnumerationStats, ConfigError> {
+    let mut gated = BudgetReporter::new(reporter, state);
+    par_enumerate_ordered_driver(
+        g,
+        config,
+        threads,
+        SEQUENCER_BUFFER_CAP,
+        PoolConfig::default(),
+        progress,
+        Some(state),
+        &mut gated,
     )
 }
 
@@ -640,6 +734,7 @@ impl<R: CliqueReporter + Send + ?Sized> DonationSink for OrderedSink<'_, '_, R> 
 /// The full ordered driver (internal): explicit buffer cap, pool tuning and
 /// optional progress counters, exposed for tests that force the backpressure
 /// or aggressive-splitting paths.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     g: &Graph,
     config: &SolverConfig,
@@ -647,6 +742,7 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     cap: usize,
     pool_config: PoolConfig,
     progress: Option<&ProgressCounters>,
+    budget: Option<&BudgetState>,
     mut reporter: &mut R,
 ) -> Result<EnumerationStats, ConfigError> {
     let start = Instant::now();
@@ -664,7 +760,14 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     // impl so unsized `R` still coerces to `&mut dyn CliqueReporter`.
     let mut merged = {
         let mut warm = WorkerState::new();
-        solver.run_on_plan(&plan, std::iter::empty(), true, &mut warm, &mut reporter)
+        solver.run_on_plan(
+            &plan,
+            std::iter::empty(),
+            true,
+            &mut warm,
+            budget,
+            &mut reporter,
+        )
     };
     hook.cliques(merged.maximal_cliques);
 
@@ -680,7 +783,8 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
             let mut rank = 0usize;
             while rank < total {
                 let end = (rank + CHUNK).min(total);
-                let stats = solver.run_on_plan(&plan, rank..end, false, &mut state, &mut counted);
+                let stats =
+                    solver.run_on_plan(&plan, rank..end, false, &mut state, budget, &mut counted);
                 if let Some(p) = progress {
                     p.roots_done
                         .fetch_add((end - rank) as u64, Ordering::Relaxed);
@@ -689,7 +793,8 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
                 rank = end;
             }
         } else {
-            let stats = solver.run_on_plan(&plan, 0..total, false, &mut state, &mut reporter);
+            let stats =
+                solver.run_on_plan(&plan, 0..total, false, &mut state, budget, &mut reporter);
             merged.merge(&stats);
         }
         merged.elapsed = start.elapsed();
@@ -702,20 +807,29 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     let drained = Condvar::new();
 
     let worker_stats: Vec<EnumerationStats> = match scheduler {
-        RootScheduler::Splitting => {
-            ordered_splitting_workers(&solver, &plan, threads, pool_config, hook, &sequencer)
-        }
+        RootScheduler::Splitting => ordered_splitting_workers(
+            &solver,
+            &plan,
+            threads,
+            pool_config,
+            hook,
+            budget,
+            &sequencer,
+        ),
         RootScheduler::Dynamic | RootScheduler::Static => ordered_pulling_workers(
-            &solver, &plan, threads, cap, scheduler, hook, &sequencer, &drained,
+            &solver, &plan, threads, cap, scheduler, hook, budget, &sequencer, &drained,
         ),
     };
     for stats in &worker_stats {
         merged.merge(stats);
     }
     let sequencer = sequencer.into_inner().expect("sequencer lock poisoned");
-    debug_assert_eq!(sequencer.next, total, "every rank must have been emitted");
-    debug_assert!(sequencer.pending.is_empty());
-    debug_assert_eq!(sequencer.buffered_cliques, 0);
+    debug_assert!(
+        sequencer.closed || sequencer.next == total,
+        "every rank must have been emitted unless the stream was truncated"
+    );
+    debug_assert!(sequencer.closed || sequencer.pending.is_empty());
+    debug_assert!(sequencer.closed || sequencer.buffered_cliques == 0);
     merged.elapsed = start.elapsed();
     Ok(merged)
 }
@@ -730,6 +844,7 @@ fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
     cap: usize,
     scheduler: RootScheduler,
     hook: ProgressHook<'_>,
+    budget: Option<&BudgetState>,
     sequencer: &Mutex<Sequencer<'_, R>>,
     drained: &Condvar,
 ) -> Vec<EnumerationStats> {
@@ -742,29 +857,50 @@ fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
                 scope.spawn(move || {
                     let mut state = WorkerState::new();
                     let mut stats = EnumerationStats::default();
+                    // Returns `false` once the budget stopped the run: the
+                    // claimed rank gets an empty truncated part (closing the
+                    // ordered stream at or before it) and the worker exits.
                     let run_rank =
                         |rank: usize, state: &mut WorkerState, stats: &mut EnumerationStats| {
+                            if budget.is_some_and(BudgetState::should_stop) {
+                                bounded_deposit(sequencer, drained, cap, rank, Vec::new(), true);
+                                return false;
+                            }
                             let mut buffer = RankBuffer::new(hook);
                             let s = solver.run_on_plan(
                                 plan,
                                 std::iter::once(rank),
                                 false,
                                 state,
+                                budget,
                                 &mut buffer,
                             );
+                            let truncated = s.terminated_by_budget > 0;
                             stats.merge(&s);
                             hook.root_done();
-                            bounded_deposit(sequencer, drained, cap, rank, buffer.cliques);
+                            bounded_deposit(
+                                sequencer,
+                                drained,
+                                cap,
+                                rank,
+                                buffer.cliques,
+                                truncated,
+                            );
+                            true
                         };
                     match scheduler {
                         RootScheduler::Static => {
                             for rank in (worker_id..total).step_by(threads) {
-                                run_rank(rank, &mut state, &mut stats);
+                                if !run_rank(rank, &mut state, &mut stats) {
+                                    break;
+                                }
                             }
                         }
                         _ => {
                             for rank in StealingRanks::new(next_rank, total) {
-                                run_rank(rank, &mut state, &mut stats);
+                                if !run_rank(rank, &mut state, &mut stats) {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -787,6 +923,7 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
     threads: usize,
     pool_config: PoolConfig,
     hook: ProgressHook<'_>,
+    budget: Option<&BudgetState>,
     sequencer: &Mutex<Sequencer<'_, R>>,
 ) -> Vec<EnumerationStats> {
     let shards = plan
@@ -794,11 +931,11 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
         .as_ref()
         .expect("splitting plan carries component shards");
     let pool = TaskPool::new(shards.chunk_count(), pool_config);
-    let deposit = |rank: usize, key: SeqKey, cliques: Vec<Vec<VertexId>>| {
+    let deposit = |rank: usize, key: SeqKey, cliques: Vec<Vec<VertexId>>, truncated: bool| {
         sequencer
             .lock()
             .expect("sequencer lock poisoned")
-            .deposit(rank, key, cliques);
+            .deposit(rank, key, cliques, truncated);
     };
 
     thread::scope(|scope| {
@@ -815,31 +952,52 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
                     };
                     let mut state = WorkerState::new();
                     let mut stats = EnumerationStats::default();
+                    // After a budget stop, the pool must still drain so the
+                    // sequencer's parts-per-rank accounting stays exact:
+                    // every remaining work item is claimed and immediately
+                    // answered with an empty truncated part.
                     while let Some(work) = pool.claim() {
+                        let stopped = budget.is_some_and(BudgetState::should_stop);
                         match work {
                             PoolWork::Chunk(chunk) => {
                                 for rank in shards.chunk(chunk) {
+                                    if stopped || budget.is_some_and(BudgetState::should_stop) {
+                                        deposit(rank, SeqKey::root(), Vec::new(), true);
+                                        continue;
+                                    }
                                     let mut buffer = RankBuffer::new(hook);
                                     let s = solver.run_ranks_donating(
                                         plan,
                                         std::iter::once(rank),
                                         &mut state,
                                         &sink,
+                                        budget,
                                         &mut buffer,
                                     );
                                     hook.root_done();
+                                    let truncated = s.terminated_by_budget > 0;
                                     stats.merge(&s);
-                                    deposit(rank, SeqKey::root(), buffer.cliques);
+                                    deposit(rank, SeqKey::root(), buffer.cliques, truncated);
                                 }
                             }
                             PoolWork::Task(task) => {
                                 let rank = task.rank;
                                 let key = task.key.clone();
-                                let mut buffer = RankBuffer::new(hook);
-                                let s =
-                                    solver.run_branch_task(*task, &mut state, &sink, &mut buffer);
-                                stats.merge(&s);
-                                deposit(rank, key, buffer.cliques);
+                                if stopped {
+                                    deposit(rank, key, Vec::new(), true);
+                                } else {
+                                    let mut buffer = RankBuffer::new(hook);
+                                    let s = solver.run_branch_task(
+                                        *task,
+                                        &mut state,
+                                        &sink,
+                                        budget,
+                                        &mut buffer,
+                                    );
+                                    let truncated = s.terminated_by_budget > 0;
+                                    stats.merge(&s);
+                                    deposit(rank, key, buffer.cliques, truncated);
+                                }
                             }
                         }
                         pool.complete();
@@ -1011,6 +1169,7 @@ mod tests {
                 cap,
                 PoolConfig::default(),
                 None,
+                None,
                 &mut reporter,
             )
             .unwrap();
@@ -1033,6 +1192,7 @@ mod tests {
                 threads,
                 SEQUENCER_BUFFER_CAP,
                 aggressive_pool(),
+                None,
                 None,
                 &mut reporter,
             )
@@ -1059,6 +1219,7 @@ mod tests {
             4,
             SEQUENCER_BUFFER_CAP,
             aggressive_pool(),
+            None,
             None,
             &mut count,
         )
@@ -1128,10 +1289,10 @@ mod tests {
     fn sequencer_reorders_out_of_order_deposits() {
         let mut out = CollectReporter::new();
         let mut seq = Sequencer::new(&mut out);
-        seq.deposit(2, SeqKey::root(), vec![vec![2]]);
-        seq.deposit(0, SeqKey::root(), vec![vec![0]]);
+        seq.deposit(2, SeqKey::root(), vec![vec![2]], false);
+        seq.deposit(0, SeqKey::root(), vec![vec![0]], false);
         assert_eq!(seq.next, 1);
-        seq.deposit(1, SeqKey::root(), vec![vec![1]]);
+        seq.deposit(1, SeqKey::root(), vec![vec![1]], false);
         assert_eq!(seq.next, 3);
         assert!(seq.pending.is_empty());
         assert_eq!(out.cliques, vec![vec![0], vec![1], vec![2]]);
@@ -1146,11 +1307,11 @@ mod tests {
         seq.register_donation(0);
         let first = SeqKey::root().child(u32::MAX);
         let second = SeqKey::root().child(u32::MAX - 1);
-        seq.deposit(0, first, vec![vec![30]]);
+        seq.deposit(0, first, vec![vec![30]], false);
         assert_eq!(seq.next, 0, "incomplete rank must not emit");
-        seq.deposit(0, SeqKey::root(), vec![vec![10]]);
+        seq.deposit(0, SeqKey::root(), vec![vec![10]], false);
         assert_eq!(seq.next, 0);
-        seq.deposit(0, second, vec![vec![20]]);
+        seq.deposit(0, second, vec![vec![20]], false);
         // Root part first, then the second (deeper) donation, then the first.
         assert_eq!(seq.next, 1);
         assert_eq!(seq.buffered_cliques, 0);

@@ -1,0 +1,697 @@
+//! The unified query engine: every solver entry point behind one plan.
+//!
+//! A [`Query`] is `spec × config × threads × budget`:
+//!
+//! * [`QuerySpec`] names *what* is asked — full enumeration, a count, the
+//!   top-k largest cliques, the maximal cliques containing an **anchor**
+//!   vertex set, one maximum clique, or the k-cliques of a fixed size.
+//! * [`SolverConfig`] and `threads` choose *how* — any named preset, any
+//!   [`RootScheduler`](crate::RootScheduler), any worker count.
+//! * [`Budget`] bounds *how much* — emitted cliques, branch steps, or an
+//!   external [`CancelToken`] — and the [`Outcome`] reports whether the
+//!   result is `Complete` or `Truncated` (and why).
+//!
+//! Execution goes through an [`ExecSession`]: a validated, cancellable run
+//! whose [`CancelToken`] can be handed to another thread *before* the session
+//! starts — the admission-control primitive a serving layer needs (a server
+//! cannot admit a query it can't stop). All streaming specs emit through the
+//! deterministic ordered pipeline, so a truncated stream is always an exact
+//! byte-prefix of the complete one, at any thread count, under any scheduler.
+//!
+//! # Anchored queries
+//!
+//! `Anchored { vertices }` returns exactly the maximal cliques containing
+//! every anchor vertex — the serving primitive of local-subgraph MCE work
+//! (Das et al.'s shared-memory parallel MCE, San Segundo et al.'s bit-parallel
+//! enumerators). The engine seeds `R` with the anchor, builds the anchor's
+//! common-neighbourhood subgraph **once** into a dense
+//! local graph, and runs the configured recursion below it: any vertex that
+//! could extend a clique containing the anchor is adjacent to every anchor
+//! member and therefore inside that one subgraph, so no root phase is needed
+//! at all. The vertices this skips are counted in
+//! [`EnumerationStats::anchored_roots_skipped`].
+
+use mce_graph::{Graph, VertexId};
+
+use crate::budget::{Budget, BudgetReporter, BudgetState, CancelToken, Outcome};
+use crate::config::{ConfigError, SolverConfig};
+use crate::kclique::for_each_k_clique_with_state;
+use crate::parallel::par_enumerate_ordered_with_state;
+use crate::report::{CliqueReporter, CountReporter, MaximumCliqueReporter, TopKReporter};
+use crate::scratch::WorkerState;
+use crate::solver::Solver;
+use crate::stats::EnumerationStats;
+
+/// What an enumeration session is asked to produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuerySpec {
+    /// Stream every maximal clique (deterministic order).
+    Enumerate,
+    /// Count maximal cliques without streaming them.
+    Count,
+    /// The `k` largest maximal cliques, ranked by size with ties broken by
+    /// stream order (deterministic at any thread count).
+    TopKBySize {
+        /// How many cliques to keep.
+        k: usize,
+    },
+    /// Stream exactly the maximal cliques containing every listed vertex.
+    /// An empty anchor degenerates to [`QuerySpec::Enumerate`]; an anchor
+    /// that is not a clique has no superset cliques, so the result is empty.
+    Anchored {
+        /// The anchor vertex set (deduplicated at session admission).
+        vertices: Vec<VertexId>,
+    },
+    /// One maximum clique (the first largest in the deterministic stream).
+    MaximumClique,
+    /// Stream every clique of exactly `k` vertices (not necessarily
+    /// maximal), via the truss-ordered edge branching of
+    /// [`kclique`](crate::kclique).
+    KClique {
+        /// The clique size.
+        k: usize,
+    },
+}
+
+/// A complete query plan: spec × solver configuration × parallelism × budget.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// What to produce.
+    pub spec: QuerySpec,
+    /// How to branch (preset, scheduler, early termination, …).
+    pub config: SolverConfig,
+    /// Worker threads (clamped to ≥ 1; anchored and k-clique specs run
+    /// sequentially — their single local branch has no root phase to
+    /// parallelise).
+    pub threads: usize,
+    /// Resource bounds of the session.
+    pub budget: Budget,
+}
+
+impl Query {
+    /// A single-threaded, unbudgeted query with the default configuration.
+    pub fn new(spec: QuerySpec) -> Self {
+        Query {
+            spec,
+            config: SolverConfig::default(),
+            threads: 1,
+            budget: Budget::unlimited(),
+        }
+    }
+
+    /// Replaces the solver configuration.
+    pub fn with_config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The spec-dependent payload of a finished query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryValue {
+    /// The cliques were streamed to the session's reporter
+    /// (`Enumerate`, `Anchored`, `KClique`).
+    Stream,
+    /// The clique count (`Count`).
+    Count(u64),
+    /// The retained top-k cliques in ranking order (`TopKBySize`).
+    TopK(Vec<Vec<VertexId>>),
+    /// One maximum clique, sorted ascending; empty when the graph has no
+    /// vertices (`MaximumClique`).
+    Maximum(Vec<VertexId>),
+}
+
+/// Everything a finished session reports back.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// `Complete`, or `Truncated` with the bound that tripped first.
+    pub outcome: Outcome,
+    /// Merged run statistics (including the new
+    /// `terminated_by_budget` / `anchored_roots_skipped` counters).
+    pub stats: EnumerationStats,
+    /// The spec-dependent payload.
+    pub value: QueryValue,
+}
+
+/// An invalid [`Query`] (bad solver configuration, out-of-range anchor
+/// vertex, …), rejected at session admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryError {
+    message: String,
+}
+
+impl QueryError {
+    fn new(message: impl Into<String>) -> Self {
+        QueryError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid query: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ConfigError> for QueryError {
+    fn from(e: ConfigError) -> Self {
+        QueryError::new(e.to_string())
+    }
+}
+
+/// An admitted, cancellable enumeration session over one graph.
+///
+/// Admission ([`ExecSession::new`]) validates the whole plan up front, so a
+/// serving layer can reject malformed queries before committing any work; the
+/// session's [`CancelToken`] is available *before* [`ExecSession::run`] and
+/// can be handed to a watchdog, a deadline timer or an admission controller.
+#[derive(Debug)]
+pub struct ExecSession<'g> {
+    graph: &'g Graph,
+    query: Query,
+    /// Deduplicated anchor (empty for non-anchored specs).
+    anchor: Vec<VertexId>,
+    state: BudgetState,
+    token: CancelToken,
+}
+
+impl<'g> ExecSession<'g> {
+    /// Validates and admits a query. Fails on an invalid [`SolverConfig`] or
+    /// an anchor vertex outside the graph.
+    pub fn new(graph: &'g Graph, query: Query) -> Result<Self, QueryError> {
+        query.config.validate()?;
+        let mut anchor = Vec::new();
+        if let QuerySpec::Anchored { vertices } = &query.spec {
+            for &v in vertices {
+                if (v as usize) >= graph.n() {
+                    return Err(QueryError::new(format!(
+                        "anchor vertex {v} out of range for a graph with {} vertices",
+                        graph.n()
+                    )));
+                }
+                if !anchor.contains(&v) {
+                    anchor.push(v);
+                }
+            }
+        }
+        // Every worker observes the session token; if the caller supplied
+        // one, share it, otherwise mint one so the session is always
+        // cancellable.
+        let token = query.budget.cancel.clone().unwrap_or_default();
+        let budget = Budget {
+            cancel: Some(token.clone()),
+            ..query.budget.clone()
+        };
+        let state = BudgetState::new(&budget);
+        Ok(ExecSession {
+            graph,
+            query,
+            anchor,
+            state,
+            token,
+        })
+    }
+
+    /// The session's cancellation handle; cancel it from any thread and the
+    /// workers stop at their next branch step.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Runs the session to its outcome, streaming any `Stream`-valued spec's
+    /// cliques to `reporter` (other specs leave the reporter untouched).
+    pub fn run<R: CliqueReporter + Send + ?Sized>(self, reporter: &mut R) -> QueryResult {
+        let g = self.graph;
+        let config = self.query.config;
+        let threads = self.query.threads;
+        let state = &self.state;
+        let ordered = |out: &mut (dyn CliqueReporter + Send)| {
+            par_enumerate_ordered_with_state(g, &config, threads, state, None, out)
+                .expect("configuration validated at session admission")
+        };
+        let (stats, value) = match &self.query.spec {
+            QuerySpec::Enumerate => (ordered(&mut BypassSend(reporter)), QueryValue::Stream),
+            QuerySpec::Anchored { .. } if self.anchor.is_empty() => {
+                (ordered(&mut BypassSend(reporter)), QueryValue::Stream)
+            }
+            QuerySpec::Anchored { .. } => {
+                let anchor = &self.anchor;
+                if !g.is_clique(anchor) {
+                    // No clique contains a non-clique: the (complete) result
+                    // is empty, and no root ever needed opening.
+                    let stats = EnumerationStats {
+                        anchored_roots_skipped: g.n() as u64,
+                        ..EnumerationStats::default()
+                    };
+                    (stats, QueryValue::Stream)
+                } else {
+                    let solver =
+                        Solver::new(g, config).expect("configuration validated at admission");
+                    let mut worker = WorkerState::new();
+                    let mut gated = BudgetReporter::new(reporter, state);
+                    let stats = solver.run_anchored(anchor, &mut worker, Some(state), &mut gated);
+                    (stats, QueryValue::Stream)
+                }
+            }
+            QuerySpec::Count => {
+                let mut counter = CountReporter::new();
+                let stats = ordered(&mut counter);
+                (stats, QueryValue::Count(counter.count))
+            }
+            QuerySpec::TopKBySize { k } => {
+                let mut top = TopKReporter::new(*k);
+                let stats = ordered(&mut top);
+                (stats, QueryValue::TopK(top.into_cliques()))
+            }
+            QuerySpec::MaximumClique => {
+                let mut best = MaximumCliqueReporter::new();
+                let stats = ordered(&mut best);
+                (stats, QueryValue::Maximum(best.best))
+            }
+            QuerySpec::KClique { k } => {
+                let start = std::time::Instant::now();
+                for_each_k_clique_with_state(g, *k, state, &mut |clique| reporter.report(clique));
+                let stats = EnumerationStats {
+                    elapsed: start.elapsed(),
+                    busy_time: start.elapsed(),
+                    ..EnumerationStats::default()
+                };
+                (stats, QueryValue::Stream)
+            }
+        };
+        QueryResult {
+            outcome: self.state.outcome(),
+            stats,
+            value,
+        }
+    }
+}
+
+/// `&mut R` where `R: Send` is itself `Send`; this shim re-borrows the
+/// caller's reporter as a concrete `Send` type so one closure can drive the
+/// ordered pipeline for every spec.
+struct BypassSend<'a, R: CliqueReporter + Send + ?Sized>(&'a mut R);
+
+impl<R: CliqueReporter + Send + ?Sized> CliqueReporter for BypassSend<'_, R> {
+    fn report(&mut self, clique: &[VertexId]) {
+        self.0.report(clique);
+    }
+}
+
+/// Admits and runs `query` in one call; see [`ExecSession`] for the
+/// two-phase (admit, then run) form that exposes the cancel token first.
+pub fn run_query<R: CliqueReporter + Send + ?Sized>(
+    g: &Graph,
+    query: Query,
+    reporter: &mut R,
+) -> Result<QueryResult, QueryError> {
+    Ok(ExecSession::new(g, query)?.run(reporter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::TruncationReason;
+    use crate::naive::naive_maximal_cliques;
+    use crate::report::{CliqueLineFormat, CollectReporter, WriterReporter};
+    use crate::RootScheduler;
+
+    fn test_graph() -> Graph {
+        // Two overlapping communities plus sparse periphery (same shape the
+        // parallel tests use).
+        Graph::from_edges(
+            12,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (6, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (9, 11),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Reference for anchored queries: enumerate everything, filter by
+    /// anchor containment.
+    fn naive_filter(g: &Graph, anchor: &[VertexId]) -> Vec<Vec<VertexId>> {
+        naive_maximal_cliques(g)
+            .into_iter()
+            .filter(|c| anchor.iter().all(|v| c.contains(v)))
+            .collect()
+    }
+
+    fn ordered_text_bytes(g: &Graph, query: Query) -> (Vec<u8>, QueryResult) {
+        let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+        let result = run_query(g, query, &mut reporter).expect("valid query");
+        (reporter.finish().unwrap(), result)
+    }
+
+    #[test]
+    fn enumerate_spec_matches_plain_ordered_stream() {
+        let g = test_graph();
+        let (bytes, result) = ordered_text_bytes(&g, Query::new(QuerySpec::Enumerate));
+        let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+        crate::par_enumerate_ordered(&g, &SolverConfig::default(), 1, &mut reporter).unwrap();
+        assert_eq!(bytes, reporter.finish().unwrap());
+        assert_eq!(result.outcome, Outcome::Complete);
+        assert_eq!(result.value, QueryValue::Stream);
+        assert_eq!(result.stats.terminated_by_budget, 0);
+    }
+
+    #[test]
+    fn count_spec_returns_the_total() {
+        let g = test_graph();
+        let expected = naive_maximal_cliques(&g).len() as u64;
+        let mut sink = CountReporter::new();
+        let result = run_query(&g, Query::new(QuerySpec::Count), &mut sink).unwrap();
+        assert_eq!(result.value, QueryValue::Count(expected));
+        assert_eq!(
+            sink.count, 0,
+            "Count leaves the caller's reporter untouched"
+        );
+        assert_eq!(result.outcome, Outcome::Complete);
+    }
+
+    #[test]
+    fn clique_limit_emits_exactly_the_prefix() {
+        let g = test_graph();
+        let (full, _) = ordered_text_bytes(&g, Query::new(QuerySpec::Enumerate));
+        let total = full.iter().filter(|&&b| b == b'\n').count();
+        assert!(total > 3);
+        for threads in [1usize, 2, 4] {
+            for scheduler in [
+                RootScheduler::Dynamic,
+                RootScheduler::Static,
+                RootScheduler::Splitting,
+            ] {
+                let cfg = SolverConfig {
+                    scheduler,
+                    ..SolverConfig::default()
+                };
+                let query = Query::new(QuerySpec::Enumerate)
+                    .with_config(cfg)
+                    .with_threads(threads)
+                    .with_budget(Budget::cliques(3));
+                let (bytes, result) = ordered_text_bytes(&g, query);
+                let prefix_end = full
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b == b'\n')
+                    .nth(2)
+                    .map(|(i, _)| i + 1)
+                    .unwrap();
+                assert_eq!(
+                    bytes,
+                    &full[..prefix_end],
+                    "{scheduler:?} x{threads}: first 3 cliques exactly"
+                );
+                assert_eq!(
+                    result.outcome,
+                    Outcome::Truncated {
+                        reason: TruncationReason::CliqueLimit
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clique_limit_at_total_is_complete() {
+        let g = test_graph();
+        let (full, _) = ordered_text_bytes(&g, Query::new(QuerySpec::Enumerate));
+        let total = full.iter().filter(|&&b| b == b'\n').count() as u64;
+        let query = Query::new(QuerySpec::Enumerate).with_budget(Budget::cliques(total));
+        let (bytes, result) = ordered_text_bytes(&g, query);
+        assert_eq!(bytes, full);
+        assert_eq!(result.outcome, Outcome::Complete);
+    }
+
+    #[test]
+    fn step_limit_truncates_to_a_byte_prefix() {
+        let g = test_graph();
+        let (full, _) = ordered_text_bytes(&g, Query::new(QuerySpec::Enumerate));
+        for max_steps in [0u64, 1, 2, 5, 10] {
+            for threads in [1usize, 3] {
+                let query = Query::new(QuerySpec::Enumerate)
+                    .with_threads(threads)
+                    .with_budget(Budget::steps(max_steps));
+                let (bytes, result) = ordered_text_bytes(&g, query);
+                assert_eq!(
+                    &full[..bytes.len()],
+                    &bytes[..],
+                    "steps={max_steps} x{threads}: prefix"
+                );
+                if result.outcome == Outcome::Complete {
+                    assert_eq!(bytes, full, "complete runs must emit everything");
+                } else {
+                    assert!(result.stats.terminated_by_budget > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_emits_at_most_static_output() {
+        let g = test_graph();
+        let token = CancelToken::new();
+        token.cancel();
+        let query = Query::new(QuerySpec::Enumerate)
+            .with_threads(4)
+            .with_budget(Budget::unlimited().with_cancel(token));
+        let (bytes, result) = ordered_text_bytes(&g, query);
+        let (full, _) = ordered_text_bytes(&g, Query::new(QuerySpec::Enumerate));
+        assert_eq!(&full[..bytes.len()], &bytes[..], "still a prefix");
+        assert_eq!(
+            result.outcome,
+            Outcome::Truncated {
+                reason: TruncationReason::Cancelled
+            }
+        );
+    }
+
+    #[test]
+    fn session_token_cancels_without_a_caller_token() {
+        let g = test_graph();
+        let session = ExecSession::new(&g, Query::new(QuerySpec::Count)).unwrap();
+        let token = session.cancel_token();
+        token.cancel();
+        let mut sink = CountReporter::new();
+        let result = session.run(&mut sink);
+        assert!(result.outcome.is_truncated());
+    }
+
+    #[test]
+    fn anchored_matches_naive_filter() {
+        let g = test_graph();
+        for anchor in [
+            vec![0u32],
+            vec![3],
+            vec![0, 1],
+            vec![2, 3],
+            vec![0, 1, 2],
+            vec![9, 10, 11],
+            vec![4],
+        ] {
+            let mut collector = CollectReporter::new();
+            let result = run_query(
+                &g,
+                Query::new(QuerySpec::Anchored {
+                    vertices: anchor.clone(),
+                }),
+                &mut collector,
+            )
+            .unwrap();
+            assert_eq!(result.outcome, Outcome::Complete);
+            assert_eq!(
+                collector.into_sorted(),
+                naive_filter(&g, &anchor),
+                "anchor {anchor:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anchored_skips_roots_and_counts_them() {
+        let g = test_graph();
+        let mut collector = CollectReporter::new();
+        let result = run_query(
+            &g,
+            Query::new(QuerySpec::Anchored { vertices: vec![0] }),
+            &mut collector,
+        )
+        .unwrap();
+        // Anchor 0's neighbourhood is {1, 2, 3}: 12 - 1 - 3 = 8 skipped.
+        assert_eq!(result.stats.anchored_roots_skipped, 8);
+        assert_eq!(result.stats.initial_branches, 1);
+    }
+
+    #[test]
+    fn anchored_non_clique_anchor_is_empty_and_complete() {
+        let g = test_graph();
+        let mut collector = CollectReporter::new();
+        // 0 and 4 are not adjacent.
+        let result = run_query(
+            &g,
+            Query::new(QuerySpec::Anchored {
+                vertices: vec![0, 4],
+            }),
+            &mut collector,
+        )
+        .unwrap();
+        assert!(collector.cliques.is_empty());
+        assert_eq!(result.outcome, Outcome::Complete);
+        assert_eq!(result.stats.anchored_roots_skipped, g.n() as u64);
+    }
+
+    #[test]
+    fn anchored_empty_anchor_is_full_enumeration() {
+        let g = test_graph();
+        let mut collector = CollectReporter::new();
+        run_query(
+            &g,
+            Query::new(QuerySpec::Anchored { vertices: vec![] }),
+            &mut collector,
+        )
+        .unwrap();
+        assert_eq!(collector.into_sorted(), naive_maximal_cliques(&g));
+    }
+
+    #[test]
+    fn anchored_duplicate_vertices_are_deduplicated() {
+        let g = test_graph();
+        let mut collector = CollectReporter::new();
+        run_query(
+            &g,
+            Query::new(QuerySpec::Anchored {
+                vertices: vec![3, 3, 0, 3],
+            }),
+            &mut collector,
+        )
+        .unwrap();
+        assert_eq!(collector.into_sorted(), naive_filter(&g, &[0, 3]));
+    }
+
+    #[test]
+    fn anchored_out_of_range_vertex_is_rejected_at_admission() {
+        let g = test_graph();
+        let err = ExecSession::new(&g, Query::new(QuerySpec::Anchored { vertices: vec![99] }))
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn anchored_respects_every_preset() {
+        let g = test_graph();
+        let expected = naive_filter(&g, &[3]);
+        for (name, config) in SolverConfig::named_presets() {
+            let mut collector = CollectReporter::new();
+            run_query(
+                &g,
+                Query::new(QuerySpec::Anchored { vertices: vec![3] }).with_config(config),
+                &mut collector,
+            )
+            .unwrap();
+            assert_eq!(collector.into_sorted(), expected, "{name}");
+        }
+    }
+
+    #[test]
+    fn anchored_budget_truncates_stream() {
+        let g = test_graph();
+        let mut collector = CollectReporter::new();
+        let full = naive_filter(&g, &[3]);
+        assert!(full.len() >= 2);
+        let result = run_query(
+            &g,
+            Query::new(QuerySpec::Anchored { vertices: vec![3] }).with_budget(Budget::cliques(1)),
+            &mut collector,
+        )
+        .unwrap();
+        assert_eq!(collector.cliques.len(), 1);
+        assert!(result.outcome.is_truncated());
+    }
+
+    #[test]
+    fn top_k_ranks_by_size_then_stream_order() {
+        let g = test_graph();
+        let mut sink = CountReporter::new();
+        let result = run_query(&g, Query::new(QuerySpec::TopKBySize { k: 2 }), &mut sink).unwrap();
+        let QueryValue::TopK(top) = result.value else {
+            panic!("expected TopK value");
+        };
+        assert_eq!(top.len(), 2);
+        assert!(top[0].len() >= top[1].len());
+        assert_eq!(top[0].len(), 4, "the 4-clique {{0,1,2,3}} ranks first");
+    }
+
+    #[test]
+    fn maximum_clique_spec_finds_the_largest() {
+        let g = test_graph();
+        let mut sink = CountReporter::new();
+        let result = run_query(&g, Query::new(QuerySpec::MaximumClique), &mut sink).unwrap();
+        assert_eq!(
+            result.value,
+            QueryValue::Maximum(vec![0, 1, 2, 3]),
+            "the maximum clique"
+        );
+    }
+
+    #[test]
+    fn kclique_spec_streams_and_respects_the_cap() {
+        let g = test_graph();
+        let mut collector = CollectReporter::new();
+        let result =
+            run_query(&g, Query::new(QuerySpec::KClique { k: 3 }), &mut collector).unwrap();
+        assert_eq!(result.outcome, Outcome::Complete);
+        let all = collector.into_sorted();
+        assert_eq!(all.len() as u64, crate::count_k_cliques(&g, 3));
+        let mut capped = CollectReporter::new();
+        let result = run_query(
+            &g,
+            Query::new(QuerySpec::KClique { k: 3 }).with_budget(Budget::cliques(2)),
+            &mut capped,
+        )
+        .unwrap();
+        assert_eq!(capped.cliques.len(), 2);
+        assert!(result.outcome.is_truncated());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_admission() {
+        let g = test_graph();
+        let cfg = SolverConfig {
+            early_termination_t: 9,
+            ..SolverConfig::default()
+        };
+        let err = ExecSession::new(&g, Query::new(QuerySpec::Count).with_config(cfg)).unwrap_err();
+        assert!(err.to_string().contains("invalid query"));
+    }
+}

@@ -191,6 +191,65 @@ impl CliqueReporter for SizeHistogramReporter {
     }
 }
 
+/// Keeps the `k` largest cliques seen, with a deterministic ranking: larger
+/// cliques first, ties broken by arrival order (earliest first). Fed from a
+/// deterministic stream (e.g. [`par_enumerate_ordered`]) the selection is
+/// identical at any thread count, which is what the query layer's
+/// `TopKBySize` spec relies on.
+///
+/// [`par_enumerate_ordered`]: crate::par_enumerate_ordered
+#[derive(Clone, Debug, Default)]
+pub struct TopKReporter {
+    k: usize,
+    /// `(size, arrival sequence number, sorted members)`, ordered by
+    /// descending size then ascending arrival.
+    entries: Vec<(usize, u64, Vec<VertexId>)>,
+    seen: u64,
+}
+
+impl TopKReporter {
+    /// A reporter keeping the `k` largest cliques.
+    pub fn new(k: usize) -> Self {
+        TopKReporter {
+            k,
+            entries: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Total cliques observed (not just the retained ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained cliques in ranking order (descending size, ties by
+    /// arrival), each sorted ascending.
+    pub fn into_cliques(self) -> Vec<Vec<VertexId>> {
+        self.entries.into_iter().map(|(_, _, c)| c).collect()
+    }
+}
+
+impl CliqueReporter for TopKReporter {
+    fn report(&mut self, clique: &[VertexId]) {
+        let seq = self.seen;
+        self.seen += 1;
+        if self.k == 0 {
+            return;
+        }
+        let size = clique.len();
+        if self.entries.len() == self.k && size <= self.entries.last().map(|e| e.0).unwrap_or(0) {
+            return; // ties keep the earlier clique
+        }
+        let mut sorted = clique.to_vec();
+        sorted.sort_unstable();
+        // Insert after every entry of the same-or-larger size: among equal
+        // sizes, the earlier arrival ranks first.
+        let at = self.entries.partition_point(|e| e.0 >= size);
+        self.entries.insert(at, (size, seq, sorted));
+        self.entries.truncate(self.k);
+    }
+}
+
 /// How a [`WriterReporter`] renders each clique.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CliqueLineFormat {
@@ -387,6 +446,27 @@ mod tests {
             CliqueReporter::report(&mut r, &[1, 2]);
         }
         assert_eq!(inner.count, 1);
+    }
+
+    #[test]
+    fn top_k_keeps_largest_with_earliest_tiebreak() {
+        let mut r = TopKReporter::new(2);
+        r.report(&[5, 4]); // size 2, first
+        r.report(&[3, 2, 1]); // size 3
+        r.report(&[9, 8]); // size 2, later than [4,5] — must lose the tie
+        r.report(&[7, 6]); // same
+        assert_eq!(r.seen(), 4);
+        assert_eq!(r.into_cliques(), vec![vec![1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn top_k_zero_and_underfull() {
+        let mut r = TopKReporter::new(0);
+        r.report(&[1]);
+        assert!(r.into_cliques().is_empty());
+        let mut r = TopKReporter::new(5);
+        r.report(&[2, 1]);
+        assert_eq!(r.into_cliques(), vec![vec![1, 2]]);
     }
 
     #[test]

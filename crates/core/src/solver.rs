@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 use mce_graph::ordering::{edge_ordering, vertex_ordering, EdgeOrdering};
 use mce_graph::{connected_components, Graph, VertexId};
 
+use crate::budget::BudgetState;
 use crate::config::{
     ConfigError, InitialBranching, PivotStrategy, RecursionStrategy, RootScheduler, SolverConfig,
 };
@@ -237,6 +238,8 @@ struct Ctx<'a> {
     reporter: &'a mut dyn CliqueReporter,
     /// `Some` only when running under the splitting scheduler.
     donor: Option<Donor<'a>>,
+    /// `Some` only when running inside a budgeted session.
+    budget: Option<&'a BudgetState>,
 }
 
 impl Ctx<'_> {
@@ -244,6 +247,27 @@ impl Ctx<'_> {
         self.stats.maximal_cliques += 1;
         self.stats.max_clique_size = self.stats.max_clique_size.max(clique.len());
         self.reporter.report(clique);
+    }
+
+    /// Accounts one branch step against the session budget; `true` means the
+    /// enclosing loop must abandon its frame and unwind. Free (a single
+    /// `Option` check) when no budget is attached.
+    #[inline]
+    fn budget_step_abort(&mut self) -> bool {
+        match self.budget {
+            Some(b) if b.note_step() => {
+                self.stats.terminated_by_budget += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the session was stopped, without consuming a branch step
+    /// (used between whole work items, e.g. root ranks).
+    #[inline]
+    fn budget_stopped(&self) -> bool {
+        self.budget.is_some_and(BudgetState::should_stop)
     }
 
     /// Registers a splittable branch loop at `depth`; returns its stack slot.
@@ -317,6 +341,7 @@ impl<'g> Solver<'g> {
             0..plan.root_count(),
             true,
             &mut state.worker,
+            None,
             reporter,
         )
     }
@@ -342,7 +367,7 @@ impl<'g> Solver<'g> {
         let mut worker = WorkerState::new();
         let count = plan.root_count();
         let ranks = (part..count).step_by(parts);
-        self.run_on_plan(&plan, ranks, part == 0, &mut worker, reporter)
+        self.run_on_plan(&plan, ranks, part == 0, &mut worker, None, reporter)
     }
 
     // ------------------------------------------------------------------
@@ -407,6 +432,7 @@ impl<'g> Solver<'g> {
         ranks: impl IntoIterator<Item = usize>,
         with_static: bool,
         worker: &mut WorkerState,
+        budget: Option<&BudgetState>,
         reporter: &mut dyn CliqueReporter,
     ) -> EnumerationStats {
         let start = Instant::now();
@@ -415,6 +441,7 @@ impl<'g> Solver<'g> {
             stats: EnumerationStats::default(),
             reporter,
             donor: None,
+            budget,
         };
         worker.prepare_for(self.graph.n());
         if with_static {
@@ -422,6 +449,9 @@ impl<'g> Solver<'g> {
             self.emit_static(plan, &mut ctx);
         }
         for rank in ranks {
+            if ctx.budget_stopped() {
+                break;
+            }
             self.run_root(plan, rank, worker, &mut ctx);
         }
         ctx.stats.elapsed = start.elapsed();
@@ -440,6 +470,7 @@ impl<'g> Solver<'g> {
         ranks: impl IntoIterator<Item = usize>,
         worker: &mut WorkerState,
         sink: &dyn DonationSink,
+        budget: Option<&BudgetState>,
         reporter: &mut dyn CliqueReporter,
     ) -> EnumerationStats {
         let start = Instant::now();
@@ -448,9 +479,13 @@ impl<'g> Solver<'g> {
             stats: EnumerationStats::default(),
             reporter,
             donor: Some(Donor::new(sink)),
+            budget,
         };
         worker.prepare_for(self.graph.n());
         for rank in ranks {
+            if ctx.budget_stopped() {
+                break;
+            }
             if let Some(donor) = ctx.donor.as_mut() {
                 donor.reset_for_root(rank);
             }
@@ -471,6 +506,7 @@ impl<'g> Solver<'g> {
         task: BranchTask,
         worker: &mut WorkerState,
         sink: &dyn DonationSink,
+        budget: Option<&BudgetState>,
         reporter: &mut dyn CliqueReporter,
     ) -> EnumerationStats {
         let start = Instant::now();
@@ -484,6 +520,7 @@ impl<'g> Solver<'g> {
             stats: EnumerationStats::default(),
             reporter,
             donor: Some(donor),
+            budget,
         };
         let BranchTask {
             partial: prefix,
@@ -505,6 +542,65 @@ impl<'g> Solver<'g> {
         } = worker;
         self.branch_on(lg, partial, 0, strategy, &mut ctx, scratch);
         ctx.stats.steals = 1;
+        ctx.stats.elapsed = start.elapsed();
+        ctx.stats.busy_time = ctx.stats.elapsed;
+        ctx.stats
+    }
+
+    /// Runs an anchored query: streams exactly the maximal cliques of the
+    /// graph that contain every vertex of `anchor` (which must be a
+    /// non-empty clique of distinct vertices — the query layer validates
+    /// this).
+    ///
+    /// Seeds `R` with the anchor, builds the anchor's common-neighbourhood
+    /// subgraph once into the worker's [`LocalGraph`] and runs the configured
+    /// recursion below it — no root phase, no graph reduction. Correctness:
+    /// any vertex adjacent to every member of a clique `K ⊇ anchor` is
+    /// adjacent to every anchor member and hence belongs to the common
+    /// neighbourhood, so maximality inside the single branch `(anchor, C, ∅)`
+    /// coincides with maximality in the full graph.
+    pub(crate) fn run_anchored(
+        &self,
+        anchor: &[VertexId],
+        worker: &mut WorkerState,
+        budget: Option<&BudgetState>,
+        reporter: &mut dyn CliqueReporter,
+    ) -> EnumerationStats {
+        let g = self.graph;
+        let start = Instant::now();
+        let mut ctx = Ctx {
+            config: self.config,
+            stats: EnumerationStats::default(),
+            reporter,
+            donor: None,
+            budget,
+        };
+        worker.prepare_for(g.n());
+        // Common neighbourhood of the anchor, walked from its smallest
+        // adjacency list.
+        let pivot = *anchor
+            .iter()
+            .min_by_key(|&&v| g.degree(v))
+            .expect("anchored queries require a non-empty anchor");
+        worker.candidates.clear();
+        worker.excluded.clear();
+        for &w in g.neighbors(pivot) {
+            if !anchor.contains(&w) && anchor.iter().all(|&a| a == pivot || g.has_edge(a, w)) {
+                worker.candidates.push(w);
+            }
+        }
+        ctx.stats.anchored_roots_skipped = (g.n() - anchor.len() - worker.candidates.len()) as u64;
+        ctx.stats.initial_branches = 1;
+        build_root_branch(g, worker, |_, _| true);
+        worker.partial.clear();
+        worker.partial.extend_from_slice(anchor);
+        let WorkerState {
+            scratch,
+            lg,
+            partial,
+            ..
+        } = worker;
+        self.dispatch(lg, partial, 0, 0, None, &mut ctx, scratch);
         ctx.stats.elapsed = start.elapsed();
         ctx.stats.busy_time = ctx.stats.elapsed;
         ctx.stats
@@ -775,6 +871,9 @@ impl<'g> Solver<'g> {
         let mut i = 0;
         while let Some(&(pos, a, b)) = scratch.frame(depth).edges.get(i) {
             i += 1;
+            if ctx.budget_step_abort() {
+                return;
+            }
             // Earlier sibling edges of this level (and the current one) are
             // excluded from the child's candidate graph (Eq. 2), so candidacy
             // must be evaluated against the restricted adjacency: a common
@@ -813,6 +912,9 @@ impl<'g> Solver<'g> {
         let mut j = 0;
         while let Some(&w) = scratch.frame(depth).branch.get(j) {
             j += 1;
+            if ctx.budget_step_abort() {
+                return;
+            }
             let f = scratch.frame(depth);
             if f.c.intersection_len_words(lg.cand(w)) == 0 {
                 ctx.stats.recursive_calls += 1;
@@ -934,6 +1036,9 @@ impl<'g> Solver<'g> {
             if !scratch.frame(depth).c.contains(v) {
                 continue;
             }
+            if ctx.budget_step_abort() {
+                break;
+            }
             ctx.advance_branch_loop(slot, i);
             self.maybe_donate(lg, partial, ctx, scratch);
             scratch.make_child(depth, lg, v);
@@ -968,6 +1073,9 @@ impl<'g> Solver<'g> {
             branch.extend(c.and_not_iter(lg.cand(v0)));
         }
         while let Some(&u) = scratch.frame(depth).branch.first() {
+            if ctx.budget_step_abort() {
+                return;
+            }
             if scratch.frame(depth).c.contains(u) {
                 scratch.make_child(depth, lg, u);
                 partial.push(lg.orig[u]);
@@ -1008,6 +1116,9 @@ impl<'g> Solver<'g> {
         }
         let t = ctx.config.early_termination_t;
         loop {
+            if ctx.budget_step_abort() {
+                return;
+            }
             let (c_len, x_empty) = {
                 let f = scratch.frame(depth);
                 if f.c.is_empty() {

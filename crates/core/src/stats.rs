@@ -32,6 +32,15 @@ pub struct EnumerationStats {
     /// `splits` after a completed run — every donated task is eventually
     /// executed).
     pub steals: u64,
+    /// Recursion frames abandoned because the session's [`Budget`]
+    /// (clique/step limit or cancellation) tripped — 0 on a complete run.
+    ///
+    /// [`Budget`]: crate::Budget
+    pub terminated_by_budget: u64,
+    /// Root branches an anchored query never had to open: the vertices
+    /// outside the anchor and its common neighbourhood (each would be a root
+    /// of a full vertex-oriented enumeration). 0 for non-anchored runs.
+    pub anchored_roots_skipped: u64,
     /// Wall-clock time of the whole run (ordering + reduction + enumeration).
     pub elapsed: Duration,
     /// Wall-clock time spent computing the vertex/edge ordering of the root.
@@ -71,6 +80,8 @@ impl EnumerationStats {
         self.gr_removed_vertices += other.gr_removed_vertices;
         self.splits += other.splits;
         self.steals += other.steals;
+        self.terminated_by_budget += other.terminated_by_budget;
+        self.anchored_roots_skipped += other.anchored_roots_skipped;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.ordering_time += other.ordering_time;
         self.busy_time += other.busy_time;
@@ -83,7 +94,7 @@ impl std::fmt::Display for EnumerationStats {
             f,
             "{} maximal cliques (max size {}) in {:.3}s — {} calls, {} root branches, \
              ET {}/{} (ratio {:.1}%), GR reported {} over {} removed vertices, \
-             {} splits / {} steals, busy {:.3}s",
+             {} splits / {} steals, {} budget-terminated, {} anchored-skipped, busy {:.3}s",
             self.maximal_cliques,
             self.max_clique_size,
             self.elapsed.as_secs_f64(),
@@ -96,6 +107,8 @@ impl std::fmt::Display for EnumerationStats {
             self.gr_removed_vertices,
             self.splits,
             self.steals,
+            self.terminated_by_budget,
+            self.anchored_roots_skipped,
             self.busy_time.as_secs_f64(),
         )
     }

@@ -10,6 +10,8 @@ use std::collections::HashSet;
 
 use mce_graph::{Graph, VertexId};
 
+use crate::budget::{Budget, TruncationReason};
+
 /// A violation found while verifying an enumeration result.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Violation {
@@ -82,10 +84,53 @@ pub fn verify_cliques(g: &Graph, cliques: &[Vec<VertexId>]) -> Vec<Violation> {
     violations
 }
 
+/// Why a budgeted reference comparison could not be completed or failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReferenceError {
+    /// The result differs from the reference; the message names the first
+    /// difference.
+    Mismatch(String),
+    /// The reference enumeration's [`Budget`] tripped before completing, so
+    /// completeness could not be decided.
+    BudgetExhausted(TruncationReason),
+}
+
+impl std::fmt::Display for ReferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReferenceError::Mismatch(msg) => write!(f, "{msg}"),
+            ReferenceError::BudgetExhausted(reason) => write!(
+                f,
+                "naive reference enumeration exhausted its budget ({reason}) before completing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReferenceError {}
+
 /// Compares an enumeration result against the reference enumerator. Both sides
 /// are canonicalised, so order does not matter. Returns `Ok(())` or a message
 /// describing the first difference.
 pub fn matches_reference(g: &Graph, cliques: &[Vec<VertexId>]) -> Result<(), String> {
+    match matches_reference_budgeted(g, cliques, &Budget::unlimited()) {
+        Ok(()) => Ok(()),
+        Err(ReferenceError::Mismatch(msg)) => Err(msg),
+        Err(e @ ReferenceError::BudgetExhausted(_)) => {
+            unreachable!("unlimited budget cannot trip: {e}")
+        }
+    }
+}
+
+/// [`matches_reference`] with the exponential reference enumeration bounded
+/// by a shared [`Budget`]: when the budget trips before the reference run
+/// completes, the comparison is abandoned with
+/// [`ReferenceError::BudgetExhausted`] instead of running unboundedly.
+pub fn matches_reference_budgeted(
+    g: &Graph,
+    cliques: &[Vec<VertexId>],
+    budget: &Budget,
+) -> Result<(), ReferenceError> {
     let mut got: Vec<Vec<VertexId>> = cliques
         .iter()
         .map(|c| {
@@ -95,31 +140,32 @@ pub fn matches_reference(g: &Graph, cliques: &[Vec<VertexId>]) -> Result<(), Str
         })
         .collect();
     got.sort();
-    let want = crate::naive::naive_maximal_cliques(g);
+    let want = crate::naive::naive_maximal_cliques_budgeted(g, budget)
+        .map_err(ReferenceError::BudgetExhausted)?;
     if got == want {
         return Ok(());
     }
     let got_set: HashSet<&Vec<VertexId>> = got.iter().collect();
     let want_set: HashSet<&Vec<VertexId>> = want.iter().collect();
     if let Some(missing) = want.iter().find(|c| !got_set.contains(c)) {
-        return Err(format!(
+        return Err(ReferenceError::Mismatch(format!(
             "missing maximal clique {missing:?} ({} vs {} expected)",
             got.len(),
             want.len()
-        ));
+        )));
     }
     if let Some(extra) = got.iter().find(|c| !want_set.contains(c)) {
-        return Err(format!(
+        return Err(ReferenceError::Mismatch(format!(
             "extra clique {extra:?} ({} vs {} expected)",
             got.len(),
             want.len()
-        ));
+        )));
     }
-    Err(format!(
+    Err(ReferenceError::Mismatch(format!(
         "duplicate cliques reported ({} vs {} expected)",
         got.len(),
         want.len()
-    ))
+    )))
 }
 
 #[cfg(test)]
@@ -175,6 +221,20 @@ mod tests {
         assert!(err.contains("missing"));
         let err = matches_reference(&g, &[vec![0, 1, 2], vec![0, 2, 3], vec![0, 3]]).unwrap_err();
         assert!(err.contains("extra"));
+    }
+
+    #[test]
+    fn budgeted_reference_check_reports_exhaustion() {
+        let g = Graph::complete(8);
+        let err = matches_reference_budgeted(&g, &[vec![0]], &Budget::steps(1)).unwrap_err();
+        assert_eq!(
+            err,
+            ReferenceError::BudgetExhausted(TruncationReason::StepLimit)
+        );
+        assert!(err.to_string().contains("exhausted its budget"));
+        // With enough budget the mismatch is reported as usual.
+        let err = matches_reference_budgeted(&g, &[vec![0]], &Budget::unlimited()).unwrap_err();
+        assert!(matches!(err, ReferenceError::Mismatch(_)));
     }
 
     #[test]
