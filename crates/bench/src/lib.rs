@@ -31,6 +31,7 @@ pub mod json;
 pub mod query;
 pub mod runner;
 pub mod scheduler;
+pub mod serve;
 pub mod table;
 
 pub use algorithms::{algorithm, baseline_algorithms, Algorithm};
@@ -40,4 +41,5 @@ pub use json::JsonValue;
 pub use query::{run_query_bench, QueryBenchOptions, QueryRecord};
 pub use runner::{measure, Measurement};
 pub use scheduler::{run_scheduler_bench, SchedulerBenchOptions, SchedulerRecord};
+pub use serve::{run_serve_bench, ServeBenchOptions, ServeRecord};
 pub use table::Table;

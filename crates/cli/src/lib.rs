@@ -16,6 +16,10 @@
 //! * [`verify`](mod@verify) — re-check an enumeration output against the
 //!   naive reference solver.
 //! * [`convert`](mod@convert) — translate edge-list ↔ DIMACS.
+//! * [`serve`](mod@serve) — a newline-delimited-JSON-over-TCP daemon:
+//!   named-graph registry, concurrent budgeted query sessions with
+//!   admission control and per-client quotas, aggregate metrics and
+//!   graceful shutdown.
 //!
 //! The argument parser is hand-rolled ([`args`]): the build environment is
 //! fully offline, so no `clap`. Every failure path returns a [`CliError`]
@@ -33,6 +37,7 @@ pub mod error;
 pub mod gen;
 pub mod io;
 pub mod query;
+pub mod serve;
 pub mod stats;
 pub mod verify;
 
@@ -50,6 +55,7 @@ commands:
   stats [GRAPH]        print graph + degeneracy statistics
   verify GRAPH [OUT]   check an enumeration output against the naive solver
   convert [IN [OUT]]   convert between edge-list and DIMACS formats
+  serve                serve queries over TCP (newline-delimited JSON)
   help [COMMAND]       show this message, or a command's options
 
 run 'mce help <command>' or 'mce <command> --help' for command options";
@@ -62,6 +68,7 @@ fn help_for(command: &str) -> Option<&'static str> {
         "stats" => Some(stats::HELP),
         "verify" => Some(verify::HELP),
         "convert" => Some(convert::HELP),
+        "serve" => Some(serve::HELP),
         _ => None,
     }
 }
@@ -109,6 +116,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "stats" => stats::run(rest),
         "verify" => verify::run(rest),
         "convert" => convert::run(rest),
+        "serve" => serve::run(rest),
         other => Err(CliError::usage(format!(
             "unknown command '{other}'\n\n{USAGE}"
         ))),
@@ -147,7 +155,15 @@ mod tests {
 
     #[test]
     fn every_command_has_help() {
-        for c in ["enumerate", "query", "gen", "stats", "verify", "convert"] {
+        for c in [
+            "enumerate",
+            "query",
+            "gen",
+            "stats",
+            "verify",
+            "convert",
+            "serve",
+        ] {
             assert!(help_for(c).is_some(), "{c}");
             assert!(help_for(c).unwrap().contains("usage: mce"), "{c}");
         }

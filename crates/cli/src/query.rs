@@ -92,7 +92,7 @@ fn parse_anchor(raw: &str) -> Result<Vec<VertexId>, CliError> {
     Ok(vertices)
 }
 
-fn parse_scheduler(raw: Option<&str>) -> Result<RootScheduler, CliError> {
+pub(crate) fn parse_scheduler(raw: Option<&str>) -> Result<RootScheduler, CliError> {
     match raw {
         None | Some("dynamic") => Ok(RootScheduler::Dynamic),
         Some("static") => Ok(RootScheduler::Static),

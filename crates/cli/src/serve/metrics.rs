@@ -1,0 +1,138 @@
+//! Server-wide aggregate counters behind the `metrics` request.
+//!
+//! Sessions fold their per-run [`EnumerationStats`]
+//! into these atomics when they finish; the `metrics` frame is a consistent
+//! enough snapshot for monitoring (individual loads are `Relaxed` — the
+//! counters are monotone and independent).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hbbmc::EnumerationStats;
+
+/// The aggregate counter set. All counters are monotone.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Request lines parsed successfully.
+    pub requests: AtomicU64,
+    /// Error frames emitted (any code).
+    pub errors: AtomicU64,
+    /// Query sessions admitted and started.
+    pub sessions_started: AtomicU64,
+    /// Query sessions that ran to a complete outcome.
+    pub sessions_completed: AtomicU64,
+    /// Query sessions truncated by budget or cancellation.
+    pub sessions_truncated: AtomicU64,
+    /// Query requests rejected at admission (capacity/quota/shutdown).
+    pub sessions_rejected: AtomicU64,
+    /// Highest number of concurrently running sessions observed.
+    pub peak_sessions: AtomicU64,
+    /// Cliques streamed or counted across all finished sessions.
+    pub cliques_emitted: AtomicU64,
+    /// Branch evaluations across all finished sessions (the paper's `#Calls`).
+    pub recursive_calls: AtomicU64,
+    /// Abandoned recursion frames across all truncated sessions.
+    pub terminated_by_budget: AtomicU64,
+    /// Budget steps charged across all finished sessions.
+    pub budget_steps: AtomicU64,
+}
+
+impl Metrics {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bumps a counter by 1.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `current` concurrently running sessions, keeping the peak.
+    pub fn observe_sessions(&self, current: u64) {
+        self.peak_sessions.fetch_max(current, Ordering::Relaxed);
+    }
+
+    /// Folds one finished session's statistics into the aggregates.
+    pub fn record_session(&self, stats: &EnumerationStats, budget_steps: u64, truncated: bool) {
+        if truncated {
+            Self::bump(&self.sessions_truncated);
+        } else {
+            Self::bump(&self.sessions_completed);
+        }
+        self.cliques_emitted
+            .fetch_add(stats.maximal_cliques, Ordering::Relaxed);
+        self.recursive_calls
+            .fetch_add(stats.recursive_calls, Ordering::Relaxed);
+        self.terminated_by_budget
+            .fetch_add(stats.terminated_by_budget, Ordering::Relaxed);
+        self.budget_steps.fetch_add(budget_steps, Ordering::Relaxed);
+    }
+
+    /// Snapshot in the fixed key order of the `metrics` frame.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("connections", get(&self.connections)),
+            ("requests", get(&self.requests)),
+            ("errors", get(&self.errors)),
+            ("sessions_started", get(&self.sessions_started)),
+            ("sessions_completed", get(&self.sessions_completed)),
+            ("sessions_truncated", get(&self.sessions_truncated)),
+            ("sessions_rejected", get(&self.sessions_rejected)),
+            ("peak_sessions", get(&self.peak_sessions)),
+            ("cliques_emitted", get(&self.cliques_emitted)),
+            ("recursive_calls", get(&self.recursive_calls)),
+            ("terminated_by_budget", get(&self.terminated_by_budget)),
+            ("budget_steps", get(&self.budget_steps)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_session_splits_complete_and_truncated() {
+        let m = Metrics::new();
+        let stats = EnumerationStats {
+            maximal_cliques: 5,
+            recursive_calls: 9,
+            terminated_by_budget: 2,
+            ..EnumerationStats::default()
+        };
+        m.record_session(&stats, 7, true);
+        m.record_session(&stats, 3, false);
+        let snap: std::collections::HashMap<_, _> = m.snapshot().into_iter().collect();
+        assert_eq!(snap["sessions_completed"], 1);
+        assert_eq!(snap["sessions_truncated"], 1);
+        assert_eq!(snap["cliques_emitted"], 10);
+        assert_eq!(snap["recursive_calls"], 18);
+        assert_eq!(snap["terminated_by_budget"], 4);
+        assert_eq!(snap["budget_steps"], 10);
+    }
+
+    #[test]
+    fn peak_sessions_keeps_maximum() {
+        let m = Metrics::new();
+        m.observe_sessions(2);
+        m.observe_sessions(5);
+        m.observe_sessions(3);
+        let snap: std::collections::HashMap<_, _> = m.snapshot().into_iter().collect();
+        assert_eq!(snap["peak_sessions"], 5);
+    }
+
+    #[test]
+    fn snapshot_key_order_is_stable() {
+        let keys: Vec<_> = Metrics::new()
+            .snapshot()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(keys[0], "connections");
+        assert_eq!(keys.last().copied(), Some("budget_steps"));
+        assert_eq!(keys.len(), 12);
+    }
+}

@@ -1,0 +1,138 @@
+//! The named-graph registry behind `load` / `evict` / `list`.
+//!
+//! Entries are `Arc`-pinned: a query session resolves its graph once at
+//! admission and keeps the `Arc` for the whole run, so `evict` (or a
+//! replacing `load`) can never pull the data out from under an in-flight
+//! session — the map drops its reference and the memory is freed when the
+//! last session finishes. A monotonically increasing generation counter
+//! distinguishes successive graphs loaded under the same name; the `begin`
+//! frame echoes it so clients can tell which generation answered.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use mce_graph::io::read_graph_str;
+use mce_graph::Graph;
+
+use crate::io::FormatArg;
+
+/// An immutable registered graph.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// Registry name.
+    pub name: String,
+    /// The graph itself.
+    pub graph: Graph,
+    /// Which `load` produced it (registry-wide monotone counter).
+    pub generation: u64,
+}
+
+/// The shared registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    graphs: RwLock<HashMap<String, Arc<GraphEntry>>>,
+    next_generation: AtomicU64,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses `content` as `format` (auto-resolved from `source_name` when
+    /// not fixed) and registers it under `name`, replacing any previous
+    /// generation. Returns the new entry.
+    pub fn load(
+        &self,
+        name: &str,
+        source_name: &str,
+        content: &str,
+        format: FormatArg,
+    ) -> Result<Arc<GraphEntry>, String> {
+        let resolved = format.resolve(source_name, content);
+        let graph =
+            read_graph_str(content, resolved).map_err(|e| format!("parsing {source_name}: {e}"))?;
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            graph,
+            generation,
+        });
+        let mut map = self.graphs.write().expect("registry lock poisoned");
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Resolves a name to its current entry, pinning it for the caller.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        let map = self.graphs.read().expect("registry lock poisoned");
+        map.get(name).cloned()
+    }
+
+    /// Removes a name. Returns whether it was present. Sessions holding the
+    /// entry keep it alive until they finish.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut map = self.graphs.write().expect("registry lock poisoned");
+        map.remove(name).is_some()
+    }
+
+    /// Snapshot of `(name, n, m, generation)` sorted by name.
+    pub fn list(&self) -> Vec<(String, usize, usize, u64)> {
+        let map = self.graphs.read().expect("registry lock poisoned");
+        let mut entries: Vec<_> = map
+            .values()
+            .map(|e| (e.name.clone(), e.graph.n(), e.graph.m(), e.generation))
+            .collect();
+        entries.sort();
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_get_evict_roundtrip() {
+        let reg = Registry::new();
+        let entry = reg
+            .load("tri", "tri.txt", "0 1\n1 2\n0 2\n", FormatArg::Auto)
+            .unwrap();
+        assert_eq!(entry.generation, 1);
+        assert_eq!(entry.graph.n(), 3);
+        assert_eq!(entry.graph.m(), 3);
+        assert!(reg.get("tri").is_some());
+        assert_eq!(reg.list(), vec![("tri".to_string(), 3, 3, 1)]);
+        assert!(reg.evict("tri"));
+        assert!(!reg.evict("tri"));
+        assert!(reg.get("tri").is_none());
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_pins_old_entry() {
+        let reg = Registry::new();
+        let first = reg.load("g", "g.txt", "0 1\n", FormatArg::Auto).unwrap();
+        let pinned = reg.get("g").unwrap();
+        let second = reg
+            .load("g", "g.txt", "0 1\n1 2\n", FormatArg::Auto)
+            .unwrap();
+        assert_eq!(first.generation, 1);
+        assert_eq!(second.generation, 2);
+        // The pinned Arc still sees the old graph even after replacement.
+        assert_eq!(pinned.generation, 1);
+        assert_eq!(pinned.graph.m(), 1);
+        assert_eq!(reg.get("g").unwrap().generation, 2);
+    }
+
+    #[test]
+    fn load_surfaces_parse_errors() {
+        let reg = Registry::new();
+        let err = reg
+            .load("bad", "bad.txt", "0 x\n", FormatArg::Auto)
+            .unwrap_err();
+        assert!(err.contains("bad.txt"), "{err}");
+        assert!(reg.get("bad").is_none());
+    }
+}

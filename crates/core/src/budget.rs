@@ -252,6 +252,13 @@ impl BudgetState {
         true
     }
 
+    /// Branch steps consumed so far across all workers (the counter
+    /// [`Self::note_step`] advances). Serving layers read this after a run to
+    /// charge per-client step quotas.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
     /// The session's outcome so far: `Complete` until a bound trips.
     pub fn outcome(&self) -> Outcome {
         // A cancelled token may not have been polled since the last worker

@@ -45,7 +45,7 @@ pub fn k_clique_census(g: &Graph, max_k: usize) -> Vec<u64> {
 /// Streams every k-clique to `visit` exactly once.
 pub fn for_each_k_clique<F: FnMut(&[VertexId])>(g: &Graph, k: usize, mut visit: F) {
     let state = BudgetState::new(&Budget::unlimited());
-    for_each_k_clique_with_state(g, k, &state, &mut |clique| visit(clique));
+    let _ = for_each_k_clique_with_state(g, k, &state, &mut |clique| visit(clique));
 }
 
 /// [`for_each_k_clique`] under a [`Budget`]: stops streaming when the
@@ -59,52 +59,55 @@ pub fn for_each_k_clique_budgeted<F: FnMut(&[VertexId])>(
     mut visit: F,
 ) -> Outcome {
     let state = BudgetState::new(budget);
-    for_each_k_clique_with_state(g, k, &state, &mut |clique| visit(clique));
+    let _ = for_each_k_clique_with_state(g, k, &state, &mut |clique| visit(clique));
     state.outcome()
 }
 
 /// The shared driver: streams k-cliques under an existing session
 /// [`BudgetState`] (the query layer passes its own so the session's cancel
-/// token applies).
+/// token applies). Returns the number of branching frames abandoned because
+/// the budget tripped — 0 on a complete run — so the query layer can fill
+/// `EnumerationStats::terminated_by_budget` honestly.
 pub(crate) fn for_each_k_clique_with_state(
     g: &Graph,
     k: usize,
     state: &BudgetState,
     visit: &mut dyn FnMut(&[VertexId]),
-) {
+) -> u64 {
     let mut gated = |clique: &[VertexId]| {
         if state.try_emit() {
             visit(clique);
         }
     };
     match k {
-        0 => return,
+        0 => return 0,
         1 => {
             for v in g.vertices() {
                 if state.should_stop() {
-                    return;
+                    return 1;
                 }
                 gated(&[v]);
             }
-            return;
+            return 0;
         }
         2 => {
             for (u, v) in g.edges() {
                 if state.should_stop() {
-                    return;
+                    return 1;
                 }
                 gated(&[u, v]);
             }
-            return;
+            return 0;
         }
         _ => {}
     }
 
+    let mut aborted = 0u64;
     let eo = edge_ordering(g, EdgeOrderingKind::Truss);
     let mut common = Vec::new();
     for (rank, &edge) in eo.order.iter().enumerate() {
         if state.note_step() {
-            return;
+            return aborted + 1;
         }
         let (u, v) = eo.index.endpoints(edge);
         g.common_neighbors_into(u, v, &mut common);
@@ -135,12 +138,14 @@ pub(crate) fn for_each_k_clique_with_state(
             c.insert(i);
         }
         let mut partial = vec![u, v];
-        extend_clique(&lg, &c, 0, k - 2, &mut partial, state, &mut gated);
+        aborted += extend_clique(&lg, &c, 0, k - 2, &mut partial, state, &mut gated);
     }
+    aborted
 }
 
 /// Extends the partial clique by `remaining` vertices chosen from `c`, only
 /// considering local ids `>= from` so each combination is produced once.
+/// Returns the number of frames abandoned to a tripped budget.
 fn extend_clique<F: FnMut(&[VertexId])>(
     lg: &LocalGraph,
     c: &BitSet,
@@ -149,27 +154,29 @@ fn extend_clique<F: FnMut(&[VertexId])>(
     partial: &mut Vec<VertexId>,
     state: &BudgetState,
     visit: &mut F,
-) {
+) -> u64 {
     if remaining == 0 {
         visit(partial);
-        return;
+        return 0;
     }
     if c.len() < remaining {
-        return;
+        return 0;
     }
+    let mut aborted = 0u64;
     for v in c.iter() {
         if v < from {
             continue;
         }
         if state.note_step() {
-            return;
+            return aborted + 1;
         }
         let mut next = c.clone();
         next.intersect_with_words(lg.cand(v));
         partial.push(lg.orig[v]);
-        extend_clique(lg, &next, v + 1, remaining - 1, partial, state, visit);
+        aborted += extend_clique(lg, &next, v + 1, remaining - 1, partial, state, visit);
         partial.pop();
     }
+    aborted
 }
 
 #[cfg(test)]

@@ -674,8 +674,16 @@ pub fn par_enumerate_ordered_budgeted<R: CliqueReporter + Send + ?Sized>(
     reporter: &mut R,
 ) -> Result<(EnumerationStats, Outcome), ConfigError> {
     let state = BudgetState::new(budget);
-    let stats = par_enumerate_ordered_with_state(g, config, threads, &state, progress, reporter)?;
-    Ok((stats, state.outcome()))
+    let mut stats =
+        par_enumerate_ordered_with_state(g, config, threads, &state, progress, reporter)?;
+    let outcome = state.outcome();
+    if outcome.is_truncated() && stats.terminated_by_budget == 0 {
+        // The budget tripped between branching frames (between root ranks, or
+        // at the output gate after the last frame finished): charge the run
+        // itself so truncated outcomes always report >= 1 abandoned unit.
+        stats.terminated_by_budget = 1;
+    }
+    Ok((stats, outcome))
 }
 
 /// [`par_enumerate_ordered_budgeted`] over an existing session

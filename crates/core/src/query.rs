@@ -143,6 +143,10 @@ pub struct QueryResult {
     pub stats: EnumerationStats,
     /// The spec-dependent payload.
     pub value: QueryValue,
+    /// Branch steps the session's budget accounting charged across all
+    /// workers — the quantity [`Budget::max_steps`] bounds. Serving layers
+    /// use this to charge per-client step quotas.
+    pub budget_steps: u64,
 }
 
 /// An invalid [`Query`] (bad solver configuration, out-of-range anchor
@@ -285,8 +289,12 @@ impl<'g> ExecSession<'g> {
             }
             QuerySpec::KClique { k } => {
                 let start = std::time::Instant::now();
-                for_each_k_clique_with_state(g, *k, state, &mut |clique| reporter.report(clique));
+                let aborted = for_each_k_clique_with_state(g, *k, state, &mut |clique| {
+                    reporter.report(clique)
+                });
                 let stats = EnumerationStats {
+                    recursive_calls: state.steps_taken(),
+                    terminated_by_budget: aborted,
                     elapsed: start.elapsed(),
                     busy_time: start.elapsed(),
                     ..EnumerationStats::default()
@@ -294,10 +302,20 @@ impl<'g> ExecSession<'g> {
                 (stats, QueryValue::Stream)
             }
         };
+        let outcome = self.state.outcome();
+        let mut stats = stats;
+        if outcome.is_truncated() && stats.terminated_by_budget == 0 {
+            // The budget tripped between branching frames (between root
+            // ranks, or at the output gate after the last frame finished):
+            // no individual frame was abandoned, so charge the session
+            // itself. Truncated runs therefore always report >= 1.
+            stats.terminated_by_budget = 1;
+        }
         QueryResult {
-            outcome: self.state.outcome(),
+            outcome,
             stats,
             value,
+            budget_steps: self.state.steps_taken(),
         }
     }
 }
@@ -682,6 +700,75 @@ mod tests {
         .unwrap();
         assert_eq!(capped.cliques.len(), 2);
         assert!(result.outcome.is_truncated());
+    }
+
+    #[test]
+    fn truncated_outcomes_always_report_budget_termination() {
+        // Regression: non-streaming specs (Count, TopKBySize) and the
+        // k-clique path used to report `terminated_by_budget == 0` on
+        // truncated runs (the k-clique arm fabricated default stats; higher
+        // thread counts could trip the budget between root ranks without
+        // abandoning a frame). Every truncated outcome must now report >= 1.
+        //
+        // Moon–Moser K_{3,3,3,3}: no vertex neighbourhood is a clique, so
+        // graph reduction removes nothing and the branching loops (the
+        // step-gated work) always run — steps(0) is guaranteed to truncate.
+        let mut edges = Vec::new();
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                if u / 3 != v / 3 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(12, edges).unwrap();
+        for threads in [1usize, 3] {
+            for (label, spec) in [
+                ("count", QuerySpec::Count),
+                ("topk", QuerySpec::TopKBySize { k: 3 }),
+                ("kclique", QuerySpec::KClique { k: 3 }),
+            ] {
+                let mut sink = CountReporter::new();
+                let result = run_query(
+                    &g,
+                    Query::new(spec)
+                        .with_threads(threads)
+                        .with_budget(Budget::steps(0)),
+                    &mut sink,
+                )
+                .unwrap();
+                assert_eq!(
+                    result.outcome,
+                    Outcome::Truncated {
+                        reason: TruncationReason::StepLimit
+                    },
+                    "{label} x{threads}"
+                );
+                assert!(
+                    result.stats.terminated_by_budget > 0,
+                    "{label} x{threads}: truncated run reported 0 budget-terminated"
+                );
+                assert!(
+                    result.budget_steps > 0,
+                    "{label} x{threads}: a step tripped the bound, so >= 1 was charged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kclique_truncated_stats_are_populated() {
+        let g = test_graph();
+        let mut collector = CollectReporter::new();
+        let result = run_query(
+            &g,
+            Query::new(QuerySpec::KClique { k: 3 }).with_budget(Budget::steps(2)),
+            &mut collector,
+        )
+        .unwrap();
+        assert!(result.outcome.is_truncated());
+        assert!(result.stats.terminated_by_budget > 0);
+        assert!(result.stats.recursive_calls > 0);
     }
 
     #[test]

@@ -33,7 +33,12 @@ pub struct EnumerationStats {
     /// executed).
     pub steals: u64,
     /// Recursion frames abandoned because the session's [`Budget`]
-    /// (clique/step limit or cancellation) tripped — 0 on a complete run.
+    /// (clique/step limit or cancellation) tripped — 0 on a complete run,
+    /// and at least 1 on any truncated one: when the budget trips *between*
+    /// frames (between root ranks, or at the output gate after the last
+    /// frame) the budgeted entry points charge the run itself, so
+    /// `mce query --stats` and the serve metrics report truncation
+    /// consistently for every spec, including `Count` and `TopKBySize`.
     ///
     /// [`Budget`]: crate::Budget
     pub terminated_by_budget: u64,
