@@ -1,7 +1,7 @@
 //! Serve-layer benchmark with a JSON trajectory emitter.
 //!
 //! ```text
-//! cargo bench --bench bench_serve -- [--quick] [--repeats N]
+//! cargo bench --bench bench_serve -- [--quick] [--repeats N] [--chaos]
 //!                                    [--variant NAME] [--json PATH]
 //! ```
 //!
@@ -9,21 +9,32 @@
 //! `--json` is given, appends one record per cell to the trajectory file
 //! (typically the workspace-level `BENCH_solver.json`), re-validating the
 //! file — including the serve-specific session counters — afterwards.
+//!
+//! With `--chaos` the same instances run with faults armed (an injected
+//! worker panic every third query, an idle connection left for the reaper,
+//! degraded admission past the high-water mark) and each cell is recorded
+//! under the `serve-chaos` schema: sessions admitted / degraded / reaped /
+//! panics contained, and queries-per-second under injected faults.
+//!
 //! Unknown flags injected by the cargo bench harness (`--bench`, ...) are
 //! ignored.
 
 use std::path::PathBuf;
 
-use mce_bench::serve::{append_records, run_serve_bench, ServeBenchOptions};
+use mce_bench::serve::{
+    append_chaos_records, append_records, run_chaos_bench, run_serve_bench, ServeBenchOptions,
+};
 
 fn main() {
     let mut options = ServeBenchOptions::default();
     let mut json_path: Option<PathBuf> = None;
+    let mut chaos = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => options.quick = true,
+            "--chaos" => chaos = true,
             "--repeats" => {
                 options.repeats = args
                     .next()
@@ -46,13 +57,33 @@ fn main() {
     }
 
     println!(
-        "# bench_serve variant={} repeats={} ({} matrix)",
+        "# bench_serve variant={} repeats={} ({} matrix{})",
         options.variant,
         options.repeats,
-        if options.quick { "quick" } else { "full" }
+        if options.quick { "quick" } else { "full" },
+        if chaos { ", chaos" } else { "" }
     );
-    let records = run_serve_bench(&options);
 
+    if chaos {
+        let records = run_chaos_bench(&options);
+        if let Some(path) = json_path {
+            match append_chaos_records(&path, &options.variant, &records) {
+                Ok(total) => println!(
+                    "appended {} records to {} ({} chaos records total, validated)",
+                    records.len(),
+                    path.display(),
+                    total
+                ),
+                Err(e) => {
+                    eprintln!("bench_serve: JSON emission failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    let records = run_serve_bench(&options);
     if let Some(path) = json_path {
         match append_records(&path, &options.variant, &records) {
             Ok(total) => println!(

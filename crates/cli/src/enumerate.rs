@@ -42,6 +42,9 @@ options:
   --max-steps N                    abort after N branch steps summed across
                                    all workers; the emitted stream is an
                                    exact prefix of the unbudgeted one
+  --deadline-ms N                  abort after N milliseconds of wall-clock
+                                   time; like --max-steps, the emitted
+                                   stream stays an exact prefix
   --output count|text|ndjson|histogram|max   output mode (default: count)
   --out FILE                       write to FILE instead of stdout
   --stats                          print run statistics (and the outcome:
@@ -57,6 +60,7 @@ const VALUE_OPTS: &[&str] = &[
     "--min-size",
     "--limit",
     "--max-steps",
+    "--deadline-ms",
     "--output",
     "--out",
 ];
@@ -176,13 +180,14 @@ fn emit_with_progress(
     })
 }
 
-/// Builds the session [`Budget`] from `--limit` / `--max-steps`. Shared with
-/// `mce query`, which accepts the same flags.
+/// Builds the session [`Budget`] from `--limit` / `--max-steps` /
+/// `--deadline-ms`. Shared with `mce query`, which accepts the same flags.
 pub(crate) fn parse_budget(p: &ParsedArgs) -> Result<Budget, CliError> {
     Ok(Budget {
         max_cliques: p.opt_u64("--limit")?,
         max_steps: p.opt_u64("--max-steps")?,
         cancel: None,
+        deadline: p.opt_u64("--deadline-ms")?.map(Duration::from_millis),
     })
 }
 

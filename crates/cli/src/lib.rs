@@ -37,6 +37,11 @@ pub mod error;
 pub mod gen;
 pub mod io;
 pub mod query;
+// The daemon must never bring itself down on a recoverable fault: panicking
+// unwrap/expect are denied throughout the serve tree (tests are allow-listed
+// locally), so every lock uses poison recovery and every fallible path
+// returns a typed frame instead.
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod serve;
 pub mod stats;
 pub mod verify;

@@ -40,6 +40,7 @@ query modes (choose at most one; default: stream every maximal clique):
 budget options:
   --limit N            stop after N cliques of the deterministic stream
   --max-steps N        abort after N branch steps across all workers
+  --deadline-ms N      abort after N milliseconds of wall-clock time
 
 options:
   --format edge-list|dimacs|auto   input format (default: auto)
@@ -60,6 +61,7 @@ const VALUE_OPTS: &[&str] = &[
     "--kclique",
     "--limit",
     "--max-steps",
+    "--deadline-ms",
     "--format",
     "--preset",
     "--threads",

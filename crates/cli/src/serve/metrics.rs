@@ -36,6 +36,12 @@ pub struct Metrics {
     pub terminated_by_budget: AtomicU64,
     /// Budget steps charged across all finished sessions.
     pub budget_steps: AtomicU64,
+    /// Sessions admitted under overload with a pre-clamped (degraded) budget.
+    pub sessions_degraded: AtomicU64,
+    /// Connections reaped by the idle timeout (slow or half-dead clients).
+    pub connections_reaped: AtomicU64,
+    /// Worker or handler panics contained without taking the server down.
+    pub panics_contained: AtomicU64,
 }
 
 impl Metrics {
@@ -86,6 +92,9 @@ impl Metrics {
             ("recursive_calls", get(&self.recursive_calls)),
             ("terminated_by_budget", get(&self.terminated_by_budget)),
             ("budget_steps", get(&self.budget_steps)),
+            ("sessions_degraded", get(&self.sessions_degraded)),
+            ("connections_reaped", get(&self.connections_reaped)),
+            ("panics_contained", get(&self.panics_contained)),
         ]
     }
 }
@@ -132,7 +141,7 @@ mod tests {
             .map(|(k, _)| k)
             .collect();
         assert_eq!(keys[0], "connections");
-        assert_eq!(keys.last().copied(), Some("budget_steps"));
-        assert_eq!(keys.len(), 12);
+        assert_eq!(keys.last().copied(), Some("panics_contained"));
+        assert_eq!(keys.len(), 15);
     }
 }

@@ -56,7 +56,20 @@ options:
   --client-max-cliques N   per-connection clique quota
   --scheduler dynamic|static|splitting   default root scheduler
   --preset NAME            default solver preset (default: HBBMC++)
-  --max-line-bytes N       request-line length cap (default: 1048576)";
+  --max-line-bytes N       request-line length cap (default: 1048576)
+  --idle-timeout-secs N    close connections with no request for N seconds
+                           (default: 300; 0 disables reaping)
+  --write-timeout-secs N   fail a response write the client has not drained
+                           for N seconds, cancelling its session
+                           (default: 30; 0 waits forever)
+  --default-deadline-ms N  wall-clock deadline for queries without
+                           'deadline_ms'; truncated responses stay exact
+                           byte-prefixes of the complete ones
+  --degrade-high-water N   with N sessions already running, admit new ones
+                           with a degraded (step-clamped) budget instead of
+                           queueing them; end frames carry \"degraded\":true
+                           (default: off)
+  --degrade-max-steps N    step clamp for degraded sessions (default: 10000)";
 
 const VALUE_OPTS: &[&str] = &[
     "--addr",
@@ -69,12 +82,19 @@ const VALUE_OPTS: &[&str] = &[
     "--scheduler",
     "--preset",
     "--max-line-bytes",
+    "--idle-timeout-secs",
+    "--write-timeout-secs",
+    "--default-deadline-ms",
+    "--degrade-high-water",
+    "--degrade-max-steps",
 ];
 const BOOL_FLAGS: &[&str] = &[];
 
 /// Builds the [`ServeConfig`] from parsed flags.
 fn parse_config(p: &ParsedArgs) -> Result<ServeConfig, CliError> {
     let defaults = ServeConfig::default();
+    // Timeout flags use 0 to mean "disabled" so the CLI has no bool flags.
+    let secs_or_off = |value: u64| (value > 0).then(|| std::time::Duration::from_secs(value));
     Ok(ServeConfig {
         addr: p.value("--addr").unwrap_or(&defaults.addr).to_string(),
         max_sessions: p.usize_value("--max-sessions", defaults.max_sessions, 1, 1024)?,
@@ -86,6 +106,15 @@ fn parse_config(p: &ParsedArgs) -> Result<ServeConfig, CliError> {
         scheduler: parse_scheduler(p.value("--scheduler"))?,
         preset: p.value("--preset").unwrap_or(&defaults.preset).to_string(),
         max_line_bytes: p.usize_value("--max-line-bytes", defaults.max_line_bytes, 64, 1 << 30)?,
+        idle_timeout: secs_or_off(p.u64_value("--idle-timeout-secs", 300)?),
+        write_timeout: secs_or_off(p.u64_value("--write-timeout-secs", 30)?),
+        default_deadline_ms: p.opt_u64("--default-deadline-ms")?,
+        degrade_high_water: p
+            .opt_u64("--degrade-high-water")?
+            .map(|high_water| high_water as usize),
+        degrade_max_steps: p.u64_value("--degrade-max-steps", defaults.degrade_max_steps)?,
+        chaos_panic_graph: None,
+        chaos_panic_after: 0,
     })
 }
 
@@ -104,9 +133,11 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use hbbmc::RootScheduler;
+    use std::time::Duration;
 
     fn parse(args: &[&str]) -> Result<ServeConfig, CliError> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
@@ -124,6 +155,37 @@ mod tests {
         assert_eq!(config.scheduler, RootScheduler::Dynamic);
         assert_eq!(config.preset, "HBBMC++");
         assert_eq!(config.max_line_bytes, 1 << 20);
+        assert_eq!(config.idle_timeout, Some(Duration::from_secs(300)));
+        assert_eq!(config.write_timeout, Some(Duration::from_secs(30)));
+        assert_eq!(config.default_deadline_ms, None);
+        assert_eq!(config.degrade_high_water, None);
+        assert_eq!(config.degrade_max_steps, 10_000);
+        assert_eq!(config.chaos_panic_graph, None);
+    }
+
+    #[test]
+    fn robustness_flags_parse_and_zero_disables_timeouts() {
+        let config = parse(&[
+            "--idle-timeout-secs",
+            "7",
+            "--write-timeout-secs",
+            "0",
+            "--default-deadline-ms",
+            "1500",
+            "--degrade-high-water",
+            "3",
+            "--degrade-max-steps",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(config.idle_timeout, Some(Duration::from_secs(7)));
+        assert_eq!(config.write_timeout, None);
+        assert_eq!(config.default_deadline_ms, Some(1500));
+        assert_eq!(config.degrade_high_water, Some(3));
+        assert_eq!(config.degrade_max_steps, 250);
+
+        let off = parse(&["--idle-timeout-secs", "0"]).unwrap();
+        assert_eq!(off.idle_timeout, None);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum ErrorCode {
     Quota,
     /// The server is shutting down and admits no new sessions.
     ShuttingDown,
+    /// A contained fault (worker panic) inside the session or handler; the
+    /// server stays up and the connection may continue.
+    Internal,
 }
 
 impl ErrorCode {
@@ -47,6 +50,7 @@ impl ErrorCode {
             ErrorCode::Capacity => "capacity",
             ErrorCode::Quota => "quota",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal-error",
         }
     }
 }
@@ -62,6 +66,9 @@ pub struct QueryRequest {
     pub limit: Option<u64>,
     /// `max_steps`: abort after this many branch steps.
     pub max_steps: Option<u64>,
+    /// `deadline_ms`: abort after this many milliseconds of wall-clock time
+    /// (clamped to the server's `--default-deadline-ms` when both are set).
+    pub deadline_ms: Option<u64>,
     /// `threads`: worker threads (clamped to the server's `max_threads`).
     pub threads: Option<usize>,
     /// `scheduler`: root-branch scheduling policy override.
@@ -280,6 +287,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     "anchor",
                     "limit",
                     "max_steps",
+                    "deadline_ms",
                     "threads",
                     "scheduler",
                     "preset",
@@ -308,6 +316,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 spec,
                 limit: optional_u64(&v, "limit")?,
                 max_steps: optional_u64(&v, "max_steps")?,
+                deadline_ms: optional_u64(&v, "deadline_ms")?,
                 threads,
                 scheduler,
                 preset: optional_str(&v, "preset")?,
@@ -411,13 +420,17 @@ pub fn begin_frame(id: u64, graph: &str, generation: u64) -> String {
 /// `outcome`, the emitted clique count and max size, whether the budget
 /// terminated work (a boolean — the exact abandoned-frame count is
 /// scheduling-dependent and lives in the `metrics` aggregates), and the
-/// `count` payload of counting queries.
+/// `count` payload of counting queries. `degraded` is emitted only when
+/// `true` (a session admitted under overload with a pre-clamped budget), so
+/// un-degraded responses stay byte-identical to the pre-degradation wire
+/// format.
 pub fn end_frame(
     id: u64,
     outcome: &str,
     cliques: u64,
     max_size: usize,
     budget_terminated: bool,
+    degraded: bool,
     count: Option<u64>,
 ) -> String {
     let mut pairs = vec![
@@ -428,6 +441,9 @@ pub fn end_frame(
         ("max_size", Value::Num(max_size as f64)),
         ("budget_terminated", Value::Bool(budget_terminated)),
     ];
+    if degraded {
+        pairs.push(("degraded", Value::Bool(true)));
+    }
     if let Some(count) = count {
         pairs.push(("count", Value::Num(count as f64)));
     }
@@ -435,6 +451,7 @@ pub fn end_frame(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -532,7 +549,8 @@ mod tests {
             graphs_frame(&[("g".into(), 60, 343, 1)]),
             metrics_frame(&[("sessions_started", 4)]),
             begin_frame(1, "g", 1),
-            end_frame(1, "complete", 114, 8, false, Some(114)),
+            end_frame(1, "complete", 114, 8, false, false, Some(114)),
+            end_frame(1, "truncated (deadline exceeded)", 3, 4, true, true, None),
         ] {
             assert!(!frame.contains('\n'), "{frame}");
             let v = json::parse(&frame).unwrap();
@@ -550,5 +568,22 @@ mod tests {
         assert_eq!(ErrorCode::Capacity.as_str(), "capacity");
         assert_eq!(ErrorCode::Quota.as_str(), "quota");
         assert_eq!(ErrorCode::ShuttingDown.as_str(), "shutting-down");
+        assert_eq!(ErrorCode::Internal.as_str(), "internal-error");
+    }
+
+    #[test]
+    fn deadline_ms_parses_and_unknown_fields_still_reject() {
+        let q = parse_request(r#"{"op":"query","graph":"g","deadline_ms":250}"#).unwrap();
+        let Request::Query(q) = q else { panic!() };
+        assert_eq!(q.deadline_ms, Some(250));
+        assert!(parse_request(r#"{"op":"query","graph":"g","deadline_ms":"soon"}"#).is_err());
+    }
+
+    #[test]
+    fn degraded_flag_is_emitted_only_when_set() {
+        let plain = end_frame(7, "complete", 2, 3, false, false, None);
+        assert!(!plain.contains("degraded"), "{plain}");
+        let degraded = end_frame(7, "truncated (step limit)", 2, 3, true, true, None);
+        assert!(degraded.contains(r#""degraded":true"#), "{degraded}");
     }
 }

@@ -60,27 +60,27 @@ impl Registry {
             graph,
             generation,
         });
-        let mut map = self.graphs.write().expect("registry lock poisoned");
+        let mut map = self.graphs.write().unwrap_or_else(|e| e.into_inner());
         map.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
     }
 
     /// Resolves a name to its current entry, pinning it for the caller.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
-        let map = self.graphs.read().expect("registry lock poisoned");
+        let map = self.graphs.read().unwrap_or_else(|e| e.into_inner());
         map.get(name).cloned()
     }
 
     /// Removes a name. Returns whether it was present. Sessions holding the
     /// entry keep it alive until they finish.
     pub fn evict(&self, name: &str) -> bool {
-        let mut map = self.graphs.write().expect("registry lock poisoned");
+        let mut map = self.graphs.write().unwrap_or_else(|e| e.into_inner());
         map.remove(name).is_some()
     }
 
     /// Snapshot of `(name, n, m, generation)` sorted by name.
     pub fn list(&self) -> Vec<(String, usize, usize, u64)> {
-        let map = self.graphs.read().expect("registry lock poisoned");
+        let map = self.graphs.read().unwrap_or_else(|e| e.into_inner());
         let mut entries: Vec<_> = map
             .values()
             .map(|e| (e.name.clone(), e.graph.n(), e.graph.m(), e.generation))
@@ -91,6 +91,7 @@ impl Registry {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -21,11 +21,12 @@
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hbbmc::{
     Budget, CancelToken, CliqueLineFormat, CliqueReporter, CountReporter, ExecSession, Query,
@@ -65,6 +66,29 @@ pub struct ServeConfig {
     /// Request lines longer than this are rejected and the connection
     /// closed (there is no way to resynchronise mid-line).
     pub max_line_bytes: usize,
+    /// Connections with no parsed request for this long are reaped (socket
+    /// closed, handler and reader threads joined). `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Kernel-level write timeout per response write; a client that stops
+    /// draining its socket for this long fails its session's writes, which
+    /// cancels the session instead of leaking it. `None` blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// Wall-clock deadline applied to queries that do not carry
+    /// `deadline_ms` (the request value is clamped to this when both exist).
+    pub default_deadline_ms: Option<u64>,
+    /// Graceful-degradation high-water mark: when this many sessions are
+    /// already running at admission time, new sessions are admitted with
+    /// their step budget pre-clamped to [`ServeConfig::degrade_max_steps`]
+    /// and their end frame carries `degraded: true`. `None` disables
+    /// degradation (sessions queue or fail fast as before).
+    pub degrade_high_water: Option<usize>,
+    /// The step-budget clamp applied to sessions admitted under overload.
+    pub degrade_max_steps: u64,
+    /// Fault injection (chaos tests only, not reachable from the CLI):
+    /// streaming queries against this graph panic mid-enumeration.
+    pub chaos_panic_graph: Option<String>,
+    /// How many cliques a chaos-targeted session reports before panicking.
+    pub chaos_panic_after: u64,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +104,13 @@ impl Default for ServeConfig {
             scheduler: RootScheduler::Dynamic,
             preset: "HBBMC++".to_string(),
             max_line_bytes: 1 << 20,
+            idle_timeout: Some(Duration::from_secs(300)),
+            write_timeout: Some(Duration::from_secs(30)),
+            default_deadline_ms: None,
+            degrade_high_water: None,
+            degrade_max_steps: 10_000,
+            chaos_panic_graph: None,
+            chaos_panic_after: 0,
         }
     }
 }
@@ -109,7 +140,7 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for token in self.live.lock().expect("live lock poisoned").values() {
+        for token in self.live.lock().unwrap_or_else(|e| e.into_inner()).values() {
             token.cancel();
         }
         self.sessions_cv.notify_all();
@@ -123,18 +154,31 @@ impl Shared {
     /// Admission control: takes one of the `max_sessions` slots, queueing
     /// when asked to. Fails with the [`ErrorCode`] the rejection frame
     /// should carry.
-    fn acquire_session(&self, queue: bool) -> Result<(), ErrorCode> {
-        let mut count = self.running_sessions.lock().expect("session lock poisoned");
+    /// Takes one of the `max_sessions` slots, reporting whether the server
+    /// crossed the graceful-degradation high-water mark at admission time
+    /// (the session then runs with a pre-clamped budget).
+    fn acquire_session(&self, queue: bool) -> Result<bool, ErrorCode> {
+        let mut count = self
+            .running_sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         loop {
             if self.is_shutting_down() {
                 return Err(ErrorCode::ShuttingDown);
             }
             if *count < self.config.max_sessions {
+                let degraded = self
+                    .config
+                    .degrade_high_water
+                    .is_some_and(|high_water| *count >= high_water);
                 *count += 1;
                 let current = *count as u64;
                 drop(count);
                 self.metrics.observe_sessions(current);
-                return Ok(());
+                if degraded {
+                    Metrics::bump(&self.metrics.sessions_degraded);
+                }
+                return Ok(degraded);
             }
             if !queue {
                 return Err(ErrorCode::Capacity);
@@ -142,13 +186,16 @@ impl Shared {
             let (guard, _) = self
                 .sessions_cv
                 .wait_timeout(count, TICK)
-                .expect("session lock poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             count = guard;
         }
     }
 
     fn release_session(&self) {
-        let mut count = self.running_sessions.lock().expect("session lock poisoned");
+        let mut count = self
+            .running_sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         *count = count.saturating_sub(1);
         drop(count);
         self.sessions_cv.notify_all();
@@ -387,7 +434,8 @@ fn reader_loop(
                     Ok(Request::Query(q)) => {
                         Metrics::bump(&shared.metrics.requests);
                         next_query_id += 1;
-                        conn.lock().expect("conn lock poisoned").last_assigned = next_query_id;
+                        conn.lock().unwrap_or_else(|e| e.into_inner()).last_assigned =
+                            next_query_id;
                         let _ = tx.send(ReaderMsg::Query(next_query_id, q));
                     }
                     Ok(request) => {
@@ -405,7 +453,7 @@ fn reader_loop(
 /// cancelled the moment it starts. `cancel` without an id targets the
 /// running query, falling back to the most recently submitted one.
 fn cancel_query(conn: &Mutex<ConnState>, id: Option<u64>) {
-    let mut state = conn.lock().expect("conn lock poisoned");
+    let mut state = conn.lock().unwrap_or_else(|e| e.into_inner());
     let cancelled_running = match (&state.running, id) {
         (Some((_, token)), None) => {
             token.cancel();
@@ -435,6 +483,10 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
     let Ok(read_stream) = stream.try_clone() else {
         return;
     };
+    // A kernel-level write timeout turns a client that stopped draining its
+    // socket into a write error, which cancels its session (CancelWriter)
+    // instead of blocking the handler forever.
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
     let conn = Arc::new(Mutex::new(ConnState::default()));
     let (tx, rx) = mpsc::channel();
     let reader = {
@@ -449,18 +501,34 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
         steps: shared.config.client_max_steps,
         cliques: shared.config.client_max_cliques,
     };
+    let mut last_activity = Instant::now();
     loop {
         let msg = match rx.recv_timeout(TICK) {
-            Ok(msg) => msg,
+            Ok(msg) => {
+                last_activity = Instant::now();
+                msg
+            }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.is_shutting_down() {
+                    break;
+                }
+                if shared
+                    .config
+                    .idle_timeout
+                    .is_some_and(|limit| last_activity.elapsed() >= limit)
+                {
+                    Metrics::bump(&shared.metrics.connections_reaped);
                     break;
                 }
                 continue;
             }
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        let keep_going = match msg {
+        // The dispatch below is panic-isolated: a fault that escapes the
+        // typed-error paths (they contain engine worker panics already) is
+        // answered with an `internal-error` frame and the connection — and
+        // above it, the accept loop — keeps going.
+        let keep_going = catch_unwind(AssertUnwindSafe(|| match msg {
             ReaderMsg::Eof => Ok(false),
             ReaderMsg::Bad(message) => {
                 send_error(&shared, &mut writer, ErrorCode::BadRequest, &message).map(|()| true)
@@ -473,7 +541,17 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
                 run_session(&shared, &conn, &mut quota, &mut writer, id, request)
             }
             ReaderMsg::Request(request) => handle_control(&shared, &mut writer, request),
-        };
+        }))
+        .unwrap_or_else(|_| {
+            Metrics::bump(&shared.metrics.panics_contained);
+            send_error(
+                &shared,
+                &mut writer,
+                ErrorCode::Internal,
+                "request handler fault contained; the connection may continue",
+            )
+            .map(|()| true)
+        });
         match keep_going {
             Ok(true) => {}
             // Clean close, or the client stopped reading — either way the
@@ -614,6 +692,27 @@ impl<R: CliqueReporter> CliqueReporter for Tally<R> {
     }
 }
 
+/// Fault injection for chaos tests (see [`ServeConfig::chaos_panic_graph`]):
+/// panics once the fuse burns out, exercising the engine's panic containment
+/// from inside a real session. With `fuse: None` (every CLI-started server)
+/// this is a transparent pass-through.
+struct ChaosReporter<R> {
+    inner: R,
+    fuse: Option<u64>,
+}
+
+impl<R: CliqueReporter> CliqueReporter for ChaosReporter<R> {
+    fn report(&mut self, clique: &[VertexId]) {
+        if let Some(remaining) = &mut self.fuse {
+            if *remaining == 0 {
+                panic!("injected chaos fault: reporter fuse burned out");
+            }
+            *remaining -= 1;
+        }
+        self.inner.report(clique);
+    }
+}
+
 /// Cancels the session the moment a write fails, so a disconnected client
 /// stops consuming enumeration work instead of streaming into the void.
 struct CancelWriter<W: Write> {
@@ -690,14 +789,37 @@ fn run_session<W: Write + Send>(
     if quota.cliques == Some(0) {
         return reject(shared, writer, ErrorCode::Quota, "clique quota exhausted");
     }
-    let budget = Budget {
+    // Take a concurrency slot (possibly queueing) before the budget is
+    // built: admission under overload pressure degrades the session — its
+    // step budget is pre-clamped so it finishes quickly instead of queueing
+    // indefinitely behind it. `cancel` sent while we queued is recorded in
+    // `pre_cancelled` and applied at registration below.
+    let degraded = match shared.acquire_session(request.queue) {
+        Ok(degraded) => degraded,
+        Err(code) => {
+            let message = match code {
+                ErrorCode::Capacity => format!(
+                    "server is at capacity ({} sessions); retry or set \"queue\":true",
+                    shared.config.max_sessions
+                ),
+                _ => "server is shutting down".to_string(),
+            };
+            return reject(shared, writer, code, &message);
+        }
+    };
+    let mut budget = Budget {
         max_cliques: min_opt(request.limit, quota.cliques),
         max_steps: min_opt(
             request.max_steps.or(shared.config.default_max_steps),
             quota.steps,
         ),
         cancel: None,
+        deadline: min_opt(request.deadline_ms, shared.config.default_deadline_ms)
+            .map(Duration::from_millis),
     };
+    if degraded {
+        budget.max_steps = min_opt(budget.max_steps, Some(shared.config.degrade_max_steps));
+    }
     let threads = request
         .threads
         .unwrap_or(shared.config.default_threads)
@@ -711,36 +833,20 @@ fn run_session<W: Write + Send>(
     let session = match ExecSession::new(&entry.graph, query) {
         Ok(session) => session,
         Err(e) => {
+            shared.release_session();
             send_error(shared, writer, ErrorCode::BadRequest, &e.to_string())?;
             return Ok(true);
         }
     };
-
-    // Take a concurrency slot (possibly queueing), then register the
-    // session for cancellation — `cancel` sent while we queued is recorded
-    // in `pre_cancelled` and applied here.
-    match shared.acquire_session(request.queue) {
-        Ok(()) => {}
-        Err(code) => {
-            let message = match code {
-                ErrorCode::Capacity => format!(
-                    "server is at capacity ({} sessions); retry or set \"queue\":true",
-                    shared.config.max_sessions
-                ),
-                _ => "server is shutting down".to_string(),
-            };
-            return reject(shared, writer, code, &message);
-        }
-    }
     let token = session.cancel_token();
     let session_id = shared.next_session.fetch_add(1, Ordering::Relaxed) + 1;
     shared
         .live
         .lock()
-        .expect("live lock poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .insert(session_id, token.clone());
     {
-        let mut state = conn.lock().expect("conn lock poisoned");
+        let mut state = conn.lock().unwrap_or_else(|e| e.into_inner());
         if state.pre_cancelled.remove(&id) {
             token.cancel();
         }
@@ -758,51 +864,70 @@ fn run_session<W: Write + Send>(
             | hbbmc::QuerySpec::Anchored { .. }
             | hbbmc::QuerySpec::KClique { .. }
     );
-    let (result, emitted, max_size, write_error) = if streaming {
+    let chaos_fuse = (shared.config.chaos_panic_graph.as_deref() == Some(request.graph.as_str()))
+        .then_some(shared.config.chaos_panic_after);
+    let run = if streaming {
         let cancel_writer = CancelWriter {
             inner: &mut *writer,
             token: token.clone(),
         };
-        let mut tally = Tally::new(WriterReporter::new(cancel_writer, CliqueLineFormat::Ndjson));
-        let result = session.run(&mut tally);
-        let emitted = tally.emitted;
-        let max_size = tally.max_size;
-        let write_error = tally.inner.take_error();
-        (result, emitted, max_size, write_error)
+        let mut tally = ChaosReporter {
+            inner: Tally::new(WriterReporter::new(cancel_writer, CliqueLineFormat::Ndjson)),
+            fuse: chaos_fuse,
+        };
+        session.try_run(&mut tally).map(|result| {
+            let emitted = tally.inner.emitted;
+            let max_size = tally.inner.max_size;
+            let write_error = tally.inner.inner.take_error();
+            (result, emitted, max_size, write_error)
+        })
     } else {
         let mut ignored = CountReporter::new();
-        let result = session.run(&mut ignored);
-        let (emitted, max_size, write_error) = match &result.value {
-            QueryValue::Count(_) => (0, 0, None),
-            QueryValue::TopK(cliques) => {
-                let max_size = cliques.iter().map(Vec::len).max().unwrap_or(0);
-                let mut out = WriterReporter::new(&mut *writer, CliqueLineFormat::Ndjson);
-                for clique in cliques {
-                    out.report(clique);
+        session.try_run(&mut ignored).map(|result| {
+            let (emitted, max_size, write_error) = match &result.value {
+                QueryValue::Count(_) => (0, 0, None),
+                QueryValue::TopK(cliques) => {
+                    let max_size = cliques.iter().map(Vec::len).max().unwrap_or(0);
+                    let mut out = WriterReporter::new(&mut *writer, CliqueLineFormat::Ndjson);
+                    for clique in cliques {
+                        out.report(clique);
+                    }
+                    (cliques.len() as u64, max_size, out.take_error())
                 }
-                (cliques.len() as u64, max_size, out.take_error())
-            }
-            QueryValue::Maximum(clique) => {
-                let mut out = WriterReporter::new(&mut *writer, CliqueLineFormat::Ndjson);
-                if clique.is_empty() {
-                    (0, 0, None)
-                } else {
-                    out.report(clique);
-                    (1, clique.len(), out.take_error())
+                QueryValue::Maximum(clique) => {
+                    let mut out = WriterReporter::new(&mut *writer, CliqueLineFormat::Ndjson);
+                    if clique.is_empty() {
+                        (0, 0, None)
+                    } else {
+                        out.report(clique);
+                        (1, clique.len(), out.take_error())
+                    }
                 }
-            }
-            QueryValue::Stream => unreachable!("non-streaming specs yield values"),
-        };
-        (result, emitted, max_size, write_error)
+                QueryValue::Stream => unreachable!("non-streaming specs yield values"),
+            };
+            (result, emitted, max_size, write_error)
+        })
     };
 
-    conn.lock().expect("conn lock poisoned").running = None;
+    conn.lock().unwrap_or_else(|e| e.into_inner()).running = None;
     shared
         .live
         .lock()
-        .expect("live lock poisoned")
+        .unwrap_or_else(|e| e.into_inner())
         .remove(&session_id);
     shared.release_session();
+    let (result, emitted, max_size, write_error) = match run {
+        Ok(parts) => parts,
+        Err(error) => {
+            // A worker panicked mid-enumeration. The fault was contained by
+            // the engine (remaining workers drained, the deterministic
+            // prefix was already streamed); report it as a typed frame and
+            // keep the connection — concurrent sessions are unaffected.
+            Metrics::bump(&shared.metrics.panics_contained);
+            send_error(shared, writer, ErrorCode::Internal, &error.to_string())?;
+            return Ok(true);
+        }
+    };
     shared.metrics.record_session(
         &result.stats,
         result.budget_steps,
@@ -826,6 +951,7 @@ fn run_session<W: Write + Send>(
             emitted,
             max_size,
             result.stats.terminated_by_budget > 0,
+            degraded,
             count,
         ),
     )?;
@@ -833,6 +959,7 @@ fn run_session<W: Write + Send>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use std::io::Cursor;
@@ -918,8 +1045,8 @@ mod tests {
         })
         .unwrap();
         let shared = &server.shared;
-        assert!(shared.acquire_session(false).is_ok());
-        assert!(shared.acquire_session(false).is_ok());
+        assert_eq!(shared.acquire_session(false), Ok(false));
+        assert_eq!(shared.acquire_session(false), Ok(false));
         assert_eq!(shared.acquire_session(false), Err(ErrorCode::Capacity));
         shared.release_session();
         assert!(shared.acquire_session(false).is_ok());
@@ -929,5 +1056,60 @@ mod tests {
 
         shared.begin_shutdown();
         assert_eq!(shared.acquire_session(true), Err(ErrorCode::ShuttingDown));
+    }
+
+    #[test]
+    fn admission_degrades_past_the_high_water_mark() {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 3,
+            degrade_high_water: Some(1),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let shared = &server.shared;
+        // Below the mark: normal admission.
+        assert_eq!(shared.acquire_session(false), Ok(false));
+        // At or above it: admitted, but degraded.
+        assert_eq!(shared.acquire_session(false), Ok(true));
+        assert_eq!(shared.acquire_session(false), Ok(true));
+        // The cap still holds.
+        assert_eq!(shared.acquire_session(false), Err(ErrorCode::Capacity));
+        let snapshot: std::collections::HashMap<_, _> =
+            shared.metrics.snapshot().into_iter().collect();
+        assert_eq!(snapshot["sessions_degraded"], 2);
+        // Releasing drops the pressure back under the mark.
+        shared.release_session();
+        shared.release_session();
+        shared.release_session();
+        assert_eq!(shared.acquire_session(false), Ok(false));
+    }
+
+    #[test]
+    fn chaos_reporter_passes_through_until_the_fuse_burns() {
+        struct Sink(Vec<usize>);
+        impl CliqueReporter for Sink {
+            fn report(&mut self, clique: &[VertexId]) {
+                self.0.push(clique.len());
+            }
+        }
+        let mut quiet = ChaosReporter {
+            inner: Sink(Vec::new()),
+            fuse: None,
+        };
+        for _ in 0..100 {
+            quiet.report(&[1, 2]);
+        }
+        assert_eq!(quiet.inner.0.len(), 100);
+
+        let mut armed = ChaosReporter {
+            inner: Sink(Vec::new()),
+            fuse: Some(2),
+        };
+        armed.report(&[1]);
+        armed.report(&[1, 2]);
+        let boom = std::panic::catch_unwind(AssertUnwindSafe(|| armed.report(&[3])));
+        assert!(boom.is_err());
+        assert_eq!(armed.inner.0, vec![1, 2]);
     }
 }

@@ -2,9 +2,25 @@
 //! ephemeral loopback port and talk to it over real sockets.
 //!
 //! Used by the integration tests (`serve_golden`, `serve_property`,
-//! `serve_fuzz`) and the `bench_serve` benchmark, so the exercised path is
-//! byte-for-byte the production one — only the port and the process
-//! boundary differ.
+//! `serve_fuzz`, `serve_chaos`) and the `bench_serve` benchmark, so the
+//! exercised path is byte-for-byte the production one — only the port and
+//! the process boundary differ.
+//!
+//! # Fault injection
+//!
+//! The chaos suite drives the server through deterministic client-side
+//! faults:
+//!
+//! - [`FaultSchedule`] + [`TestClient::send_with_faults`] — short writes,
+//!   per-chunk stalls and a mid-stream disconnect after a byte budget;
+//! - [`TestClient::disconnect`] — abrupt teardown while a response is still
+//!   streaming (the server's `CancelWriter` turns the resulting write error
+//!   into a session cancellation);
+//! - [`TestClient::retry_with_backoff`] — bounded, jitter-free exponential
+//!   backoff on `capacity` rejections, so tests (and well-behaved clients)
+//!   ride out admission pressure deterministically instead of spinning;
+//! - server-side worker panics are injected via
+//!   [`ServeConfig::chaos_panic_graph`], not from this module.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -130,6 +146,63 @@ impl TestClient {
         self.recv_response()
     }
 
+    /// Sends a request, retrying while the server answers with a single
+    /// `capacity` rejection frame. The backoff schedule is deterministic
+    /// and jitter-free — `base_delay`, then double per retry — so chaos
+    /// runs are reproducible. Returns the first non-`capacity` response,
+    /// or the final rejection once `max_attempts` roundtrips are spent.
+    pub fn retry_with_backoff(
+        &mut self,
+        request: &str,
+        base_delay: Duration,
+        max_attempts: u32,
+    ) -> std::io::Result<Vec<String>> {
+        let mut delay = base_delay;
+        let mut attempt = 0u32;
+        loop {
+            let frames = self.roundtrip(request)?;
+            attempt += 1;
+            let rejected = frames.len() == 1 && frames[0].contains(r#""code":"capacity""#);
+            if !rejected || attempt >= max_attempts {
+                return Ok(frames);
+            }
+            std::thread::sleep(delay);
+            delay = delay.saturating_mul(2);
+        }
+    }
+
+    /// Writes `bytes` under a deterministic fault schedule: `chunk`-byte
+    /// short writes, each preceded by a `stall`, torn down mid-stream once
+    /// `cut_after` bytes have gone out. Returns whether every byte was
+    /// sent (`false` means the schedule cut the connection first).
+    pub fn send_with_faults(
+        &mut self,
+        bytes: &[u8],
+        schedule: &FaultSchedule,
+    ) -> std::io::Result<bool> {
+        let mut sent = 0usize;
+        for chunk in bytes.chunks(schedule.chunk.max(1)) {
+            if schedule.cut_after.is_some_and(|cut| sent >= cut) {
+                self.stream.shutdown(Shutdown::Both)?;
+                return Ok(false);
+            }
+            if !schedule.stall.is_zero() {
+                std::thread::sleep(schedule.stall);
+            }
+            self.stream.write_all(chunk)?;
+            self.stream.flush()?;
+            sent += chunk.len();
+        }
+        Ok(true)
+    }
+
+    /// Abruptly tears the connection down in both directions — the
+    /// mid-stream-disconnect fault. The server's next write to this socket
+    /// fails, which cancels the session instead of leaking it.
+    pub fn disconnect(&mut self) -> std::io::Result<()> {
+        self.stream.shutdown(Shutdown::Both)
+    }
+
     /// Half-closes the write side (the server sees EOF while the read side
     /// stays open for its response).
     pub fn half_close(&mut self) -> std::io::Result<()> {
@@ -148,6 +221,28 @@ impl TestClient {
     }
 }
 
+/// A deterministic client-side I/O fault plan for
+/// [`TestClient::send_with_faults`].
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    /// Bytes per short write (values below 1 behave as 1).
+    pub chunk: usize,
+    /// Stall inserted before each chunk.
+    pub stall: Duration,
+    /// Tear the connection down once this many bytes have gone out.
+    pub cut_after: Option<usize>,
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        FaultSchedule {
+            chunk: 1,
+            stall: Duration::ZERO,
+            cut_after: None,
+        }
+    }
+}
+
 /// Builds a `load` request carrying the graph text inline.
 pub fn load_request(name: &str, content: &str) -> String {
     let mut escaped = String::new();
@@ -156,6 +251,7 @@ pub fn load_request(name: &str, content: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -253,4 +253,80 @@ proptest! {
             vec![r#"{"type":"pong"}"#.to_string()]
         );
     }
+
+    /// Deadline-expired sessions racing evict/reload: every response stays
+    /// well-formed, truncated streams remain prefixes of the deterministic
+    /// complete stream, and the generation counters echoed by `begin`
+    /// frames stay monotone across one connection's query sequence.
+    #[test]
+    fn deadline_expiry_racing_evict_stays_well_formed(
+        classes in 3u32..5,
+        sched in 0usize..3,
+        deadline_ms in 0u64..3,
+        reloads in 1usize..5,
+    ) {
+        let server = TestServer::start(ServeConfig {
+            default_threads: 2,
+            scheduler: scheduler(sched),
+            max_sessions: 8,
+            ..ServeConfig::default()
+        }).unwrap();
+        let text = moon_moser_text(classes);
+        let mut admin = server.connect().unwrap();
+        admin.roundtrip(&load_request("g", &text)).unwrap();
+
+        let addr = server.addr();
+        let worker = std::thread::spawn(move || -> std::io::Result<Vec<Vec<String>>> {
+            let mut client = TestClient::connect(addr)?;
+            let mut responses = Vec::new();
+            for _ in 0..4 {
+                responses.push(client.roundtrip(&format!(
+                    r#"{{"op":"query","graph":"g","deadline_ms":{deadline_ms}}}"#
+                ))?);
+            }
+            Ok(responses)
+        });
+        // Evict/reload under the deadline-expired sessions: each reload
+        // bumps the registry generation while sessions pin their own.
+        for _ in 0..reloads {
+            admin.roundtrip(r#"{"op":"evict","name":"g"}"#).unwrap();
+            admin.roundtrip(&load_request("g", &text)).unwrap();
+        }
+        let responses = worker.join().expect("worker panicked").expect("worker io");
+
+        // The reference complete stream (same graph text, so identical
+        // bytes whatever generation served it).
+        let full = admin.roundtrip(r#"{"op":"query","graph":"g"}"#).unwrap();
+        let (_, full_cliques, full_end) = split_response(&full);
+        prop_assert!(full_end.contains(r#""outcome":"complete""#), "{}", full_end);
+
+        let mut last_generation = 0u64;
+        for frames in responses {
+            let (begin, cliques, end) = split_response(&frames);
+            if end.starts_with(r#"{"type":"error""#) {
+                prop_assert!(end.contains(r#""code":"unknown-graph""#), "{}", end);
+                prop_assert!(cliques.is_empty());
+                continue;
+            }
+            prop_assert!(
+                end.contains(r#""outcome":"complete""#)
+                    || end.contains(r#""outcome":"truncated (deadline exceeded)""#),
+                "{}", end
+            );
+            prop_assert_eq!(&cliques, &full_cliques[..cliques.len()]);
+            // `begin` echoes the generation that answered; sequential
+            // queries on one connection can never observe it going back.
+            let generation: u64 = begin
+                .expect("end without begin")
+                .rsplit(r#""generation":"#)
+                .next()
+                .and_then(|rest| rest.trim_end_matches('}').parse().ok())
+                .expect("begin frame carries a generation");
+            prop_assert!(
+                generation >= last_generation,
+                "generation regressed: {} after {}", generation, last_generation
+            );
+            last_generation = generation;
+        }
+    }
 }

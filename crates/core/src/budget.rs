@@ -15,6 +15,10 @@
 //!   tracks actual work, not wall clock.
 //! * **`cancel`** — a cooperative [`CancelToken`] that any thread may trip.
 //!   Workers observe it between branch steps and unwind promptly.
+//! * **`deadline`** — a wall-clock bound. The clock is polled on the same
+//!   relaxed-atomic branch-step cadence the step cap uses (every
+//!   `DEADLINE_CHECK_INTERVAL` steps, so the hot loop stays monotonic
+//!   loads), surfacing as `Outcome::Truncated(DeadlineExceeded)`.
 //!
 //! Whatever trips first, the ordered output stream is cut at a *clean* point:
 //! the sequencer never emits a rank assembled from partially-aborted parts,
@@ -29,6 +33,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use mce_graph::VertexId;
 
@@ -71,6 +76,9 @@ pub struct Budget {
     pub max_steps: Option<u64>,
     /// External cooperative cancellation.
     pub cancel: Option<CancelToken>,
+    /// Abort once this much wall-clock time has elapsed since the session's
+    /// budget state was compiled (i.e. since admission).
+    pub deadline: Option<Duration>,
 }
 
 impl Budget {
@@ -95,14 +103,31 @@ impl Budget {
         }
     }
 
+    /// A budget capping only the wall-clock time.
+    pub fn within(deadline: Duration) -> Self {
+        Budget {
+            deadline: Some(deadline),
+            ..Self::default()
+        }
+    }
+
     /// Whether any bound or token is attached.
     pub fn is_limited(&self) -> bool {
-        self.max_cliques.is_some() || self.max_steps.is_some() || self.cancel.is_some()
+        self.max_cliques.is_some()
+            || self.max_steps.is_some()
+            || self.cancel.is_some()
+            || self.deadline.is_some()
     }
 
     /// Returns this budget with the given cancellation token attached.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Returns this budget with the given wall-clock deadline attached.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -116,6 +141,8 @@ pub enum TruncationReason {
     StepLimit,
     /// The session's [`CancelToken`] was tripped.
     Cancelled,
+    /// [`Budget::deadline`] elapsed before the run finished.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for TruncationReason {
@@ -124,6 +151,7 @@ impl std::fmt::Display for TruncationReason {
             TruncationReason::CliqueLimit => write!(f, "clique limit"),
             TruncationReason::StepLimit => write!(f, "step limit"),
             TruncationReason::Cancelled => write!(f, "cancelled"),
+            TruncationReason::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -162,6 +190,13 @@ const REASON_NONE: u8 = 0;
 const REASON_CLIQUES: u8 = 1;
 const REASON_STEPS: u8 = 2;
 const REASON_CANCELLED: u8 = 3;
+const REASON_DEADLINE: u8 = 4;
+
+/// Branch steps between wall-clock polls of an armed deadline. Keeps the hot
+/// loop at one relaxed `fetch_add` per step (the same cadence the step cap
+/// pays) while bounding deadline-detection latency to this many steps per
+/// worker.
+pub(crate) const DEADLINE_CHECK_INTERVAL: u64 = 64;
 
 /// Shared runtime state of one budgeted session: the compiled [`Budget`]
 /// plus the atomics every worker consults between branch steps.
@@ -181,6 +216,8 @@ pub(crate) struct BudgetState {
     max_cliques: u64,
     /// External cancellation, polled alongside the latch.
     token: Option<CancelToken>,
+    /// Wall-clock bound, compiled to an absolute instant at admission.
+    deadline: Option<Instant>,
 }
 
 impl BudgetState {
@@ -194,6 +231,7 @@ impl BudgetState {
             emitted: AtomicU64::new(0),
             max_cliques: budget.max_cliques.unwrap_or(u64::MAX),
             token: budget.cancel.clone(),
+            deadline: budget.deadline.map(|d| Instant::now() + d),
         }
     }
 
@@ -221,8 +259,19 @@ impl BudgetState {
         false
     }
 
+    /// Whether the armed deadline has passed, tripping the latch when so.
+    fn check_deadline(&self) -> bool {
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.trip(REASON_DEADLINE);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Accounts one branch step; returns `true` when the caller must abort
-    /// (budget exhausted or session cancelled).
+    /// (budget exhausted, deadline passed or session cancelled).
     #[inline]
     pub fn note_step(&self) -> bool {
         if self.should_stop() {
@@ -231,6 +280,12 @@ impl BudgetState {
         let taken = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
         if taken > self.max_steps {
             self.trip(REASON_STEPS);
+            return true;
+        }
+        // Poll the clock on the first step and every interval thereafter: the
+        // common (deadline-free) case pays only the `Option` discriminant.
+        if self.deadline.is_some() && taken % DEADLINE_CHECK_INTERVAL == 1 && self.check_deadline()
+        {
             return true;
         }
         false
@@ -261,9 +316,11 @@ impl BudgetState {
 
     /// The session's outcome so far: `Complete` until a bound trips.
     pub fn outcome(&self) -> Outcome {
-        // A cancelled token may not have been polled since the last worker
-        // exited; surface it.
-        self.should_stop();
+        // A cancelled token (or an expired deadline) may not have been polled
+        // since the last worker exited; surface both.
+        if !self.should_stop() {
+            self.check_deadline();
+        }
         match self.reason.load(Ordering::Relaxed) {
             REASON_CLIQUES => Outcome::Truncated {
                 reason: TruncationReason::CliqueLimit,
@@ -274,8 +331,20 @@ impl BudgetState {
             REASON_CANCELLED => Outcome::Truncated {
                 reason: TruncationReason::Cancelled,
             },
+            REASON_DEADLINE => Outcome::Truncated {
+                reason: TruncationReason::DeadlineExceeded,
+            },
             _ => Outcome::Complete,
         }
+    }
+
+    /// Latches the stop signal without a budget reason — used by the fault
+    /// containment in `parallel` to drain the remaining workers quickly after
+    /// a panic was caught. The reason latch is left to whatever (if anything)
+    /// tripped first; callers that stop a run this way report the fault
+    /// through a typed error, not through the outcome.
+    pub(crate) fn halt_for_fault(&self) {
+        self.stop.store(true, Ordering::Relaxed);
     }
 }
 
@@ -400,6 +469,7 @@ mod tests {
             max_cliques: Some(0),
             max_steps: Some(0),
             cancel: None,
+            deadline: None,
         });
         assert!(!state.try_emit(), "cap 0 drops everything");
         assert!(state.note_step());
@@ -412,6 +482,51 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_trips_on_the_step_cadence() {
+        let state = BudgetState::new(&Budget::within(Duration::ZERO));
+        // The first step polls the clock (the check interval is anchored at
+        // step 1), so an already-expired deadline stops the run immediately.
+        assert!(state.note_step());
+        assert!(state.should_stop());
+        assert_eq!(
+            state.outcome(),
+            Outcome::Truncated {
+                reason: TruncationReason::DeadlineExceeded
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_without_any_step() {
+        // A deadline that passes after the last branch step (or before the
+        // first) must still show in the outcome.
+        let state = BudgetState::new(&Budget::within(Duration::ZERO));
+        assert_eq!(
+            state.outcome(),
+            Outcome::Truncated {
+                reason: TruncationReason::DeadlineExceeded
+            }
+        );
+    }
+
+    #[test]
+    fn distant_deadline_never_trips() {
+        let state = BudgetState::new(&Budget::within(Duration::from_secs(3600)));
+        for _ in 0..(3 * DEADLINE_CHECK_INTERVAL) {
+            assert!(!state.note_step());
+        }
+        assert_eq!(state.outcome(), Outcome::Complete);
+    }
+
+    #[test]
+    fn halt_for_fault_stops_without_a_reason() {
+        let state = BudgetState::new(&Budget::unlimited());
+        state.halt_for_fault();
+        assert!(state.should_stop());
+        assert_eq!(state.outcome(), Outcome::Complete);
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(Outcome::Complete.to_string(), "complete");
         assert_eq!(
@@ -421,6 +536,13 @@ mod tests {
             .to_string(),
             "truncated (step limit)"
         );
+        assert_eq!(
+            Outcome::Truncated {
+                reason: TruncationReason::DeadlineExceeded
+            }
+            .to_string(),
+            "truncated (deadline exceeded)"
+        );
         assert!(!Outcome::Complete.is_truncated());
     }
 
@@ -428,9 +550,18 @@ mod tests {
     fn budget_constructors() {
         assert_eq!(Budget::cliques(5).max_cliques, Some(5));
         assert_eq!(Budget::steps(7).max_steps, Some(7));
+        assert_eq!(
+            Budget::within(Duration::from_millis(9)).deadline,
+            Some(Duration::from_millis(9))
+        );
         assert!(Budget::cliques(1).is_limited());
+        assert!(Budget::within(Duration::from_secs(1)).is_limited());
         assert!(Budget::unlimited()
             .with_cancel(CancelToken::new())
             .is_limited());
+        assert!(Budget::unlimited()
+            .with_deadline(Duration::from_secs(1))
+            .deadline
+            .is_some());
     }
 }

@@ -72,7 +72,7 @@ pub use naive::{naive_count, naive_maximal_cliques, naive_maximal_cliques_budget
 pub use parallel::{
     par_count_maximal_cliques, par_count_with_worker_stats, par_enumerate_collect,
     par_enumerate_ordered, par_enumerate_ordered_budgeted, par_enumerate_ordered_observed,
-    par_enumerate_streaming, ProgressCounters,
+    par_enumerate_streaming, EngineError, ProgressCounters,
 };
 pub use query::{run_query, ExecSession, Query, QueryError, QueryResult, QuerySpec, QueryValue};
 pub use report::{

@@ -61,7 +61,10 @@
 //! so ordered splitting runs trade the hard buffer bound for progress
 //! (donated work is claimed FIFO, which keeps buffering close to the head).
 
+use std::any::Any;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread;
@@ -80,6 +83,98 @@ use crate::stats::EnumerationStats;
 /// Ranks per atomic-counter claim of the pulling scheduler. Small enough to
 /// balance skewed roots, large enough to keep counter contention negligible.
 const CHUNK: usize = 16;
+
+// ----------------------------------------------------------------------
+// Fault containment
+// ----------------------------------------------------------------------
+
+/// A typed failure of a parallel enumeration run.
+///
+/// The ordered drivers catch panics raised inside worker bodies (including
+/// panics thrown by the caller's [`CliqueReporter`]): the first fault is
+/// recorded, the sibling workers drain their remaining work without
+/// executing it, the ordered stream stops at the deterministic prefix
+/// emitted before the fault, and the run returns
+/// [`EngineError::WorkerPanic`] instead of hanging the scope or poisoning
+/// its locks.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The solver configuration was rejected at validation.
+    Config(ConfigError),
+    /// A worker thread (or the reporter it drove) panicked mid-run.
+    WorkerPanic {
+        /// The panic payload, stringified (`&str` / `String` payloads are
+        /// carried verbatim).
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => e.fmt(f),
+            EngineError::WorkerPanic { detail } => {
+                write!(f, "enumeration worker panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Config(e) => Some(e),
+            EngineError::WorkerPanic { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+/// Stringifies a panic payload (the common `&str` / `String` cases verbatim).
+fn panic_detail(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// First-fault-wins panic collector shared by a worker fleet. Poison
+/// recovery everywhere: a fault cell must stay usable precisely when
+/// something already went wrong.
+struct FaultCell(Mutex<Option<String>>);
+
+impl FaultCell {
+    fn new() -> Self {
+        FaultCell(Mutex::new(None))
+    }
+
+    fn record(&self, detail: String) {
+        let mut slot = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(detail);
+        }
+    }
+
+    fn record_payload(&self, payload: Box<dyn Any + Send>) {
+        self.record(panic_detail(payload.as_ref()));
+    }
+
+    fn is_set(&self) -> bool {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).is_some()
+    }
+
+    fn take(&self) -> Option<String> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
 
 /// An iterator handing out root ranks from a shared atomic counter in chunks.
 struct StealingRanks<'a> {
@@ -214,6 +309,13 @@ where
 
 /// The pulling-scheduler worker fleet (dynamic atomic-counter chunks or
 /// static striping).
+///
+/// Panic containment: a panicking worker records the first fault and exits;
+/// its siblings finish their own ranks and the fleet re-raises the fault
+/// *after* every thread has joined, so the scope never deadlocks and no lock
+/// is poisoned. (The ordered drivers go further and return a typed
+/// [`EngineError`]; the unordered fleets have no partial result worth
+/// salvaging.)
 fn run_workers_pulling<R, F>(
     solver: &Solver<'_>,
     plan: &RootPlan,
@@ -227,16 +329,18 @@ where
     let scheduler = solver.config().scheduler;
     let total = plan.root_count();
     let next_rank = AtomicUsize::new(0);
+    let fault = FaultCell::new();
 
-    thread::scope(|scope| {
+    let results: Vec<Option<(R, EnumerationStats)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker_id| {
                 let next_rank = &next_rank;
                 let make_reporter = &make_reporter;
+                let fault = &fault;
                 scope.spawn(move || {
                     let mut reporter = make_reporter();
                     let mut state = WorkerState::new();
-                    let stats = match scheduler {
+                    let run = catch_unwind(AssertUnwindSafe(|| match scheduler {
                         RootScheduler::Static => solver.run_on_plan(
                             plan,
                             (worker_id..total).step_by(threads),
@@ -253,16 +357,31 @@ where
                             None,
                             &mut reporter,
                         ),
-                    };
-                    (reporter, stats)
+                    }));
+                    match run {
+                        Ok(stats) => Some((reporter, stats)),
+                        Err(payload) => {
+                            fault.record_payload(payload);
+                            None
+                        }
+                    }
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("enumeration worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    fault.record_payload(payload);
+                    None
+                })
+            })
             .collect()
-    })
+    });
+    if let Some(detail) = fault.take() {
+        resume_unwind(Box::new(detail));
+    }
+    results.into_iter().flatten().collect()
 }
 
 /// The splitting-scheduler worker fleet: claim component chunks or donated
@@ -283,30 +402,47 @@ where
         .as_ref()
         .expect("splitting plan carries component shards");
     let pool = TaskPool::new(shards.chunk_count(), pool_config);
+    let fault = FaultCell::new();
 
-    thread::scope(|scope| {
+    let results: Vec<Option<(R, EnumerationStats)>> = thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker_id| {
                 let pool = &pool;
                 let make_reporter = &make_reporter;
+                let fault = &fault;
                 scope.spawn(move || {
                     let start = Instant::now();
                     let mut reporter = make_reporter();
                     let mut state = WorkerState::new();
                     let mut stats = EnumerationStats::default();
                     if worker_id == 0 {
-                        let s = solver.run_on_plan(
-                            plan,
-                            std::iter::empty(),
-                            true,
-                            &mut state,
-                            None,
-                            &mut reporter,
-                        );
-                        stats.merge(&s);
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            solver.run_on_plan(
+                                plan,
+                                std::iter::empty(),
+                                true,
+                                &mut state,
+                                None,
+                                &mut reporter,
+                            )
+                        }));
+                        match run {
+                            Ok(s) => stats.merge(&s),
+                            Err(payload) => fault.record_payload(payload),
+                        }
                     }
+                    // Every claimed item is completed even when its body
+                    // panics — a claimed-but-never-completed item would keep
+                    // the pool "active" forever and hang every sibling's
+                    // `claim()`. After a fault the pool still drains (items
+                    // are claimed and dropped unexecuted) so termination
+                    // detection stays exact.
                     while let Some(work) = pool.claim() {
-                        let s = match work {
+                        if fault.is_set() {
+                            pool.complete();
+                            continue;
+                        }
+                        let run = catch_unwind(AssertUnwindSafe(|| match work {
                             PoolWork::Chunk(chunk) => solver.run_ranks_donating(
                                 plan,
                                 shards.chunk(chunk),
@@ -318,23 +454,38 @@ where
                             PoolWork::Task(task) => {
                                 solver.run_branch_task(*task, &mut state, pool, None, &mut reporter)
                             }
-                        };
-                        stats.merge(&s);
+                        }));
                         pool.complete();
+                        match run {
+                            Ok(s) => stats.merge(&s),
+                            Err(payload) => {
+                                fault.record_payload(payload);
+                                break;
+                            }
+                        }
                     }
                     // `merge` summed per-item busy time but took the max of
                     // per-item wall times; the worker's wall time is the
                     // whole claim loop.
                     stats.elapsed = start.elapsed();
-                    (reporter, stats)
+                    Some((reporter, stats))
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("enumeration worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    fault.record_payload(payload);
+                    None
+                })
+            })
             .collect()
-    })
+    });
+    if let Some(detail) = fault.take() {
+        resume_unwind(Box::new(detail));
+    }
+    results.into_iter().flatten().collect()
 }
 
 /// Counts maximal cliques using `threads` workers. Returns the total count and
@@ -411,7 +562,13 @@ pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
     }
     impl<R: CliqueReporter> CliqueReporter for SharedReporter<'_, R> {
         fn report(&mut self, clique: &[VertexId]) {
-            self.inner.lock().unwrap().report(clique);
+            // Poison recovery: a panicking reporter is contained by the
+            // worker fleet, and the surviving workers must still be able to
+            // take this lock while they drain.
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .report(clique);
         }
     }
 
@@ -491,6 +648,11 @@ struct Sequencer<'a, R: CliqueReporter + ?Sized> {
     /// end at a clean budget cut and nothing later may follow (the
     /// sequential stream has a gap from that point on).
     closed: bool,
+    /// First panic thrown by `out` during emission, if any. Set under the
+    /// sequencer lock *instead of* letting the unwind poison it, so sibling
+    /// depositors keep draining; the driver converts it into a typed
+    /// [`EngineError::WorkerPanic`].
+    fault: Option<String>,
     out: &'a mut R,
 }
 
@@ -501,6 +663,7 @@ impl<'a, R: CliqueReporter + ?Sized> Sequencer<'a, R> {
             pending: BTreeMap::new(),
             buffered_cliques: 0,
             closed: false,
+            fault: None,
             out,
         }
     }
@@ -534,6 +697,29 @@ impl<'a, R: CliqueReporter + ?Sized> Sequencer<'a, R> {
             .parts
             .push((key, cliques, truncated));
         let before = self.next;
+        // The caller's reporter runs inside this emission loop and may
+        // panic. Catch it *here*, while the depositor still holds the
+        // sequencer lock in a controlled frame: the fault is recorded, the
+        // stream closes at the bytes already emitted, and the lock is
+        // released healthy instead of poisoned — sibling depositors drain
+        // through the closed-stream fast path.
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.emit_ready())) {
+            if self.fault.is_none() {
+                self.fault = Some(panic_detail(payload.as_ref()));
+            }
+            self.closed = true;
+        }
+        if self.closed {
+            // Drop everything still parked; later deposits are dropped on
+            // arrival.
+            self.pending.clear();
+            self.buffered_cliques = 0;
+        }
+        self.next != before || self.closed
+    }
+
+    /// Emits every now-complete head rank in key order.
+    fn emit_ready(&mut self) {
         while !self.closed
             && self
                 .pending
@@ -557,13 +743,6 @@ impl<'a, R: CliqueReporter + ?Sized> Sequencer<'a, R> {
             }
             self.next += 1;
         }
-        if self.closed {
-            // Drop everything still parked; later deposits are dropped on
-            // arrival.
-            self.pending.clear();
-            self.buffered_cliques = 0;
-        }
-        self.next != before || self.closed
     }
 }
 
@@ -587,9 +766,12 @@ fn bounded_deposit<R: CliqueReporter + ?Sized>(
     cliques: Vec<Vec<VertexId>>,
     truncated: bool,
 ) {
-    let mut seq = sequencer.lock().expect("sequencer lock poisoned");
+    // Poison recovery: the sequencer catches reporter panics itself, but a
+    // worker unwinding for any other reason while holding the lock must not
+    // strand its siblings behind a poisoned mutex.
+    let mut seq = sequencer.lock().unwrap_or_else(|e| e.into_inner());
     while !seq.closed && rank != seq.next && seq.buffered_cliques + cliques.len() > cap {
-        seq = drained.wait(seq).expect("sequencer lock poisoned");
+        seq = drained.wait(seq).unwrap_or_else(|e| e.into_inner());
     }
     if seq.deposit(rank, SeqKey::root(), cliques, truncated) {
         // `next` moved (possibly past several parked ranks) or the stream
@@ -619,7 +801,7 @@ pub fn par_enumerate_ordered<R: CliqueReporter + Send + ?Sized>(
     threads: usize,
     reporter: &mut R,
 ) -> Result<EnumerationStats, ConfigError> {
-    par_enumerate_ordered_driver(
+    repanic_worker_faults(par_enumerate_ordered_driver(
         g,
         config,
         threads,
@@ -628,7 +810,20 @@ pub fn par_enumerate_ordered<R: CliqueReporter + Send + ?Sized>(
         None,
         None,
         reporter,
-    )
+    ))
+}
+
+/// Maps a driver result back to the legacy `ConfigError` signature:
+/// configuration errors pass through, worker panics — already drained
+/// cleanly by the driver — are re-raised on the caller's thread.
+fn repanic_worker_faults(
+    result: Result<EnumerationStats, EngineError>,
+) -> Result<EnumerationStats, ConfigError> {
+    match result {
+        Ok(stats) => Ok(stats),
+        Err(EngineError::Config(e)) => Err(e),
+        Err(EngineError::WorkerPanic { detail }) => resume_unwind(Box::new(detail)),
+    }
 }
 
 /// [`par_enumerate_ordered`] with live progress counters: `progress` is
@@ -642,7 +837,7 @@ pub fn par_enumerate_ordered_observed<R: CliqueReporter + Send + ?Sized>(
     reporter: &mut R,
     progress: &ProgressCounters,
 ) -> Result<EnumerationStats, ConfigError> {
-    par_enumerate_ordered_driver(
+    repanic_worker_faults(par_enumerate_ordered_driver(
         g,
         config,
         threads,
@@ -651,7 +846,7 @@ pub fn par_enumerate_ordered_observed<R: CliqueReporter + Send + ?Sized>(
         Some(progress),
         None,
         reporter,
-    )
+    ))
 }
 
 /// [`par_enumerate_ordered`] under a [`Budget`]: the stream stops at the
@@ -674,8 +869,9 @@ pub fn par_enumerate_ordered_budgeted<R: CliqueReporter + Send + ?Sized>(
     reporter: &mut R,
 ) -> Result<(EnumerationStats, Outcome), ConfigError> {
     let state = BudgetState::new(budget);
-    let mut stats =
-        par_enumerate_ordered_with_state(g, config, threads, &state, progress, reporter)?;
+    let mut stats = repanic_worker_faults(par_enumerate_ordered_with_state(
+        g, config, threads, &state, progress, reporter,
+    ))?;
     let outcome = state.outcome();
     if outcome.is_truncated() && stats.terminated_by_budget == 0 {
         // The budget tripped between branching frames (between root ranks, or
@@ -697,7 +893,7 @@ pub(crate) fn par_enumerate_ordered_with_state<R: CliqueReporter + Send + ?Sized
     state: &BudgetState,
     progress: Option<&ProgressCounters>,
     reporter: &mut R,
-) -> Result<EnumerationStats, ConfigError> {
+) -> Result<EnumerationStats, EngineError> {
     let mut gated = BudgetReporter::new(reporter, state);
     par_enumerate_ordered_driver(
         g,
@@ -732,7 +928,7 @@ impl<R: CliqueReporter + Send + ?Sized> DonationSink for OrderedSink<'_, '_, R> 
     fn donate(&self, task: BranchTask) {
         self.sequencer
             .lock()
-            .expect("sequencer lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .register_donation(task.rank);
         self.progress.split();
         self.pool.push(task);
@@ -742,6 +938,11 @@ impl<R: CliqueReporter + Send + ?Sized> DonationSink for OrderedSink<'_, '_, R> 
 /// The full ordered driver (internal): explicit buffer cap, pool tuning and
 /// optional progress counters, exposed for tests that force the backpressure
 /// or aggressive-splitting paths.
+///
+/// Fault containment: panics raised by worker bodies or by the caller's
+/// reporter are caught, the surviving workers drain, the stream keeps the
+/// deterministic prefix emitted before the fault, and the driver returns
+/// [`EngineError::WorkerPanic`] carrying the first panic's payload.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     g: &Graph,
@@ -752,7 +953,7 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     progress: Option<&ProgressCounters>,
     budget: Option<&BudgetState>,
     mut reporter: &mut R,
-) -> Result<EnumerationStats, ConfigError> {
+) -> Result<EnumerationStats, EngineError> {
     let start = Instant::now();
     let threads = threads.max(1);
     let solver = Solver::new(g, *config)?;
@@ -765,45 +966,66 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
 
     // Rank-independent output first (deterministic given the plan).
     // `&mut reporter` re-borrows through the blanket `&mut R: CliqueReporter`
-    // impl so unsized `R` still coerces to `&mut dyn CliqueReporter`.
+    // impl so unsized `R` still coerces to `&mut dyn CliqueReporter`. This
+    // and the single-threaded paths below run the caller's reporter on this
+    // thread, so a panic here unwinds no scope — but it is still converted
+    // to the typed error for a uniform contract.
     let mut merged = {
         let mut warm = WorkerState::new();
-        solver.run_on_plan(
-            &plan,
-            std::iter::empty(),
-            true,
-            &mut warm,
-            budget,
-            &mut reporter,
-        )
+        catch_unwind(AssertUnwindSafe(|| {
+            solver.run_on_plan(
+                &plan,
+                std::iter::empty(),
+                true,
+                &mut warm,
+                budget,
+                &mut reporter,
+            )
+        }))
+        .map_err(|payload| EngineError::WorkerPanic {
+            detail: panic_detail(payload.as_ref()),
+        })?
     };
     hook.cliques(merged.maximal_cliques);
 
     if threads == 1 {
         let mut state = WorkerState::new();
-        if progress.is_some() {
-            // Counted per clique (and per chunk of roots) so the counters
-            // tick while the run progresses, even inside one giant root.
-            let mut counted = CountingReporter {
-                inner: &mut *reporter,
-                hook,
-            };
-            let mut rank = 0usize;
-            while rank < total {
-                let end = (rank + CHUNK).min(total);
-                let stats =
-                    solver.run_on_plan(&plan, rank..end, false, &mut state, budget, &mut counted);
-                if let Some(p) = progress {
-                    p.roots_done
-                        .fetch_add((end - rank) as u64, Ordering::Relaxed);
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if progress.is_some() {
+                // Counted per clique (and per chunk of roots) so the counters
+                // tick while the run progresses, even inside one giant root.
+                let mut counted = CountingReporter {
+                    inner: &mut *reporter,
+                    hook,
+                };
+                let mut rank = 0usize;
+                while rank < total {
+                    let end = (rank + CHUNK).min(total);
+                    let stats = solver.run_on_plan(
+                        &plan,
+                        rank..end,
+                        false,
+                        &mut state,
+                        budget,
+                        &mut counted,
+                    );
+                    if let Some(p) = progress {
+                        p.roots_done
+                            .fetch_add((end - rank) as u64, Ordering::Relaxed);
+                    }
+                    merged.merge(&stats);
+                    rank = end;
                 }
+            } else {
+                let stats =
+                    solver.run_on_plan(&plan, 0..total, false, &mut state, budget, &mut reporter);
                 merged.merge(&stats);
-                rank = end;
             }
-        } else {
-            let stats =
-                solver.run_on_plan(&plan, 0..total, false, &mut state, budget, &mut reporter);
-            merged.merge(&stats);
+        }));
+        if let Err(payload) = run {
+            return Err(EngineError::WorkerPanic {
+                detail: panic_detail(payload.as_ref()),
+            });
         }
         merged.elapsed = start.elapsed();
         merged.busy_time = merged.elapsed;
@@ -813,6 +1035,7 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     let scheduler = solver.config().scheduler;
     let sequencer = Mutex::new(Sequencer::new(reporter));
     let drained = Condvar::new();
+    let fault = FaultCell::new();
 
     let worker_stats: Vec<EnumerationStats> = match scheduler {
         RootScheduler::Splitting => ordered_splitting_workers(
@@ -823,15 +1046,21 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
             hook,
             budget,
             &sequencer,
+            &fault,
         ),
         RootScheduler::Dynamic | RootScheduler::Static => ordered_pulling_workers(
-            &solver, &plan, threads, cap, scheduler, hook, budget, &sequencer, &drained,
+            &solver, &plan, threads, cap, scheduler, hook, budget, &sequencer, &drained, &fault,
         ),
     };
     for stats in &worker_stats {
         merged.merge(stats);
     }
-    let sequencer = sequencer.into_inner().expect("sequencer lock poisoned");
+    let sequencer = sequencer.into_inner().unwrap_or_else(|e| e.into_inner());
+    if let Some(detail) = sequencer.fault.clone().or_else(|| fault.take()) {
+        // The prefix emitted before the fault already reached the caller's
+        // reporter; the error reports why the stream stopped there.
+        return Err(EngineError::WorkerPanic { detail });
+    }
     debug_assert!(
         sequencer.closed || sequencer.next == total,
         "every rank must have been emitted unless the stream was truncated"
@@ -855,6 +1084,7 @@ fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
     budget: Option<&BudgetState>,
     sequencer: &Mutex<Sequencer<'_, R>>,
     drained: &Condvar,
+    fault: &FaultCell,
 ) -> Vec<EnumerationStats> {
     let total = plan.root_count();
     let next_rank = AtomicUsize::new(0);
@@ -865,24 +1095,50 @@ fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
                 scope.spawn(move || {
                     let mut state = WorkerState::new();
                     let mut stats = EnumerationStats::default();
-                    // Returns `false` once the budget stopped the run: the
-                    // claimed rank gets an empty truncated part (closing the
-                    // ordered stream at or before it) and the worker exits.
+                    // Returns `false` once the budget stopped the run or a
+                    // sibling faulted: the claimed rank gets an empty
+                    // truncated part (closing the ordered stream at or
+                    // before it) and the worker exits.
                     let run_rank =
                         |rank: usize, state: &mut WorkerState, stats: &mut EnumerationStats| {
-                            if budget.is_some_and(BudgetState::should_stop) {
+                            if fault.is_set() || budget.is_some_and(BudgetState::should_stop) {
                                 bounded_deposit(sequencer, drained, cap, rank, Vec::new(), true);
                                 return false;
                             }
                             let mut buffer = RankBuffer::new(hook);
-                            let s = solver.run_on_plan(
-                                plan,
-                                std::iter::once(rank),
-                                false,
-                                state,
-                                budget,
-                                &mut buffer,
-                            );
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                solver.run_on_plan(
+                                    plan,
+                                    std::iter::once(rank),
+                                    false,
+                                    state,
+                                    budget,
+                                    &mut buffer,
+                                )
+                            }));
+                            let s = match run {
+                                Ok(s) => s,
+                                Err(payload) => {
+                                    // First fault wins. Halt the siblings on
+                                    // the budget cadence when one exists,
+                                    // and close the faulted rank with an
+                                    // empty truncated part so no depositor
+                                    // waits on it forever.
+                                    fault.record_payload(payload);
+                                    if let Some(b) = budget {
+                                        b.halt_for_fault();
+                                    }
+                                    bounded_deposit(
+                                        sequencer,
+                                        drained,
+                                        cap,
+                                        rank,
+                                        Vec::new(),
+                                        true,
+                                    );
+                                    return false;
+                                }
+                            };
                             let truncated = s.terminated_by_budget > 0;
                             stats.merge(&s);
                             hook.root_done();
@@ -925,6 +1181,7 @@ fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
 
 /// Ordered workers under the splitting scheduler: claim component chunks or
 /// donated tasks, deposit each work item's buffer under its `(rank, key)`.
+#[allow(clippy::too_many_arguments)]
 fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
     solver: &Solver<'_>,
     plan: &RootPlan,
@@ -933,6 +1190,7 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
     hook: ProgressHook<'_>,
     budget: Option<&BudgetState>,
     sequencer: &Mutex<Sequencer<'_, R>>,
+    fault: &FaultCell,
 ) -> Vec<EnumerationStats> {
     let shards = plan
         .shards
@@ -942,7 +1200,7 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
     let deposit = |rank: usize, key: SeqKey, cliques: Vec<Vec<VertexId>>, truncated: bool| {
         sequencer
             .lock()
-            .expect("sequencer lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .deposit(rank, key, cliques, truncated);
     };
 
@@ -960,32 +1218,63 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
                     };
                     let mut state = WorkerState::new();
                     let mut stats = EnumerationStats::default();
-                    // After a budget stop, the pool must still drain so the
-                    // sequencer's parts-per-rank accounting stays exact:
-                    // every remaining work item is claimed and immediately
-                    // answered with an empty truncated part.
+                    // Records a fault and halts the siblings on the budget
+                    // cadence; the faulted work item is answered with an
+                    // empty truncated part by the caller.
+                    let record_fault = |payload: Box<dyn Any + Send>| {
+                        fault.record_payload(payload);
+                        if let Some(b) = budget {
+                            b.halt_for_fault();
+                        }
+                    };
+                    // After a budget stop or a fault, the pool must still
+                    // drain so the sequencer's parts-per-rank accounting
+                    // stays exact: every remaining work item is claimed and
+                    // immediately answered with an empty truncated part, and
+                    // `complete()` runs for every claimed item even when its
+                    // body panicked (a claimed-but-never-completed item
+                    // would hang every sibling's `claim()`).
                     while let Some(work) = pool.claim() {
-                        let stopped = budget.is_some_and(BudgetState::should_stop);
+                        let stopped =
+                            fault.is_set() || budget.is_some_and(BudgetState::should_stop);
                         match work {
                             PoolWork::Chunk(chunk) => {
                                 for rank in shards.chunk(chunk) {
-                                    if stopped || budget.is_some_and(BudgetState::should_stop) {
+                                    if stopped
+                                        || fault.is_set()
+                                        || budget.is_some_and(BudgetState::should_stop)
+                                    {
                                         deposit(rank, SeqKey::root(), Vec::new(), true);
                                         continue;
                                     }
                                     let mut buffer = RankBuffer::new(hook);
-                                    let s = solver.run_ranks_donating(
-                                        plan,
-                                        std::iter::once(rank),
-                                        &mut state,
-                                        &sink,
-                                        budget,
-                                        &mut buffer,
-                                    );
-                                    hook.root_done();
-                                    let truncated = s.terminated_by_budget > 0;
-                                    stats.merge(&s);
-                                    deposit(rank, SeqKey::root(), buffer.cliques, truncated);
+                                    let run = catch_unwind(AssertUnwindSafe(|| {
+                                        solver.run_ranks_donating(
+                                            plan,
+                                            std::iter::once(rank),
+                                            &mut state,
+                                            &sink,
+                                            budget,
+                                            &mut buffer,
+                                        )
+                                    }));
+                                    match run {
+                                        Ok(s) => {
+                                            hook.root_done();
+                                            let truncated = s.terminated_by_budget > 0;
+                                            stats.merge(&s);
+                                            deposit(
+                                                rank,
+                                                SeqKey::root(),
+                                                buffer.cliques,
+                                                truncated,
+                                            );
+                                        }
+                                        Err(payload) => {
+                                            record_fault(payload);
+                                            deposit(rank, SeqKey::root(), Vec::new(), true);
+                                        }
+                                    }
                                 }
                             }
                             PoolWork::Task(task) => {
@@ -995,16 +1284,26 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
                                     deposit(rank, key, Vec::new(), true);
                                 } else {
                                     let mut buffer = RankBuffer::new(hook);
-                                    let s = solver.run_branch_task(
-                                        *task,
-                                        &mut state,
-                                        &sink,
-                                        budget,
-                                        &mut buffer,
-                                    );
-                                    let truncated = s.terminated_by_budget > 0;
-                                    stats.merge(&s);
-                                    deposit(rank, key, buffer.cliques, truncated);
+                                    let run = catch_unwind(AssertUnwindSafe(|| {
+                                        solver.run_branch_task(
+                                            *task,
+                                            &mut state,
+                                            &sink,
+                                            budget,
+                                            &mut buffer,
+                                        )
+                                    }));
+                                    match run {
+                                        Ok(s) => {
+                                            let truncated = s.terminated_by_budget > 0;
+                                            stats.merge(&s);
+                                            deposit(rank, key, buffer.cliques, truncated);
+                                        }
+                                        Err(payload) => {
+                                            record_fault(payload);
+                                            deposit(rank, key, Vec::new(), true);
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -1017,7 +1316,12 @@ fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("enumeration worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    fault.record_payload(payload);
+                    EnumerationStats::default()
+                })
+            })
             .collect()
     })
 }
@@ -1291,6 +1595,181 @@ mod tests {
                 progress.total_roots.load(Ordering::Relaxed),
             );
         }
+    }
+
+    /// Collects cliques until `remaining` hits zero, then panics on every
+    /// further report — the fault-injection reporter of the containment
+    /// tests.
+    struct PanicAfter {
+        collected: Vec<Vec<VertexId>>,
+        remaining: usize,
+    }
+
+    impl PanicAfter {
+        fn new(remaining: usize) -> Self {
+            PanicAfter {
+                collected: Vec::new(),
+                remaining,
+            }
+        }
+    }
+
+    impl CliqueReporter for PanicAfter {
+        fn report(&mut self, clique: &[VertexId]) {
+            if self.remaining == 0 {
+                panic!("injected reporter fault");
+            }
+            self.remaining -= 1;
+            self.collected.push(clique.to_vec());
+        }
+    }
+
+    #[test]
+    fn reporter_panic_returns_typed_error_and_keeps_the_prefix() {
+        let g = test_graph();
+        let mut baseline = CollectReporter::new();
+        par_enumerate_ordered(&g, &SolverConfig::hbbmc_pp(), 1, &mut baseline).unwrap();
+        let full = baseline.cliques;
+        assert!(full.len() > 4);
+        for scheduler in [
+            RootScheduler::Dynamic,
+            RootScheduler::Static,
+            RootScheduler::Splitting,
+        ] {
+            for threads in [1usize, 2, 4] {
+                for keep in [0usize, 1, 3] {
+                    let mut reporter = PanicAfter::new(keep);
+                    let err = par_enumerate_ordered_driver(
+                        &g,
+                        &cfg_with(scheduler),
+                        threads,
+                        SEQUENCER_BUFFER_CAP,
+                        PoolConfig::default(),
+                        None,
+                        None,
+                        &mut reporter,
+                    )
+                    .unwrap_err();
+                    match err {
+                        EngineError::WorkerPanic { detail } => {
+                            assert_eq!(detail, "injected reporter fault")
+                        }
+                        other => panic!("expected WorkerPanic, got {other:?}"),
+                    }
+                    assert_eq!(
+                        reporter.collected,
+                        &full[..keep],
+                        "{scheduler:?} x{threads}, keep {keep}: the cliques emitted \
+                         before the fault are the deterministic prefix"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_worker_panic_with_forced_fragmentation_does_not_hang() {
+        // The panic fires inside `Sequencer::deposit` while pool items and
+        // donated tasks are in flight: every claimed item must still be
+        // completed, the pool must drain, and the driver must return the
+        // typed error instead of hanging `claim()` forever.
+        let g = mce_gen::moon_moser(4);
+        let mut cfg = SolverConfig::hbbmc_bare();
+        cfg.scheduler = RootScheduler::Splitting;
+        for threads in [2usize, 4] {
+            let mut reporter = PanicAfter::new(5);
+            let err = par_enumerate_ordered_driver(
+                &g,
+                &cfg,
+                threads,
+                SEQUENCER_BUFFER_CAP,
+                aggressive_pool(),
+                None,
+                None,
+                &mut reporter,
+            )
+            .unwrap_err();
+            assert!(matches!(err, EngineError::WorkerPanic { .. }));
+            assert_eq!(reporter.collected.len(), 5, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn unordered_worker_panic_propagates_after_a_clean_drain() {
+        let g = test_graph();
+        for scheduler in [RootScheduler::Dynamic, RootScheduler::Splitting] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                let mut reporter = PanicAfter::new(2);
+                par_enumerate_streaming(&g, &cfg_with(scheduler), 4, &mut reporter);
+            }));
+            let payload = caught.expect_err("the fault must reach the caller");
+            assert_eq!(
+                payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .unwrap_or_default(),
+                "injected reporter fault",
+                "{scheduler:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_truncates_to_a_byte_prefix() {
+        let g = test_graph();
+        let baseline = ordered_bytes(&g, &SolverConfig::hbbmc_pp(), 1);
+        for scheduler in [
+            RootScheduler::Dynamic,
+            RootScheduler::Static,
+            RootScheduler::Splitting,
+        ] {
+            for threads in [1usize, 2, 4] {
+                let budget = Budget::within(std::time::Duration::ZERO);
+                let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+                let (stats, outcome) = par_enumerate_ordered_budgeted(
+                    &g,
+                    &cfg_with(scheduler),
+                    threads,
+                    &budget,
+                    None,
+                    &mut reporter,
+                )
+                .unwrap();
+                let bytes = reporter.finish().unwrap();
+                assert_eq!(
+                    outcome,
+                    Outcome::Truncated {
+                        reason: crate::TruncationReason::DeadlineExceeded
+                    },
+                    "{scheduler:?} x{threads}"
+                );
+                assert!(stats.terminated_by_budget >= 1);
+                assert_eq!(
+                    &baseline[..bytes.len()],
+                    &bytes[..],
+                    "{scheduler:?} x{threads}: expired deadline still yields a byte-prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generous_deadline_completes_identically() {
+        let g = test_graph();
+        let baseline = ordered_bytes(&g, &SolverConfig::hbbmc_pp(), 1);
+        let budget = Budget::within(std::time::Duration::from_secs(3600));
+        let mut reporter = WriterReporter::new(Vec::new(), CliqueLineFormat::Text);
+        let (_, outcome) = par_enumerate_ordered_budgeted(
+            &g,
+            &SolverConfig::hbbmc_pp(),
+            4,
+            &budget,
+            None,
+            &mut reporter,
+        )
+        .unwrap();
+        assert_eq!(outcome, Outcome::Complete);
+        assert_eq!(reporter.finish().unwrap(), baseline);
     }
 
     #[test]

@@ -203,7 +203,10 @@ impl TaskPool {
     /// exactly once per worker, when no work remains *and* no active worker
     /// could still donate more.
     pub fn claim(&self) -> Option<PoolWork> {
-        let mut state = self.state.lock().expect("task pool poisoned");
+        // Poison recovery throughout: worker panics are caught and contained
+        // by the drivers in [`parallel`](crate::parallel), and the drain
+        // protocol they run after a fault needs the pool to stay usable.
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(task) = state.tasks.pop_front() {
                 state.active += 1;
@@ -222,14 +225,14 @@ impl TaskPool {
                 return None;
             }
             self.starving.fetch_add(1, Ordering::Relaxed);
-            state = self.ready.wait(state).expect("task pool poisoned");
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
             self.starving.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
     /// Marks one previously claimed unit of work as finished.
     pub fn complete(&self) {
-        let mut state = self.state.lock().expect("task pool poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.active -= 1;
         let drained =
             state.active == 0 && state.tasks.is_empty() && state.next_chunk >= self.chunk_count;
@@ -241,7 +244,7 @@ impl TaskPool {
 
     /// Pushes a donated task and wakes one starving worker.
     pub fn push(&self, task: BranchTask) {
-        let mut state = self.state.lock().expect("task pool poisoned");
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.tasks.push_back(task);
         drop(state);
         self.ready.notify_one();

@@ -7,9 +7,10 @@
 //!   vertex set, one maximum clique, or the k-cliques of a fixed size.
 //! * [`SolverConfig`] and `threads` choose *how* — any named preset, any
 //!   [`RootScheduler`](crate::RootScheduler), any worker count.
-//! * [`Budget`] bounds *how much* — emitted cliques, branch steps, or an
-//!   external [`CancelToken`] — and the [`Outcome`] reports whether the
-//!   result is `Complete` or `Truncated` (and why).
+//! * [`Budget`] bounds *how much* — emitted cliques, branch steps, a
+//!   wall-clock deadline, or an external [`CancelToken`] — and the
+//!   [`Outcome`] reports whether the result is `Complete` or `Truncated`
+//!   (and why).
 //!
 //! Execution goes through an [`ExecSession`]: a validated, cancellable run
 //! whose [`CancelToken`] can be handed to another thread *before* the session
@@ -31,12 +32,14 @@
 //! at all. The vertices this skips are counted in
 //! [`EnumerationStats::anchored_roots_skipped`].
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
 use mce_graph::{Graph, VertexId};
 
 use crate::budget::{Budget, BudgetReporter, BudgetState, CancelToken, Outcome};
 use crate::config::{ConfigError, SolverConfig};
 use crate::kclique::for_each_k_clique_with_state;
-use crate::parallel::par_enumerate_ordered_with_state;
+use crate::parallel::{par_enumerate_ordered_with_state, EngineError};
 use crate::report::{CliqueReporter, CountReporter, MaximumCliqueReporter, TopKReporter};
 use crate::scratch::WorkerState;
 use crate::solver::Solver;
@@ -239,19 +242,41 @@ impl<'g> ExecSession<'g> {
 
     /// Runs the session to its outcome, streaming any `Stream`-valued spec's
     /// cliques to `reporter` (other specs leave the reporter untouched).
+    ///
+    /// Panics raised by worker bodies (or by the reporter itself) are
+    /// re-raised on the calling thread after the workers drained; see
+    /// [`ExecSession::try_run`] for the typed-error form a serving layer
+    /// should use to contain faults.
     pub fn run<R: CliqueReporter + Send + ?Sized>(self, reporter: &mut R) -> QueryResult {
+        match self.try_run(reporter) {
+            Ok(result) => result,
+            Err(EngineError::WorkerPanic { detail }) => resume_unwind(Box::new(detail)),
+            Err(EngineError::Config(e)) => {
+                unreachable!("configuration validated at session admission: {e}")
+            }
+        }
+    }
+
+    /// [`ExecSession::run`] with typed fault containment: a panic inside a
+    /// worker body or the caller's reporter is caught, the remaining workers
+    /// drain cleanly, any ordered stream stops at the deterministic prefix
+    /// emitted before the fault, and the session returns
+    /// [`EngineError::WorkerPanic`] instead of unwinding the caller.
+    pub fn try_run<R: CliqueReporter + Send + ?Sized>(
+        self,
+        reporter: &mut R,
+    ) -> Result<QueryResult, EngineError> {
         let g = self.graph;
         let config = self.query.config;
         let threads = self.query.threads;
         let state = &self.state;
         let ordered = |out: &mut (dyn CliqueReporter + Send)| {
             par_enumerate_ordered_with_state(g, &config, threads, state, None, out)
-                .expect("configuration validated at session admission")
         };
         let (stats, value) = match &self.query.spec {
-            QuerySpec::Enumerate => (ordered(&mut BypassSend(reporter)), QueryValue::Stream),
+            QuerySpec::Enumerate => (ordered(&mut BypassSend(reporter))?, QueryValue::Stream),
             QuerySpec::Anchored { .. } if self.anchor.is_empty() => {
-                (ordered(&mut BypassSend(reporter)), QueryValue::Stream)
+                (ordered(&mut BypassSend(reporter))?, QueryValue::Stream)
             }
             QuerySpec::Anchored { .. } => {
                 let anchor = &self.anchor;
@@ -268,30 +293,39 @@ impl<'g> ExecSession<'g> {
                         Solver::new(g, config).expect("configuration validated at admission");
                     let mut worker = WorkerState::new();
                     let mut gated = BudgetReporter::new(reporter, state);
-                    let stats = solver.run_anchored(anchor, &mut worker, Some(state), &mut gated);
+                    // Sequential path: the recursion (and the reporter it
+                    // drives) runs on this thread, so a plain catch gives
+                    // the same containment the parallel drivers provide.
+                    let stats = catch_unwind(AssertUnwindSafe(|| {
+                        solver.run_anchored(anchor, &mut worker, Some(state), &mut gated)
+                    }))
+                    .map_err(engine_panic)?;
                     (stats, QueryValue::Stream)
                 }
             }
             QuerySpec::Count => {
                 let mut counter = CountReporter::new();
-                let stats = ordered(&mut counter);
+                let stats = ordered(&mut counter)?;
                 (stats, QueryValue::Count(counter.count))
             }
             QuerySpec::TopKBySize { k } => {
                 let mut top = TopKReporter::new(*k);
-                let stats = ordered(&mut top);
+                let stats = ordered(&mut top)?;
                 (stats, QueryValue::TopK(top.into_cliques()))
             }
             QuerySpec::MaximumClique => {
                 let mut best = MaximumCliqueReporter::new();
-                let stats = ordered(&mut best);
+                let stats = ordered(&mut best)?;
                 (stats, QueryValue::Maximum(best.best))
             }
             QuerySpec::KClique { k } => {
                 let start = std::time::Instant::now();
-                let aborted = for_each_k_clique_with_state(g, *k, state, &mut |clique| {
-                    reporter.report(clique)
-                });
+                let aborted = catch_unwind(AssertUnwindSafe(|| {
+                    for_each_k_clique_with_state(g, *k, state, &mut |clique| {
+                        reporter.report(clique)
+                    })
+                }))
+                .map_err(engine_panic)?;
                 let stats = EnumerationStats {
                     recursive_calls: state.steps_taken(),
                     terminated_by_budget: aborted,
@@ -311,13 +345,25 @@ impl<'g> ExecSession<'g> {
             // itself. Truncated runs therefore always report >= 1.
             stats.terminated_by_budget = 1;
         }
-        QueryResult {
+        Ok(QueryResult {
             outcome,
             stats,
             value,
             budget_steps: self.state.steps_taken(),
-        }
+        })
     }
+}
+
+/// Converts a caught panic payload into [`EngineError::WorkerPanic`].
+fn engine_panic(payload: Box<dyn std::any::Any + Send>) -> EngineError {
+    let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    EngineError::WorkerPanic { detail }
 }
 
 /// `&mut R` where `R: Send` is itself `Send`; this shim re-borrows the
@@ -769,6 +815,96 @@ mod tests {
         assert!(result.outcome.is_truncated());
         assert!(result.stats.terminated_by_budget > 0);
         assert!(result.stats.recursive_calls > 0);
+    }
+
+    #[test]
+    fn deadline_budget_truncates_with_the_deadline_reason() {
+        let g = test_graph();
+        let (full, _) = ordered_text_bytes(&g, Query::new(QuerySpec::Enumerate));
+        for threads in [1usize, 4] {
+            let query = Query::new(QuerySpec::Enumerate)
+                .with_threads(threads)
+                .with_budget(Budget::within(std::time::Duration::ZERO));
+            let (bytes, result) = ordered_text_bytes(&g, query);
+            assert_eq!(
+                result.outcome,
+                Outcome::Truncated {
+                    reason: TruncationReason::DeadlineExceeded
+                },
+                "x{threads}"
+            );
+            assert!(result.stats.terminated_by_budget >= 1);
+            assert_eq!(&full[..bytes.len()], &bytes[..], "x{threads}: byte-prefix");
+        }
+    }
+
+    #[test]
+    fn generous_deadline_runs_to_completion() {
+        let g = test_graph();
+        let query = Query::new(QuerySpec::Count)
+            .with_budget(Budget::within(std::time::Duration::from_secs(3600)));
+        let mut sink = CountReporter::new();
+        let result = run_query(&g, query, &mut sink).unwrap();
+        assert_eq!(result.outcome, Outcome::Complete);
+    }
+
+    /// Panics on the first report — the fault-injection reporter.
+    struct PanickingReporter;
+
+    impl CliqueReporter for PanickingReporter {
+        fn report(&mut self, _clique: &[VertexId]) {
+            panic!("injected session fault");
+        }
+    }
+
+    #[test]
+    fn try_run_contains_worker_panics_as_typed_errors() {
+        let g = test_graph();
+        for threads in [1usize, 4] {
+            let session =
+                ExecSession::new(&g, Query::new(QuerySpec::Enumerate).with_threads(threads))
+                    .unwrap();
+            let err = session.try_run(&mut PanickingReporter).unwrap_err();
+            match err {
+                EngineError::WorkerPanic { detail } => {
+                    assert_eq!(detail, "injected session fault", "x{threads}")
+                }
+                other => panic!("expected WorkerPanic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_contains_anchored_and_kclique_panics() {
+        let g = test_graph();
+        for spec in [
+            QuerySpec::Anchored { vertices: vec![3] },
+            QuerySpec::KClique { k: 2 },
+        ] {
+            let session = ExecSession::new(&g, Query::new(spec.clone())).unwrap();
+            let err = session.try_run(&mut PanickingReporter).unwrap_err();
+            assert!(
+                matches!(err, EngineError::WorkerPanic { .. }),
+                "{spec:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reraises_contained_panics() {
+        let g = test_graph();
+        let session = ExecSession::new(&g, Query::new(QuerySpec::Enumerate)).unwrap();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            session.run(&mut PanickingReporter);
+        }));
+        let payload = caught.expect_err("the fault must re-raise");
+        assert_eq!(
+            payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .unwrap_or_default(),
+            "injected session fault"
+        );
     }
 
     #[test]
