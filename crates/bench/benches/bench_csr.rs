@@ -1,0 +1,76 @@
+//! CSR memory-wall benchmark with a JSON trajectory emitter.
+//!
+//! ```text
+//! cargo bench --bench bench_csr -- [--quick] [--threads N] [--repeats N]
+//!                                  [--variant NAME] [--json PATH]
+//! ```
+//!
+//! Runs the `er-scale` instance matrix of [`mce_bench::csr`] (CSR vs analytic
+//! dense footprint, text vs `.mcg` load time, enumeration through the sparse
+//! global layer, peak RSS) and, when `--json` is given, appends one record
+//! per cell to the trajectory file, re-validating it afterwards. Unknown
+//! flags injected by the cargo bench harness (`--bench`, ...) are ignored.
+
+use std::path::PathBuf;
+
+use mce_bench::csr::{append_records, run_csr_bench, CsrBenchOptions};
+
+fn main() {
+    let mut options = CsrBenchOptions::default();
+    let mut json_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads takes a positive integer");
+            }
+            "--repeats" => {
+                options.repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats takes a positive integer");
+            }
+            "--variant" => {
+                options.variant = args.next().expect("--variant takes a label");
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(args.next().expect("--json takes a path")));
+            }
+            // `cargo bench` passes `--bench`; ignore it and anything unknown.
+            other => {
+                if !other.starts_with("--bench") {
+                    eprintln!("bench_csr: ignoring unknown argument '{other}'");
+                }
+            }
+        }
+    }
+
+    println!(
+        "# bench_csr variant={} threads={} repeats={} ({} matrix)",
+        options.variant,
+        options.threads,
+        options.repeats,
+        if options.quick { "quick" } else { "full" }
+    );
+    let records = run_csr_bench(&options);
+
+    if let Some(path) = json_path {
+        match append_records(&path, &options.variant, &records) {
+            Ok(total) => println!(
+                "appended {} records to {} ({} csr records total, validated)",
+                records.len(),
+                path.display(),
+                total
+            ),
+            Err(e) => {
+                eprintln!("bench_csr: JSON emission failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod csr;
 pub mod datasets;
 pub mod experiments;
 pub mod hotpath;
@@ -35,6 +36,7 @@ pub mod serve;
 pub mod table;
 
 pub use algorithms::{algorithm, baseline_algorithms, Algorithm};
+pub use csr::{run_csr_bench, CsrBenchOptions, CsrRecord};
 pub use datasets::{all_datasets, dataset_by_name, Dataset, DatasetSpec};
 pub use hotpath::{run_hotpath, HotpathOptions, HotpathRecord};
 pub use json::JsonValue;

@@ -1,6 +1,6 @@
-//! `mce convert` — translate between the edge-list and DIMACS formats.
+//! `mce convert` — translate between the edge-list, DIMACS and `.mcg` formats.
 
-use mce_graph::io::{read_graph_str, write_graph};
+use mce_graph::io::{read_graph_bytes, write_graph};
 
 use crate::args::ParsedArgs;
 use crate::error::CliError;
@@ -11,13 +11,15 @@ pub const HELP: &str = "usage: mce convert [IN [OUT]] [options]
 
 Reads a graph from IN (file or stdin) and writes it to OUT (file or stdout)
 in the target format. Formats default to file extensions (.col/.clq/.dimacs
-are DIMACS, anything else is an edge list); the input falls back to content
-sniffing, the output to edge-list. Note that the edge-list format cannot
-represent isolated vertices — converting DIMACS -> edge-list drops them.
+are DIMACS, .mcg is the binary CSR container, anything else is an edge
+list); the input falls back to content sniffing (the .mcg magic is detected
+first), the output to edge-list. Note that the edge-list format cannot
+represent isolated vertices — converting DIMACS/.mcg -> edge-list drops
+them; .mcg and DIMACS both preserve the exact vertex count.
 
 options:
-  --from edge-list|dimacs|auto     input format (default: auto)
-  --to edge-list|dimacs|auto       output format (default: by OUT extension)";
+  --from edge-list|dimacs|mcg|auto   input format (default: auto)
+  --to edge-list|dimacs|mcg|auto     output format (default: by OUT extension)";
 
 const VALUE_OPTS: &[&str] = &["--from", "--to"];
 const BOOL_FLAGS: &[&str] = &[];
@@ -30,7 +32,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let to = FormatArg::parse(p.value("--to"))?;
 
     let (name, content) = read_input(p.positional(0))?;
-    let graph = read_graph_str(&content, from.resolve(&name, &content))
+    let graph = read_graph_bytes(&content, from.resolve(&name, &content))
         .map_err(|e| CliError::runtime(format!("parsing {name}: {e}")))?;
 
     let out_spec = p.positional(1);
@@ -100,6 +102,45 @@ mod tests {
         for f in [&a, &b, &c] {
             std::fs::remove_file(f).ok();
         }
+    }
+
+    #[test]
+    fn round_trips_through_mcg_binary() {
+        let dir = std::env::temp_dir().join("mce_cli_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("m.col");
+        let bin = dir.join("m.mcg");
+        let back = dir.join("m2.col");
+        // DIMACS holds the vertex count, so isolated vertex 4 must survive
+        // the full text -> binary -> text cycle.
+        std::fs::write(&src, "p edge 5 4\ne 1 2\ne 2 3\ne 1 3\ne 4 5\n").unwrap();
+        run(&to_vec(&[src.to_str().unwrap(), bin.to_str().unwrap()])).unwrap();
+        assert!(mce_graph::mcg::is_mcg(&std::fs::read(&bin).unwrap()));
+        run(&to_vec(&[bin.to_str().unwrap(), back.to_str().unwrap()])).unwrap();
+        let text = std::fs::read_to_string(&back).unwrap();
+        assert!(text.contains("p edge 5 4"), "{text}");
+        // Converting the same source twice yields byte-identical .mcg files.
+        let bin2 = dir.join("m_again.mcg");
+        run(&to_vec(&[src.to_str().unwrap(), bin2.to_str().unwrap()])).unwrap();
+        assert_eq!(std::fs::read(&bin).unwrap(), std::fs::read(&bin2).unwrap());
+        for f in [&src, &bin, &back, &bin2] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn truncated_mcg_is_runtime_error() {
+        let dir = std::env::temp_dir().join("mce_cli_convert_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin = dir.join("trunc.mcg");
+        let mut bytes = Vec::new();
+        mce_graph::mcg::write_mcg(&mce_graph::Graph::complete(4), &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&bin, &bytes).unwrap();
+        let err = run(&to_vec(&[bin.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&bin).ok();
     }
 
     #[test]

@@ -28,7 +28,7 @@ regardless of --threads and --scheduler (enforced in CI by the
 golden-corpus determinism gate).
 
 options:
-  --format edge-list|dimacs|auto   input format (default: auto)
+  --format edge-list|dimacs|mcg|auto  input format (default: auto)
   --preset NAME                    solver preset, e.g. HBBMC++ (default), RDegen
   --threads N                      worker threads, 1..=1024 (default: 1)
   --scheduler dynamic|static|splitting   root-branch scheduling policy

@@ -20,7 +20,7 @@ always produces the same graph.
 options:
   --n N                            target vertex count (default: 100)
   --seed S                         RNG seed (default: 42)
-  --format edge-list|dimacs|auto   output format (default: by --out extension)
+  --format edge-list|dimacs|mcg|auto  output format (default: by --out extension)
   --out FILE                       write to FILE instead of stdout
   --list                           list available presets and exit";
 

@@ -4,7 +4,7 @@ use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
-use mce_graph::io::read_graph_str;
+use mce_graph::io::read_graph_bytes;
 use mce_graph::{Graph, GraphFormat};
 
 use crate::error::CliError;
@@ -20,25 +20,28 @@ pub enum FormatArg {
 }
 
 impl FormatArg {
-    /// Parses `edge-list` / `dimacs` / `auto`.
+    /// Parses `edge-list` / `dimacs` / `mcg` / `auto`.
     pub fn parse(raw: Option<&str>) -> Result<FormatArg, CliError> {
         match raw {
             None | Some("auto") => Ok(FormatArg::Auto),
             Some("edge-list") | Some("edgelist") => Ok(FormatArg::Fixed(GraphFormat::EdgeList)),
             Some("dimacs") => Ok(FormatArg::Fixed(GraphFormat::Dimacs)),
+            Some("mcg") => Ok(FormatArg::Fixed(GraphFormat::Mcg)),
             Some(other) => Err(CliError::usage(format!(
-                "unknown format '{other}' (expected edge-list, dimacs or auto)"
+                "unknown format '{other}' (expected edge-list, dimacs, mcg or auto)"
             ))),
         }
     }
 
-    /// Resolves the concrete format for input named `name` with text `content`.
-    pub fn resolve(self, name: &str, content: &str) -> GraphFormat {
+    /// Resolves the concrete format for input named `name` with raw bytes
+    /// `content`: extension first, then content sniffing (the `.mcg` magic
+    /// wins over any text heuristic).
+    pub fn resolve(self, name: &str, content: &[u8]) -> GraphFormat {
         match self {
             FormatArg::Fixed(f) => f,
             FormatArg::Auto => match path_format(name) {
                 Some(f) => f,
-                None => GraphFormat::sniff(content),
+                None => GraphFormat::sniff_bytes(content),
             },
         }
     }
@@ -60,29 +63,37 @@ fn path_format(name: &str) -> Option<GraphFormat> {
     GraphFormat::from_extension(Path::new(name))
 }
 
-/// Reads the whole input (file path, or stdin for `-`/absent) into a string.
-pub fn read_input(spec: Option<&str>) -> Result<(String, String), CliError> {
+/// Reads the whole input (file path, or stdin for `-`/absent) into a byte
+/// buffer. Byte-based so binary `.mcg` inputs pass through unmangled; text
+/// callers convert with [`expect_utf8`].
+pub fn read_input(spec: Option<&str>) -> Result<(String, Vec<u8>), CliError> {
     match spec {
         None | Some("-") => {
-            let mut content = String::new();
+            let mut content = Vec::new();
             std::io::stdin()
-                .read_to_string(&mut content)
+                .read_to_end(&mut content)
                 .map_err(|e| CliError::runtime(format!("reading stdin: {e}")))?;
             Ok(("<stdin>".to_string(), content))
         }
         Some(path) => {
-            let content = std::fs::read_to_string(path)
+            let content = std::fs::read(path)
                 .map_err(|e| CliError::runtime(format!("reading {path}: {e}")))?;
             Ok((path.to_string(), content))
         }
     }
 }
 
+/// Converts input bytes to UTF-8 text, naming the source on failure.
+pub fn expect_utf8(name: &str, content: Vec<u8>) -> Result<String, CliError> {
+    String::from_utf8(content)
+        .map_err(|_| CliError::runtime(format!("{name}: expected UTF-8 text input")))
+}
+
 /// Loads a graph from `spec` (file or stdin) as `format`.
 pub fn load_graph(spec: Option<&str>, format: FormatArg) -> Result<Graph, CliError> {
     let (name, content) = read_input(spec)?;
     let resolved = format.resolve(&name, &content);
-    read_graph_str(&content, resolved)
+    read_graph_bytes(&content, resolved)
         .map_err(|e| CliError::runtime(format!("parsing {name}: {e}")))
 }
 
@@ -119,22 +130,55 @@ mod tests {
     #[test]
     fn auto_resolution_prefers_extension_then_sniffs() {
         let auto = FormatArg::Auto;
-        assert_eq!(auto.resolve("g.col", "0 1\n"), GraphFormat::Dimacs);
-        assert_eq!(auto.resolve("g.txt", "p edge 1 0\n"), GraphFormat::EdgeList);
-        assert_eq!(auto.resolve("-", "p edge 1 0\n"), GraphFormat::Dimacs);
-        assert_eq!(auto.resolve("-", "0 1\n"), GraphFormat::EdgeList);
+        assert_eq!(auto.resolve("g.col", b"0 1\n"), GraphFormat::Dimacs);
+        assert_eq!(
+            auto.resolve("g.txt", b"p edge 1 0\n"),
+            GraphFormat::EdgeList
+        );
+        assert_eq!(auto.resolve("-", b"p edge 1 0\n"), GraphFormat::Dimacs);
+        assert_eq!(auto.resolve("-", b"0 1\n"), GraphFormat::EdgeList);
         // Unrecognised extension: the content decides, as documented.
-        assert_eq!(auto.resolve("g.dat", "p edge 1 0\n"), GraphFormat::Dimacs);
-        assert_eq!(auto.resolve("g.dat", "0 1\n"), GraphFormat::EdgeList);
+        assert_eq!(auto.resolve("g.dat", b"p edge 1 0\n"), GraphFormat::Dimacs);
+        assert_eq!(auto.resolve("g.dat", b"0 1\n"), GraphFormat::EdgeList);
         assert_eq!(auto.resolve_for_output("out.clq"), GraphFormat::Dimacs);
         assert_eq!(auto.resolve_for_output("-"), GraphFormat::EdgeList);
+        // The binary magic beats every text heuristic when sniffing.
+        assert_eq!(
+            auto.resolve("-", b"\x89MCG\r\n\x1a\nrest"),
+            GraphFormat::Mcg
+        );
+        assert_eq!(auto.resolve("g.mcg", b""), GraphFormat::Mcg);
+        assert_eq!(auto.resolve_for_output("out.mcg"), GraphFormat::Mcg);
     }
 
     #[test]
     fn fixed_format_overrides_everything() {
         let fixed = FormatArg::Fixed(GraphFormat::Dimacs);
-        assert_eq!(fixed.resolve("g.txt", "0 1\n"), GraphFormat::Dimacs);
+        assert_eq!(fixed.resolve("g.txt", b"0 1\n"), GraphFormat::Dimacs);
         assert_eq!(fixed.resolve_for_output("g.txt"), GraphFormat::Dimacs);
+    }
+
+    #[test]
+    fn mcg_format_arg_parses_and_loads() {
+        assert_eq!(
+            FormatArg::parse(Some("mcg")).unwrap(),
+            FormatArg::Fixed(GraphFormat::Mcg)
+        );
+        let dir = std::env::temp_dir().join("mce_cli_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tri.mcg");
+        let g = Graph::complete(3);
+        mce_graph::mcg::write_mcg_file(&g, &path).unwrap();
+        let loaded = load_graph(Some(path.to_str().unwrap()), FormatArg::Auto).unwrap();
+        assert_eq!(loaded, g);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn expect_utf8_names_the_source() {
+        assert_eq!(expect_utf8("x", b"0 1\n".to_vec()).unwrap(), "0 1\n");
+        let err = expect_utf8("bin.mcg", vec![0x89, 0xff]).unwrap_err();
+        assert!(err.to_string().contains("bin.mcg"));
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! * [`stats`](mod@stats) — Table-I style graph and degeneracy summary.
 //! * [`verify`](mod@verify) — re-check an enumeration output against the
 //!   naive reference solver.
-//! * [`convert`](mod@convert) — translate edge-list ↔ DIMACS.
+//! * [`convert`](mod@convert) — translate edge-list ↔ DIMACS ↔ the `.mcg`
+//!   binary CSR container (see `docs/FORMAT.md`).
 //! * [`serve`](mod@serve) — a newline-delimited-JSON-over-TCP daemon:
 //!   named-graph registry, concurrent budgeted query sessions with
 //!   admission control and per-client quotas, aggregate metrics and
@@ -59,7 +60,7 @@ commands:
   gen PRESET           generate a synthetic graph from a named preset
   stats [GRAPH]        print graph + degeneracy statistics
   verify GRAPH [OUT]   check an enumeration output against the naive solver
-  convert [IN [OUT]]   convert between edge-list and DIMACS formats
+  convert [IN [OUT]]   convert between edge-list, DIMACS and binary .mcg
   serve                serve queries over TCP (newline-delimited JSON)
   help [COMMAND]       show this message, or a command's options
 

@@ -43,7 +43,7 @@ budget options:
   --deadline-ms N      abort after N milliseconds of wall-clock time
 
 options:
-  --format edge-list|dimacs|auto   input format (default: auto)
+  --format edge-list|dimacs|mcg|auto  input format (default: auto)
   --preset NAME                    solver preset, e.g. HBBMC++ (default)
   --threads N                      worker threads, 1..=1024 (default: 1;
                                    anchored/kclique queries run sequentially)

@@ -94,7 +94,9 @@ pub enum Request {
         path: Option<String>,
         /// Inline graph text.
         content: Option<String>,
-        /// `edge-list` / `dimacs` / `auto` (default `auto`).
+        /// `edge-list` / `dimacs` / `mcg` / `auto` (default `auto`).
+        /// Binary `.mcg` graphs must come via `path` — inline `content` is
+        /// JSON text.
         format: Option<String>,
     },
     /// Remove a graph from the registry (in-flight sessions keep their

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use mce_graph::io::read_graph_str;
+use mce_graph::io::read_graph_bytes;
 use mce_graph::Graph;
 
 use crate::io::FormatArg;
@@ -41,19 +41,20 @@ impl Registry {
         Self::default()
     }
 
-    /// Parses `content` as `format` (auto-resolved from `source_name` when
-    /// not fixed) and registers it under `name`, replacing any previous
+    /// Parses raw `content` bytes as `format` (auto-resolved from
+    /// `source_name` when not fixed — binary `.mcg` payloads are detected by
+    /// magic) and registers it under `name`, replacing any previous
     /// generation. Returns the new entry.
     pub fn load(
         &self,
         name: &str,
         source_name: &str,
-        content: &str,
+        content: &[u8],
         format: FormatArg,
     ) -> Result<Arc<GraphEntry>, String> {
         let resolved = format.resolve(source_name, content);
-        let graph =
-            read_graph_str(content, resolved).map_err(|e| format!("parsing {source_name}: {e}"))?;
+        let graph = read_graph_bytes(content, resolved)
+            .map_err(|e| format!("parsing {source_name}: {e}"))?;
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed) + 1;
         let entry = Arc::new(GraphEntry {
             name: name.to_string(),
@@ -99,7 +100,7 @@ mod tests {
     fn load_get_evict_roundtrip() {
         let reg = Registry::new();
         let entry = reg
-            .load("tri", "tri.txt", "0 1\n1 2\n0 2\n", FormatArg::Auto)
+            .load("tri", "tri.txt", b"0 1\n1 2\n0 2\n", FormatArg::Auto)
             .unwrap();
         assert_eq!(entry.generation, 1);
         assert_eq!(entry.graph.n(), 3);
@@ -114,10 +115,10 @@ mod tests {
     #[test]
     fn reload_bumps_generation_and_pins_old_entry() {
         let reg = Registry::new();
-        let first = reg.load("g", "g.txt", "0 1\n", FormatArg::Auto).unwrap();
+        let first = reg.load("g", "g.txt", b"0 1\n", FormatArg::Auto).unwrap();
         let pinned = reg.get("g").unwrap();
         let second = reg
-            .load("g", "g.txt", "0 1\n1 2\n", FormatArg::Auto)
+            .load("g", "g.txt", b"0 1\n1 2\n", FormatArg::Auto)
             .unwrap();
         assert_eq!(first.generation, 1);
         assert_eq!(second.generation, 2);
@@ -131,7 +132,7 @@ mod tests {
     fn load_surfaces_parse_errors() {
         let reg = Registry::new();
         let err = reg
-            .load("bad", "bad.txt", "0 x\n", FormatArg::Auto)
+            .load("bad", "bad.txt", b"0 x\n", FormatArg::Auto)
             .unwrap_err();
         assert!(err.contains("bad.txt"), "{err}");
         assert!(reg.get("bad").is_none());

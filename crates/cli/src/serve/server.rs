@@ -610,9 +610,11 @@ fn handle_control(shared: &Shared, w: &mut impl Write, request: Request) -> io::
                     return Ok(true);
                 }
             };
-            let (source_name, text) = match (path, content) {
-                (Some(path), None) => match std::fs::read_to_string(&path) {
-                    Ok(text) => (path, text),
+            // Path loads go through std::fs::read so binary .mcg files work;
+            // inline `content` arrives as JSON text (text formats only).
+            let (source_name, bytes) = match (path, content) {
+                (Some(path), None) => match std::fs::read(&path) {
+                    Ok(bytes) => (path, bytes),
                     Err(e) => {
                         send_error(
                             shared,
@@ -623,11 +625,11 @@ fn handle_control(shared: &Shared, w: &mut impl Write, request: Request) -> io::
                         return Ok(true);
                     }
                 },
-                (None, Some(text)) => (name.clone(), text),
+                (None, Some(text)) => (name.clone(), text.into_bytes()),
                 // parse_request guarantees exactly one of the two.
                 _ => unreachable!("load carries exactly one source"),
             };
-            match shared.registry.load(&name, &source_name, &text, format) {
+            match shared.registry.load(&name, &source_name, &bytes, format) {
                 Ok(entry) => write_frame(
                     w,
                     &protocol::loaded_frame(

@@ -16,7 +16,7 @@ truss parameter, h-index, density, triangles, connected components and the
 paper's complexity condition delta >= max{3, tau + 3 ln(rho)/ln 3}.
 
 options:
-  --format edge-list|dimacs|auto   input format (default: auto)
+  --format edge-list|dimacs|mcg|auto  input format (default: auto)
   --out FILE                       write to FILE instead of stdout";
 
 const VALUE_OPTS: &[&str] = &["--format", "--out"];

@@ -22,7 +22,7 @@ reference finishes, verification fails cleanly instead of running without
 bound.
 
 options:
-  --format edge-list|dimacs|auto   graph format (default: auto)
+  --format edge-list|dimacs|mcg|auto  graph format (default: auto)
   --max-steps N                    branch-step budget for the naive
                                    reference (default 5000000)";
 
@@ -51,6 +51,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let format = FormatArg::parse(p.value("--format"))?;
     let graph = load_graph(Some(graph_spec), format)?;
     let (name, content) = read_input(cliques_spec)?;
+    let content = crate::io::expect_utf8(&name, content)?;
     let cliques = parse_cliques(&name, &content, &graph)?;
     check(&graph, &cliques, &budget)?;
     println!(

@@ -35,6 +35,14 @@ done
 "$MCE" enumerate "$DIR/planted-60.txt" --preset RDegen --output text \
   --out "$DIR/planted-60.rdegen.text.golden"
 
+# --- binary .mcg goldens ---------------------------------------------------
+# The .mcg encoding is canonical (docs/FORMAT.md), so converting the same
+# source must reproduce these files byte-for-byte; the gate replays
+# `mce convert` and diffs, and enumerates the binary graphs against the same
+# text goldens as their source graphs.
+"$MCE" convert "$DIR/er-sparse-48.txt" "$DIR/er-sparse-48.mcg"
+"$MCE" convert "$DIR/turan-30.col" "$DIR/turan-30.mcg"
+
 # --- mce query goldens -----------------------------------------------------
 # Anchored enumeration (vertex 27 sits in several planted communities) and
 # the deterministic top-k ranking; the gate replays both at 1/2/4 threads

@@ -297,3 +297,28 @@ fn corpus_graphs_regenerate_from_their_presets() {
         assert_eq!(out.stdout, expected, "{file} drifted from its generator");
     }
 }
+
+#[test]
+fn mcg_corpus_goldens_replay_byte_for_byte() {
+    // The .mcg encoding is canonical (docs/FORMAT.md): converting the same
+    // source graph must reproduce the committed binary exactly, and the
+    // binary graph must enumerate to the same golden as its text source.
+    for (source, mcg, text_golden) in [
+        (
+            "er-sparse-48.txt",
+            "er-sparse-48.mcg",
+            "er-sparse-48.text.golden",
+        ),
+        ("turan-30.col", "turan-30.mcg", "turan-30.text.golden"),
+    ] {
+        let src = corpus_dir().join(source);
+        let converted = run_mce(&["convert", src.to_str().unwrap(), "--to", "mcg"]);
+        let expected =
+            std::fs::read(corpus_dir().join(mcg)).unwrap_or_else(|e| panic!("reading {mcg}: {e}"));
+        assert_eq!(
+            converted, expected,
+            "{mcg} drifted from `mce convert {source}`"
+        );
+        replay(mcg, "text", None, text_golden);
+    }
+}

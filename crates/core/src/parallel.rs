@@ -70,7 +70,7 @@ use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
 
-use mce_graph::{Graph, VertexId};
+use mce_graph::{GraphTopology, VertexId};
 
 use crate::budget::{Budget, BudgetReporter, BudgetState, Outcome};
 use crate::config::{ConfigError, RootScheduler, SolverConfig};
@@ -287,13 +287,14 @@ impl<R: CliqueReporter + ?Sized> CliqueReporter for CountingReporter<'_, R> {
 /// Runs `threads` workers over the shared plan, streaming cliques to the
 /// per-worker reporters produced by `make_reporter`, and returns the
 /// `(reporter, stats)` pairs collected from the join handles.
-fn run_workers<R, F>(
-    solver: &Solver<'_>,
+fn run_workers<G, R, F>(
+    solver: &Solver<'_, G>,
     plan: &RootPlan,
     threads: usize,
     make_reporter: F,
 ) -> Vec<(R, EnumerationStats)>
 where
+    G: GraphTopology + Sync,
     R: CliqueReporter + Send,
     F: Fn() -> R + Sync,
 {
@@ -316,13 +317,14 @@ where
 /// is poisoned. (The ordered drivers go further and return a typed
 /// [`EngineError`]; the unordered fleets have no partial result worth
 /// salvaging.)
-fn run_workers_pulling<R, F>(
-    solver: &Solver<'_>,
+fn run_workers_pulling<G, R, F>(
+    solver: &Solver<'_, G>,
     plan: &RootPlan,
     threads: usize,
     make_reporter: F,
 ) -> Vec<(R, EnumerationStats)>
 where
+    G: GraphTopology + Sync,
     R: CliqueReporter + Send,
     F: Fn() -> R + Sync,
 {
@@ -386,14 +388,15 @@ where
 
 /// The splitting-scheduler worker fleet: claim component chunks or donated
 /// tasks from the shared pool until it drains.
-fn run_workers_splitting<R, F>(
-    solver: &Solver<'_>,
+fn run_workers_splitting<G, R, F>(
+    solver: &Solver<'_, G>,
     plan: &RootPlan,
     threads: usize,
     pool_config: PoolConfig,
     make_reporter: F,
 ) -> Vec<(R, EnumerationStats)>
 where
+    G: GraphTopology + Sync,
     R: CliqueReporter + Send,
     F: Fn() -> R + Sync,
 {
@@ -490,8 +493,8 @@ where
 
 /// Counts maximal cliques using `threads` workers. Returns the total count and
 /// the merged statistics (wall time is the maximum over workers).
-pub fn par_count_maximal_cliques(
-    g: &Graph,
+pub fn par_count_maximal_cliques<G: GraphTopology + Sync>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
 ) -> (u64, EnumerationStats) {
@@ -505,8 +508,8 @@ pub fn par_count_maximal_cliques(
 /// scheduler spread the recursion tree — under a pulling scheduler one
 /// worker owns a skewed graph's giant root, under the splitting scheduler
 /// the shares approach `1 / threads`.
-pub fn par_count_with_worker_stats(
-    g: &Graph,
+pub fn par_count_with_worker_stats<G: GraphTopology + Sync>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
 ) -> (u64, EnumerationStats, Vec<EnumerationStats>) {
@@ -527,8 +530,8 @@ pub fn par_count_with_worker_stats(
 }
 
 /// Collects all maximal cliques using `threads` workers, in canonical order.
-pub fn par_enumerate_collect(
-    g: &Graph,
+pub fn par_enumerate_collect<G: GraphTopology + Sync>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
 ) -> (Vec<Vec<VertexId>>, EnumerationStats) {
@@ -551,8 +554,8 @@ pub fn par_enumerate_collect(
 /// Streams maximal cliques to a shared reporter from `threads` workers. The
 /// reporter is locked per clique, so use this with cheap reporters (counters,
 /// writers) rather than heavy computations.
-pub fn par_enumerate_streaming<R: CliqueReporter + Send>(
-    g: &Graph,
+pub fn par_enumerate_streaming<G: GraphTopology + Sync, R: CliqueReporter + Send>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
     reporter: &mut R,
@@ -795,8 +798,8 @@ fn bounded_deposit<R: CliqueReporter + ?Sized>(
 /// `reporter`. Under the pulling schedulers memory is bounded: at most a
 /// fixed cap (currently 2¹⁶) of out-of-order cliques are parked, with later
 /// depositors waiting instead of accumulating the full result set.
-pub fn par_enumerate_ordered<R: CliqueReporter + Send + ?Sized>(
-    g: &Graph,
+pub fn par_enumerate_ordered<G: GraphTopology + Sync, R: CliqueReporter + Send + ?Sized>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
     reporter: &mut R,
@@ -830,8 +833,11 @@ fn repanic_worker_faults(
 /// updated as roots complete, cliques are discovered and sub-branches are
 /// donated, so a monitoring thread can report enumeration rates without
 /// touching the output stream.
-pub fn par_enumerate_ordered_observed<R: CliqueReporter + Send + ?Sized>(
-    g: &Graph,
+pub fn par_enumerate_ordered_observed<
+    G: GraphTopology + Sync,
+    R: CliqueReporter + Send + ?Sized,
+>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
     reporter: &mut R,
@@ -860,8 +866,11 @@ pub fn par_enumerate_ordered_observed<R: CliqueReporter + Send + ?Sized>(
 /// optionally attaches live [`ProgressCounters`]. Returns the run statistics
 /// and the [`Outcome`] (`Complete`, or `Truncated` with the first bound that
 /// tripped).
-pub fn par_enumerate_ordered_budgeted<R: CliqueReporter + Send + ?Sized>(
-    g: &Graph,
+pub fn par_enumerate_ordered_budgeted<
+    G: GraphTopology + Sync,
+    R: CliqueReporter + Send + ?Sized,
+>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
     budget: &Budget,
@@ -886,14 +895,18 @@ pub fn par_enumerate_ordered_budgeted<R: CliqueReporter + Send + ?Sized>(
 /// [`BudgetState`] (the query layer owns the state so its cancel token can be
 /// handed out before the run starts). Applies the clique-cap gate here —
 /// after the deterministic sequencer — so callers pass their raw reporter.
-pub(crate) fn par_enumerate_ordered_with_state<R: CliqueReporter + Send + ?Sized>(
-    g: &Graph,
+pub(crate) fn par_enumerate_ordered_with_state<G, R>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
     state: &BudgetState,
     progress: Option<&ProgressCounters>,
     reporter: &mut R,
-) -> Result<EnumerationStats, EngineError> {
+) -> Result<EnumerationStats, EngineError>
+where
+    G: GraphTopology + Sync,
+    R: CliqueReporter + Send + ?Sized,
+{
     let mut gated = BudgetReporter::new(reporter, state);
     par_enumerate_ordered_driver(
         g,
@@ -944,8 +957,8 @@ impl<R: CliqueReporter + Send + ?Sized> DonationSink for OrderedSink<'_, '_, R> 
 /// deterministic prefix emitted before the fault, and the driver returns
 /// [`EngineError::WorkerPanic`] carrying the first panic's payload.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
-    g: &Graph,
+pub(crate) fn par_enumerate_ordered_driver<G, R>(
+    g: &G,
     config: &SolverConfig,
     threads: usize,
     cap: usize,
@@ -953,7 +966,11 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
     progress: Option<&ProgressCounters>,
     budget: Option<&BudgetState>,
     mut reporter: &mut R,
-) -> Result<EnumerationStats, EngineError> {
+) -> Result<EnumerationStats, EngineError>
+where
+    G: GraphTopology + Sync,
+    R: CliqueReporter + Send + ?Sized,
+{
     let start = Instant::now();
     let threads = threads.max(1);
     let solver = Solver::new(g, *config)?;
@@ -1074,8 +1091,8 @@ pub(crate) fn par_enumerate_ordered_driver<R: CliqueReporter + Send + ?Sized>(
 /// Ordered workers under the pulling schedulers: one deposit per root rank,
 /// bounded by the sequencer buffer cap.
 #[allow(clippy::too_many_arguments)]
-fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
-    solver: &Solver<'_>,
+fn ordered_pulling_workers<G: GraphTopology + Sync, R: CliqueReporter + Send + ?Sized>(
+    solver: &Solver<'_, G>,
     plan: &RootPlan,
     threads: usize,
     cap: usize,
@@ -1182,8 +1199,8 @@ fn ordered_pulling_workers<R: CliqueReporter + Send + ?Sized>(
 /// Ordered workers under the splitting scheduler: claim component chunks or
 /// donated tasks, deposit each work item's buffer under its `(rank, key)`.
 #[allow(clippy::too_many_arguments)]
-fn ordered_splitting_workers<R: CliqueReporter + Send + ?Sized>(
-    solver: &Solver<'_>,
+fn ordered_splitting_workers<G: GraphTopology + Sync, R: CliqueReporter + Send + ?Sized>(
+    solver: &Solver<'_, G>,
     plan: &RootPlan,
     threads: usize,
     pool_config: PoolConfig,
@@ -1332,6 +1349,7 @@ mod tests {
     use crate::naive::naive_maximal_cliques;
     use crate::report::{CliqueLineFormat, WriterReporter};
     use crate::solver::count_maximal_cliques;
+    use mce_graph::Graph;
 
     fn test_graph() -> Graph {
         // Two overlapping communities plus sparse periphery.

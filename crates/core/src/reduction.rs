@@ -17,7 +17,7 @@
 //! branch they are adjacent to, which preserves maximality checking against
 //! the *original* graph.
 
-use mce_graph::{Graph, VertexId};
+use mce_graph::{GraphTopology, VertexId};
 
 /// Result of the graph-reduction preprocessing.
 #[derive(Clone, Debug, Default)]
@@ -44,11 +44,14 @@ impl Reduction {
 }
 
 /// Runs the reduction on `g`.
-pub(crate) fn reduce(g: &Graph) -> Reduction {
+pub(crate) fn reduce<G: GraphTopology>(g: &G) -> Reduction {
     let n = g.n();
+    let mut nv: Vec<VertexId> = Vec::new();
     let mut simplicial = vec![false; n];
     for v in 0..n as VertexId {
-        simplicial[v as usize] = is_simplicial(g, v);
+        nv.clear();
+        nv.extend(g.neighbors_iter(v));
+        simplicial[v as usize] = is_simplicial(g, &nv);
     }
 
     let mut cliques = Vec::new();
@@ -59,14 +62,11 @@ pub(crate) fn reduce(g: &Graph) -> Reduction {
         // Report N[v] only for the smallest simplicial vertex of the clique:
         // two adjacent simplicial vertices necessarily share the same closed
         // neighbourhood.
-        let dominated = g
-            .neighbors(v)
-            .iter()
-            .any(|&u| u < v && simplicial[u as usize]);
+        let dominated = g.neighbors_iter(v).any(|u| u < v && simplicial[u as usize]);
         if dominated {
             continue;
         }
-        let mut clique: Vec<VertexId> = g.neighbors(v).to_vec();
+        let mut clique: Vec<VertexId> = g.neighbors_iter(v).collect();
         clique.push(v);
         clique.sort_unstable();
         cliques.push(clique);
@@ -78,9 +78,8 @@ pub(crate) fn reduce(g: &Graph) -> Reduction {
     }
 }
 
-/// Whether `N[v]` induces a clique.
-fn is_simplicial(g: &Graph, v: VertexId) -> bool {
-    let nv = g.neighbors(v);
+/// Whether the vertex set `nv` (a sorted neighbourhood) induces a clique.
+fn is_simplicial<G: GraphTopology>(g: &G, nv: &[VertexId]) -> bool {
     for (i, &a) in nv.iter().enumerate() {
         for &b in &nv[i + 1..] {
             if !g.has_edge(a, b) {
@@ -94,6 +93,7 @@ fn is_simplicial(g: &Graph, v: VertexId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mce_graph::Graph;
 
     #[test]
     fn isolated_and_pendant_vertices_are_reduced() {

@@ -38,6 +38,13 @@ fn build_er_sparse(n: usize, seed: u64) -> Graph {
     erdos_renyi(n, 4 * n, seed)
 }
 
+fn build_er_scale(n: usize, seed: u64) -> Graph {
+    // m = 10n: the memory-wall acceptance shape (1M vertices / 10M edges at
+    // --n 1000000). A dense n×n bitmap of that graph would need ~125 GB;
+    // the CSR layer holds it in 8(n+1) + 8m bytes ≈ 88 MB.
+    erdos_renyi(n, 10 * n, seed)
+}
+
 fn build_er_dense(n: usize, seed: u64) -> Graph {
     let possible = n * n.saturating_sub(1) / 2;
     erdos_renyi(n, (16 * n).min(possible / 4), seed)
@@ -121,6 +128,11 @@ pub const GEN_PRESETS: &[GenPreset] = &[
         name: "er-dense",
         description: "Erdős–Rényi G(n, m) with m = min(16n, n(n-1)/8)",
         build: build_er_dense,
+    },
+    GenPreset {
+        name: "er-scale",
+        description: "Erdős–Rényi G(n, m) with m = 10n (bounded-memory CSR stress shape)",
+        build: build_er_scale,
     },
     GenPreset {
         name: "er-sparse",

@@ -5,6 +5,7 @@
 //! on the interesting part of sparse synthetic graphs.
 
 use crate::graph::{Graph, VertexId};
+use crate::topology::GraphTopology;
 
 /// Result of a connected-components computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,7 +45,7 @@ impl ConnectedComponents {
 }
 
 /// Computes the connected components of `g` with an iterative DFS.
-pub fn connected_components(g: &Graph) -> ConnectedComponents {
+pub fn connected_components<G: GraphTopology>(g: &G) -> ConnectedComponents {
     let n = g.n();
     let mut component_of = vec![usize::MAX; n];
     let mut count = 0usize;
@@ -56,7 +57,7 @@ pub fn connected_components(g: &Graph) -> ConnectedComponents {
         component_of[start] = count;
         stack.push(start as VertexId);
         while let Some(v) = stack.pop() {
-            for &u in g.neighbors(v) {
+            for u in g.neighbors_iter(v) {
                 if component_of[u as usize] == usize::MAX {
                     component_of[u as usize] = count;
                     stack.push(u);

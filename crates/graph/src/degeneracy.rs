@@ -7,7 +7,8 @@
 //! vertex-oriented baselines in the paper. The implementation is the classic
 //! linear-time bucket-queue peeling (Matula & Beck).
 
-use crate::graph::{Graph, VertexId};
+use crate::graph::VertexId;
+use crate::topology::GraphTopology;
 
 /// Result of the degeneracy computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,17 +28,18 @@ impl DegeneracyOrdering {
     ///
     /// In the EPS framework each initial branch's candidate set is exactly
     /// this set, whose size is bounded by δ.
-    pub fn later_neighbors(&self, g: &Graph, v: VertexId) -> Vec<VertexId> {
-        g.neighbors(v)
-            .iter()
-            .copied()
+    pub fn later_neighbors<G: GraphTopology>(&self, g: &G, v: VertexId) -> Vec<VertexId> {
+        g.neighbors_iter(v)
             .filter(|&u| self.position[u as usize] > self.position[v as usize])
             .collect()
     }
 }
 
 /// Computes the degeneracy ordering, core numbers and degeneracy of `g`.
-pub fn degeneracy_ordering(g: &Graph) -> DegeneracyOrdering {
+///
+/// Generic over [`GraphTopology`], so it runs identically on the sparse CSR
+/// [`crate::Graph`] and the dense [`crate::AdjMatrix`].
+pub fn degeneracy_ordering<G: GraphTopology>(g: &G) -> DegeneracyOrdering {
     let n = g.n();
     let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
     let max_deg = degree.iter().copied().max().unwrap_or(0);
@@ -74,7 +76,7 @@ pub fn degeneracy_ordering(g: &Graph) -> DegeneracyOrdering {
         position[v as usize] = step;
         order.push(v);
 
-        for &u in g.neighbors(v) {
+        for u in g.neighbors_iter(v) {
             let ui = u as usize;
             if !removed[ui] && degree[ui] > 0 {
                 degree[ui] -= 1;
@@ -95,18 +97,19 @@ pub fn degeneracy_ordering(g: &Graph) -> DegeneracyOrdering {
 }
 
 /// Convenience wrapper returning only the per-vertex core numbers.
-pub fn core_numbers(g: &Graph) -> Vec<usize> {
+pub fn core_numbers<G: GraphTopology>(g: &G) -> Vec<usize> {
     degeneracy_ordering(g).core
 }
 
 /// Convenience wrapper returning only the degeneracy δ.
-pub fn degeneracy(g: &Graph) -> usize {
+pub fn degeneracy<G: GraphTopology>(g: &G) -> usize {
     degeneracy_ordering(g).degeneracy
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     #[test]
     fn empty_and_edgeless_graphs() {
@@ -199,6 +202,29 @@ mod tests {
         for v in g.vertices() {
             assert!(d.later_neighbors(&g, v).len() <= 1);
         }
+    }
+
+    #[test]
+    fn dense_and_sparse_orderings_agree() {
+        // The peeling is deterministic given sorted neighbour iteration, so
+        // the CSR graph and its dense mirror must produce identical results.
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+                (1, 7),
+            ],
+        )
+        .unwrap();
+        let dense = crate::AdjMatrix::from_topology(&g);
+        assert_eq!(degeneracy_ordering(&g), degeneracy_ordering(&dense));
     }
 
     #[test]

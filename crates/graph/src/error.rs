@@ -23,6 +23,26 @@ pub enum GraphError {
     Io(std::io::Error),
     /// The graph is too large for the 32-bit vertex id space.
     TooManyVertices(usize),
+    /// A binary `.mcg` input did not start with the format magic.
+    BadMagic,
+    /// A binary `.mcg` input declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// A binary `.mcg` section's checksum did not match its decoded bytes.
+    ChecksumMismatch {
+        /// Name of the failing section.
+        section: &'static str,
+    },
+    /// Structurally invalid graph data: violated CSR invariants, truncated
+    /// or inconsistent binary sections, malformed headers.
+    InvalidData {
+        /// Human readable description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -40,6 +60,21 @@ impl fmt::Display for GraphError {
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
             GraphError::TooManyVertices(n) => {
                 write!(f, "graph with {n} vertices exceeds the u32 vertex id space")
+            }
+            GraphError::BadMagic => {
+                write!(f, "not an mcg file: bad magic bytes")
+            }
+            GraphError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported mcg format version {found} (this build reads up to {supported})"
+                )
+            }
+            GraphError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in mcg section '{section}'")
+            }
+            GraphError::InvalidData { message } => {
+                write!(f, "invalid graph data: {message}")
             }
         }
     }
@@ -94,5 +129,23 @@ mod tests {
     fn too_many_vertices_display() {
         let e = GraphError::TooManyVertices(5_000_000_000);
         assert!(e.to_string().contains("5000000000"));
+    }
+
+    #[test]
+    fn binary_format_errors_display() {
+        assert!(GraphError::BadMagic.to_string().contains("magic"));
+        let e = GraphError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('1'));
+        let e = GraphError::ChecksumMismatch {
+            section: "adjacency",
+        };
+        assert!(e.to_string().contains("adjacency"));
+        let e = GraphError::InvalidData {
+            message: "bad offsets".into(),
+        };
+        assert!(e.to_string().contains("bad offsets"));
     }
 }

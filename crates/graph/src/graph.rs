@@ -5,6 +5,15 @@ use crate::error::GraphError;
 /// Vertex identifier. Kept at 32 bits so adjacency arrays stay compact.
 pub type VertexId = u32;
 
+/// Alias naming the CSR role of [`Graph`] in the hybrid layout.
+///
+/// The engine's hybrid memory layout (ARCHITECTURE.md) keeps the *global*
+/// graph in `O(n + m)` compressed sparse row form and only densifies the
+/// per-root neighbourhood subgraphs into bit matrices. `CsrGraph` is that
+/// global sparse layer; it is the same type as [`Graph`] — use whichever name
+/// reads better at the call site.
+pub type CsrGraph = Graph;
+
 /// An immutable, undirected, simple graph in CSR form.
 ///
 /// * vertices are `0..n()`,
@@ -64,6 +73,134 @@ impl Graph {
             offsets.push(adjacency.len());
         }
         Ok(Graph { offsets, adjacency })
+    }
+
+    /// Builds a graph directly from raw CSR arrays in `O(n + m)` memory.
+    ///
+    /// This is the scale-path constructor: unlike [`Graph::from_edges`] it
+    /// never materialises a `Vec<Vec<VertexId>>` intermediate, so loading a
+    /// 1M-vertex / 10M-edge graph peaks at the size of the two arrays plus
+    /// constants. The binary `.mcg` loader ([`crate::mcg`]) and large
+    /// generators feed this directly.
+    ///
+    /// Every CSR invariant is validated before the graph is accepted:
+    ///
+    /// * `offsets` has `n + 1` entries, starts at 0, ends at
+    ///   `adjacency.len()`, and is non-decreasing,
+    /// * each adjacency list is strictly increasing (sorted, no duplicates),
+    /// * every entry is a valid vertex id and never the list's own vertex
+    ///   (no self-loops),
+    /// * adjacency is symmetric: `(u, v)` present iff `(v, u)` present.
+    ///
+    /// # Errors
+    /// [`GraphError::TooManyVertices`] if `n > u32::MAX`;
+    /// [`GraphError::VertexOutOfRange`] for an out-of-range entry;
+    /// [`GraphError::InvalidData`] for any other violated invariant.
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        adjacency: Vec<VertexId>,
+    ) -> Result<Self, GraphError> {
+        let Some(n) = offsets.len().checked_sub(1) else {
+            return Err(GraphError::InvalidData {
+                message: "offset array must have n + 1 entries, got 0".into(),
+            });
+        };
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices(n));
+        }
+        if offsets[0] != 0 {
+            return Err(GraphError::InvalidData {
+                message: format!("first offset must be 0, got {}", offsets[0]),
+            });
+        }
+        if offsets[n] != adjacency.len() {
+            return Err(GraphError::InvalidData {
+                message: format!(
+                    "last offset {} does not match adjacency length {}",
+                    offsets[n],
+                    adjacency.len()
+                ),
+            });
+        }
+        if let Some(v) = (0..n).find(|&v| offsets[v] > offsets[v + 1]) {
+            return Err(GraphError::InvalidData {
+                message: format!(
+                    "offsets decrease at vertex {v}: {} > {}",
+                    offsets[v],
+                    offsets[v + 1]
+                ),
+            });
+        }
+        let g = Graph { offsets, adjacency };
+        // Per-list invariants: strictly increasing, in range, no self-loop.
+        for v in 0..n as VertexId {
+            let list = g.neighbors(v);
+            let mut prev: Option<VertexId> = None;
+            for &u in list {
+                if u as usize >= n {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: u as u64,
+                        n,
+                    });
+                }
+                if u == v {
+                    return Err(GraphError::InvalidData {
+                        message: format!("self-loop on vertex {v}"),
+                    });
+                }
+                if let Some(p) = prev {
+                    if u <= p {
+                        return Err(GraphError::InvalidData {
+                            message: format!(
+                                "adjacency list of vertex {v} is not strictly increasing \
+                                 ({p} followed by {u})"
+                            ),
+                        });
+                    }
+                }
+                prev = Some(u);
+            }
+        }
+        // Symmetry: every forward entry (u < v) must have its mirror, and the
+        // forward/backward entry counts must agree — with strictly sorted
+        // lists this proves the adjacency relation is symmetric.
+        let (mut forward, mut backward) = (0usize, 0usize);
+        for u in 0..n as VertexId {
+            for &v in g.neighbors(u) {
+                if v > u {
+                    forward += 1;
+                    if g.neighbors(v).binary_search(&u).is_err() {
+                        return Err(GraphError::InvalidData {
+                            message: format!("edge ({u}, {v}) has no mirror entry ({v}, {u})"),
+                        });
+                    }
+                } else {
+                    backward += 1;
+                }
+            }
+        }
+        if forward != backward {
+            return Err(GraphError::InvalidData {
+                message: format!(
+                    "asymmetric adjacency: {forward} forward entries vs {backward} backward"
+                ),
+            });
+        }
+        Ok(g)
+    }
+
+    /// The raw CSR offset array: `n + 1` non-decreasing entries, where
+    /// `csr_offsets()[v]..csr_offsets()[v + 1]` spans [`Graph::neighbors`]`(v)`
+    /// inside [`Graph::csr_adjacency`].
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array (length `2m`, each list sorted).
+    #[inline]
+    pub fn csr_adjacency(&self) -> &[VertexId] {
+        &self.adjacency
     }
 
     /// The empty graph on `n` vertices.
@@ -380,6 +517,71 @@ mod tests {
         assert!(c.has_edge(0, 3));
         assert!(c.has_edge(1, 3));
         assert!(!c.has_edge(0, 1));
+    }
+
+    #[test]
+    fn from_csr_parts_roundtrips_from_edges() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (4, 5)]).unwrap();
+        let rebuilt =
+            Graph::from_csr_parts(g.csr_offsets().to_vec(), g.csr_adjacency().to_vec()).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn from_csr_parts_accepts_empty_graph() {
+        let g = Graph::from_csr_parts(vec![0], Vec::new()).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        let g = Graph::from_csr_parts(vec![0, 0, 0], Vec::new()).unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_empty_offsets() {
+        assert!(matches!(
+            Graph::from_csr_parts(Vec::new(), Vec::new()),
+            Err(GraphError::InvalidData { .. })
+        ));
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_bad_offsets() {
+        // First offset non-zero.
+        assert!(Graph::from_csr_parts(vec![1, 2], vec![0, 1]).is_err());
+        // Last offset disagrees with adjacency length.
+        assert!(Graph::from_csr_parts(vec![0, 1, 2], vec![1, 0, 0]).is_err());
+        // Decreasing offsets.
+        assert!(Graph::from_csr_parts(vec![0, 2, 1, 2], vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_bad_lists() {
+        // Out of range entry.
+        assert!(matches!(
+            Graph::from_csr_parts(vec![0, 1, 2], vec![7, 0]),
+            Err(GraphError::VertexOutOfRange { vertex: 7, n: 2 })
+        ));
+        // Self-loop.
+        assert!(Graph::from_csr_parts(vec![0, 1, 1], vec![0]).is_err());
+        // Duplicate entry (not strictly increasing).
+        assert!(Graph::from_csr_parts(vec![0, 2, 4], vec![1, 1, 0, 0]).is_err());
+        // Unsorted list.
+        assert!(Graph::from_csr_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_asymmetry() {
+        // (0,1) present but (1,0) missing — vertex 1's list is empty.
+        assert!(matches!(
+            Graph::from_csr_parts(vec![0, 1, 1], vec![1]),
+            Err(GraphError::InvalidData { .. })
+        ));
+        // Backward-only entry: (1,0) present without (0,1).
+        assert!(matches!(
+            Graph::from_csr_parts(vec![0, 0, 1], vec![0]),
+            Err(GraphError::InvalidData { .. })
+        ));
     }
 
     #[test]

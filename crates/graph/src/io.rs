@@ -1,10 +1,13 @@
-//! Text I/O: edge-list and DIMACS graph formats.
+//! Graph I/O: edge-list and DIMACS text formats plus the `.mcg` binary.
 //!
 //! Real-world MCE datasets (networkrepository / SNAP) are distributed as
 //! whitespace-separated edge lists, sometimes with `#`/`%` comment lines, or
 //! as DIMACS `.col`/`.clq` files (`p edge n m` header followed by `e u v`
 //! lines with 1-based vertices). Both are supported here so a user can run
 //! the library on the paper's original inputs when they have them locally.
+//! The [`crate::mcg`] binary format (`.mcg`) is dispatched through the same
+//! [`GraphFormat`] surface: it stores the CSR arrays verbatim, so loading it
+//! is a streamed `O(n + m)` copy instead of a parse (see `docs/FORMAT.md`).
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -13,28 +16,42 @@ use std::path::Path;
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
 use crate::graph::Graph;
+use crate::mcg;
 
-/// The two text graph formats understood by this module.
+/// The graph file formats understood by this module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GraphFormat {
     /// Whitespace-separated `u v` pairs, `#`/`%`/`//` comments.
     EdgeList,
     /// DIMACS `.col`/`.clq`: `p edge n m` header, `e u v` records, 1-based ids.
     Dimacs,
+    /// The `.mcg` binary CSR container (see [`crate::mcg`] and `docs/FORMAT.md`).
+    Mcg,
 }
 
 impl GraphFormat {
     /// Guesses the format from a *recognised* file extension: `.col`, `.clq`,
-    /// `.dimacs` → DIMACS; `.txt`, `.edges`, `.el`, `.edgelist` → edge list.
-    /// Returns `None` for anything else (including no extension), so callers
-    /// can fall back to content sniffing.
+    /// `.dimacs` → DIMACS; `.txt`, `.edges`, `.el`, `.edgelist` → edge list;
+    /// `.mcg` → binary CSR. Returns `None` for anything else (including no
+    /// extension), so callers can fall back to content sniffing.
     pub fn from_extension(path: &Path) -> Option<GraphFormat> {
         let ext = path.extension()?.to_str()?.to_ascii_lowercase();
         match ext.as_str() {
             "col" | "clq" | "dimacs" => Some(GraphFormat::Dimacs),
             "txt" | "edges" | "el" | "edgelist" => Some(GraphFormat::EdgeList),
+            "mcg" => Some(GraphFormat::Mcg),
             _ => None,
         }
+    }
+
+    /// Sniffs the format from raw file bytes: the `.mcg` magic wins outright
+    /// (it starts with a non-ASCII byte precisely so no text file can collide),
+    /// anything else is treated as text and dispatched by [`GraphFormat::sniff`].
+    pub fn sniff_bytes(content: &[u8]) -> GraphFormat {
+        if mcg::is_mcg(content) {
+            return GraphFormat::Mcg;
+        }
+        GraphFormat::sniff(&String::from_utf8_lossy(content))
     }
 
     /// Sniffs the format from file content: the first line whose leading token
@@ -62,10 +79,23 @@ impl GraphFormat {
 }
 
 /// Parses `content` as `format`.
+///
+/// The text formats accept any `&str`; [`GraphFormat::Mcg`] is a binary
+/// container, so prefer [`read_graph_bytes`] when the input may be `.mcg` —
+/// this wrapper only works for it when the caller's string round-tripped the
+/// raw bytes losslessly.
 pub fn read_graph_str(content: &str, format: GraphFormat) -> Result<Graph, GraphError> {
+    read_graph_bytes(content.as_bytes(), format)
+}
+
+/// Parses raw file bytes as `format`. This is the dispatch point that treats
+/// all three formats uniformly; use [`GraphFormat::sniff_bytes`] first when
+/// the format is unknown.
+pub fn read_graph_bytes(content: &[u8], format: GraphFormat) -> Result<Graph, GraphError> {
     match format {
-        GraphFormat::EdgeList => read_edge_list(content.as_bytes()),
-        GraphFormat::Dimacs => read_dimacs(content.as_bytes()),
+        GraphFormat::EdgeList => read_edge_list(content),
+        GraphFormat::Dimacs => read_dimacs(content),
+        GraphFormat::Mcg => mcg::read_mcg(content),
     }
 }
 
@@ -202,6 +232,7 @@ pub fn write_graph<W: Write>(g: &Graph, writer: W, format: GraphFormat) -> Resul
     match format {
         GraphFormat::EdgeList => write_edge_list(g, writer),
         GraphFormat::Dimacs => write_dimacs(g, writer),
+        GraphFormat::Mcg => mcg::write_mcg(g, writer),
     }
 }
 
@@ -374,5 +405,46 @@ mod tests {
         let mut dm = Vec::new();
         write_graph(&g, &mut dm, GraphFormat::Dimacs).unwrap();
         assert!(String::from_utf8(dm).unwrap().contains("p edge 3 3"));
+    }
+
+    #[test]
+    fn mcg_dispatches_through_graph_format() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let mut bytes = Vec::new();
+        write_graph(&g, &mut bytes, GraphFormat::Mcg).unwrap();
+        assert_eq!(GraphFormat::sniff_bytes(&bytes), GraphFormat::Mcg);
+        let g2 = read_graph_bytes(&bytes, GraphFormat::Mcg).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn sniff_bytes_falls_back_to_text_sniffing() {
+        assert_eq!(
+            GraphFormat::sniff_bytes(b"0 1\n1 2\n"),
+            GraphFormat::EdgeList
+        );
+        assert_eq!(
+            GraphFormat::sniff_bytes(b"p edge 3 1\ne 1 2\n"),
+            GraphFormat::Dimacs
+        );
+        assert_eq!(GraphFormat::sniff_bytes(b""), GraphFormat::EdgeList);
+        // Arbitrary binary junk that is not the magic does not panic.
+        assert_eq!(
+            GraphFormat::sniff_bytes(&[0xff, 0xfe, 0x00, 0x01]),
+            GraphFormat::EdgeList
+        );
+    }
+
+    #[test]
+    fn mcg_extension_is_recognised() {
+        use std::path::Path;
+        assert_eq!(
+            GraphFormat::from_extension(Path::new("g.mcg")),
+            Some(GraphFormat::Mcg)
+        );
+        assert_eq!(
+            GraphFormat::from_extension(Path::new("g.MCG")),
+            Some(GraphFormat::Mcg)
+        );
     }
 }

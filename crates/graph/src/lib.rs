@@ -5,8 +5,15 @@
 //! Branching and Early Termination"*, ICDE 2025):
 //!
 //! * a compact **CSR (compressed sparse row) undirected graph** with sorted
-//!   adjacency lists ([`Graph`]) and a forgiving [`GraphBuilder`] that
-//!   deduplicates edges and drops self-loops,
+//!   adjacency lists ([`Graph`], alias [`CsrGraph`]) and a forgiving
+//!   [`GraphBuilder`] that deduplicates edges and drops self-loops,
+//! * the [`GraphTopology`] **trait** giving the enumeration engine
+//!   representation-independent read access to the global graph — implemented
+//!   by both the sparse CSR [`Graph`] and the dense [`AdjMatrix`]
+//!   ([`topology`]),
+//! * the versioned, checksummed **`.mcg` binary on-disk format** with a
+//!   streamed `O(n + m)` loader for production-scale graphs ([`mcg`]; byte
+//!   spec in `docs/FORMAT.md`),
 //! * a fixed-capacity **bit set** with fused word-parallel kernels
 //!   ([`bitset`]) and a contiguous **bit adjacency matrix** with row stride
 //!   for dense branch subgraphs ([`adjmatrix`]),
@@ -39,8 +46,10 @@ pub mod graph;
 pub mod hindex;
 pub mod io;
 pub mod kplex;
+pub mod mcg;
 pub mod ordering;
 pub mod stats;
+pub mod topology;
 pub mod triangles;
 pub mod truss;
 
@@ -50,11 +59,12 @@ pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, ConnectedComponents};
 pub use degeneracy::{core_numbers, degeneracy_ordering, DegeneracyOrdering};
 pub use error::GraphError;
-pub use graph::{Graph, VertexId};
+pub use graph::{CsrGraph, Graph, VertexId};
 pub use hindex::h_index;
 pub use io::GraphFormat;
 pub use kplex::{ComplementStructure, PlexCheck};
 pub use ordering::{EdgeOrderingKind, VertexOrderingKind};
 pub use stats::GraphStats;
+pub use topology::GraphTopology;
 pub use triangles::{edge_supports, triangle_count};
 pub use truss::{truss_ordering, TrussOrdering};

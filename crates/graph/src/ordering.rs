@@ -12,7 +12,8 @@
 //!   (`HBBMC-mdg`).
 
 use crate::degeneracy::degeneracy_ordering;
-use crate::graph::{Graph, VertexId};
+use crate::graph::VertexId;
+use crate::topology::GraphTopology;
 use crate::triangles::{EdgeId, EdgeIndex};
 use crate::truss::truss_ordering;
 
@@ -41,7 +42,7 @@ pub enum EdgeOrderingKind {
 }
 
 /// Computes a vertex ordering of `g`. Returns the vertices in order.
-pub fn vertex_ordering(g: &Graph, kind: VertexOrderingKind) -> Vec<VertexId> {
+pub fn vertex_ordering<G: GraphTopology>(g: &G, kind: VertexOrderingKind) -> Vec<VertexId> {
     match kind {
         VertexOrderingKind::Natural => (0..g.n() as VertexId).collect(),
         VertexOrderingKind::Degree => {
@@ -82,7 +83,7 @@ impl EdgeOrdering {
 }
 
 /// Computes an edge ordering of `g` of the requested kind.
-pub fn edge_ordering(g: &Graph, kind: EdgeOrderingKind) -> EdgeOrdering {
+pub fn edge_ordering<G: GraphTopology>(g: &G, kind: EdgeOrderingKind) -> EdgeOrdering {
     match kind {
         EdgeOrderingKind::Truss => {
             let t = truss_ordering(g);
@@ -135,6 +136,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     fn sample() -> Graph {
         // K4 on {0,1,2,3} plus a tail 3-4-5.

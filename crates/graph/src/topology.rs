@@ -1,0 +1,330 @@
+//! The [`GraphTopology`] trait: representation-independent read access to an
+//! undirected simple graph.
+//!
+//! The enumeration engine's *global* phase — degeneracy ordering, root
+//! planning, per-root `LocalGraph` extraction — only ever **reads** the input
+//! graph through a handful of operations: vertex/edge counts, degrees, sorted
+//! neighbour iteration and adjacency tests. This trait names exactly that
+//! surface so the engine can run unchanged over either global representation:
+//!
+//! * [`Graph`] (= [`CsrGraph`](crate::graph::CsrGraph)) — compressed sparse
+//!   row, `O(n + m)` memory. The production representation: a 1M-vertex /
+//!   10M-edge graph costs ~88 MB of adjacency data.
+//! * [`AdjMatrix`] — a dense `n × n` bit matrix, `O(n²/64)` memory. Only
+//!   sensible as a *global* representation for small graphs (it is the
+//!   per-root *local* representation in the hot kernels); implementing the
+//!   trait for it lets the test suite prove that enumeration output is
+//!   byte-identical under both representations.
+//!
+//! # Contract
+//!
+//! Implementations must describe an **undirected simple graph** on vertices
+//! `0..n()`: no self-loops, no parallel edges, and `has_edge(u, v) ==
+//! has_edge(v, u)`. [`GraphTopology::neighbors_iter`] must yield each
+//! neighbour exactly once in **strictly increasing** order — the provided
+//! sorted-merge helpers ([`GraphTopology::common_neighbors_into`] et al.) and
+//! the deterministic output contract of the solver both rely on it.
+
+use crate::adjmatrix::AdjMatrix;
+use crate::graph::{Graph, VertexId};
+
+/// Read-only access to an undirected simple graph, independent of its
+/// in-memory representation.
+///
+/// See the [module docs](self) for the contract every implementation must
+/// uphold (simple, undirected, sorted neighbour iteration).
+pub trait GraphTopology {
+    /// The sorted neighbour iterator of one vertex.
+    type Neighbors<'a>: Iterator<Item = VertexId>
+    where
+        Self: 'a;
+
+    /// Number of vertices; vertex ids are `0..n()`.
+    fn n(&self) -> usize;
+
+    /// Number of undirected edges.
+    fn m(&self) -> usize;
+
+    /// Degree of vertex `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// The neighbours of `v` in strictly increasing order.
+    fn neighbors_iter(&self, v: VertexId) -> Self::Neighbors<'_>;
+
+    /// Whether the undirected edge `{u, v}` exists (`false` when `u == v`).
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool;
+
+    /// Iterates over all vertices `0..n()`.
+    fn vertices_iter(&self) -> std::ops::Range<VertexId> {
+        0..self.n() as VertexId
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    fn max_degree(&self) -> usize {
+        self.vertices_iter()
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Edge density ρ = m / n as used throughout the paper (0 when n = 0).
+    fn edge_density(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Total degree sum (2m).
+    fn degree_sum(&self) -> usize {
+        2 * self.m()
+    }
+
+    /// Number of common neighbours of `u` and `v` (linear merge of the two
+    /// sorted neighbour streams).
+    fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        let mut count = 0;
+        merge_common(self.neighbors_iter(u), self.neighbors_iter(v), |_| {
+            count += 1
+        });
+        count
+    }
+
+    /// Collects the common neighbours of `u` and `v` into `out` (cleared
+    /// first), in increasing order.
+    fn common_neighbors_into(&self, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        merge_common(self.neighbors_iter(u), self.neighbors_iter(v), |w| {
+            out.push(w)
+        });
+    }
+
+    /// Whether the vertex set `vs` induces a clique.
+    fn is_clique(&self, vs: &[VertexId]) -> bool {
+        for (i, &u) in vs.iter().enumerate() {
+            for &v in &vs[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Calls `each` for every value produced by both strictly increasing streams.
+fn merge_common<A, B, F>(mut a: A, mut b: B, mut each: F)
+where
+    A: Iterator<Item = VertexId>,
+    B: Iterator<Item = VertexId>,
+    F: FnMut(VertexId),
+{
+    let (mut x, mut y) = (a.next(), b.next());
+    while let (Some(u), Some(v)) = (x, y) {
+        match u.cmp(&v) {
+            std::cmp::Ordering::Less => x = a.next(),
+            std::cmp::Ordering::Greater => y = b.next(),
+            std::cmp::Ordering::Equal => {
+                each(u);
+                x = a.next();
+                y = b.next();
+            }
+        }
+    }
+}
+
+impl GraphTopology for Graph {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, VertexId>>;
+
+    #[inline]
+    fn n(&self) -> usize {
+        Graph::n(self)
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        Graph::m(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbors_iter(&self, v: VertexId) -> Self::Neighbors<'_> {
+        self.neighbors(v).iter().copied()
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+}
+
+/// The sorted neighbour iterator of one [`AdjMatrix`] row.
+///
+/// Wraps the matrix's word-scanning bit iterator and converts local indices
+/// to [`VertexId`]s.
+pub struct AdjMatrixNeighbors<'a> {
+    inner: Box<dyn Iterator<Item = usize> + 'a>,
+}
+
+impl Iterator for AdjMatrixNeighbors<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        self.inner.next().map(|i| i as VertexId)
+    }
+}
+
+impl GraphTopology for AdjMatrix {
+    type Neighbors<'a> = AdjMatrixNeighbors<'a>;
+
+    #[inline]
+    fn n(&self) -> usize {
+        AdjMatrix::n(self)
+    }
+
+    /// `O(n²/64)` — counts the set bits of the whole matrix. The dense global
+    /// representation is only used on small graphs; callers needing `m`
+    /// repeatedly should cache it.
+    fn m(&self) -> usize {
+        (0..AdjMatrix::n(self))
+            .map(|i| self.row_len(i))
+            .sum::<usize>()
+            / 2
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        self.row_len(v as usize)
+    }
+
+    fn neighbors_iter(&self, v: VertexId) -> Self::Neighbors<'_> {
+        AdjMatrixNeighbors {
+            inner: Box::new(self.row_iter(v as usize)),
+        }
+    }
+
+    #[inline]
+    fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.contains(u as usize, v as usize)
+    }
+}
+
+impl AdjMatrix {
+    /// Builds a dense global adjacency matrix from any topology.
+    ///
+    /// Memory is `O(n²/64)` — only use this for small graphs (the
+    /// representation-equivalence tests, dense benchmark instances). The
+    /// result satisfies the [`GraphTopology`] contract because the source
+    /// does.
+    pub fn from_topology<G: GraphTopology>(g: &G) -> AdjMatrix {
+        let n = g.n();
+        let mut m = AdjMatrix::new(n);
+        for u in g.vertices_iter() {
+            for v in g.neighbors_iter(u) {
+                if v > u {
+                    m.insert_sym(u as usize, v as usize);
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        // K4 on {0,1,2,3} plus a tail 3-4-5 and isolated vertex 6.
+        Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn assert_same_topology<A: GraphTopology, B: GraphTopology>(a: &A, b: &B) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.m(), b.m());
+        assert_eq!(a.max_degree(), b.max_degree());
+        assert_eq!(a.degree_sum(), b.degree_sum());
+        for v in a.vertices_iter() {
+            assert_eq!(a.degree(v), b.degree(v), "degree({v})");
+            let na: Vec<VertexId> = a.neighbors_iter(v).collect();
+            let nb: Vec<VertexId> = b.neighbors_iter(v).collect();
+            assert_eq!(na, nb, "neighbors({v})");
+            assert!(na.windows(2).all(|w| w[0] < w[1]), "sorted({v})");
+        }
+        for u in a.vertices_iter() {
+            for v in a.vertices_iter() {
+                assert_eq!(a.has_edge(u, v), b.has_edge(u, v), "edge({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn graph_impl_matches_inherent_methods() {
+        let g = sample();
+        let t: &dyn Fn(&Graph) -> usize = &|g| GraphTopology::n(g);
+        assert_eq!(t(&g), g.n());
+        assert_eq!(GraphTopology::m(&g), g.m());
+        assert_eq!(GraphTopology::max_degree(&g), g.max_degree());
+        let via_trait: Vec<VertexId> = g.neighbors_iter(3).collect();
+        assert_eq!(via_trait, g.neighbors(3));
+        assert_eq!(GraphTopology::common_neighbor_count(&g, 0, 1), 2);
+        let mut out = Vec::new();
+        GraphTopology::common_neighbors_into(&g, 0, 1, &mut out);
+        let mut expected = Vec::new();
+        g.common_neighbors_into(0, 1, &mut expected);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn adjmatrix_from_topology_is_equivalent() {
+        let g = sample();
+        let m = AdjMatrix::from_topology(&g);
+        assert_same_topology(&g, &m);
+    }
+
+    #[test]
+    fn adjmatrix_trait_counts_edges_once() {
+        let g = Graph::complete(5);
+        let m = AdjMatrix::from_topology(&g);
+        assert_eq!(GraphTopology::m(&m), 10);
+        assert_eq!(m.degree(0), 4);
+        assert!(!m.has_edge(2, 2), "self-loops never exist");
+    }
+
+    #[test]
+    fn empty_graph_topologies() {
+        let g = Graph::empty(0);
+        let m = AdjMatrix::from_topology(&g);
+        assert_same_topology(&g, &m);
+        assert_eq!(GraphTopology::max_degree(&m), 0);
+        assert_eq!(m.edge_density(), 0.0);
+    }
+
+    #[test]
+    fn provided_is_clique() {
+        let g = sample();
+        let m = AdjMatrix::from_topology(&g);
+        assert!(GraphTopology::is_clique(&m, &[0, 1, 2, 3]));
+        assert!(!GraphTopology::is_clique(&m, &[2, 3, 4]));
+        assert!(GraphTopology::is_clique(&m, &[]));
+    }
+}

@@ -9,7 +9,8 @@
 //! * [`edge_supports`] — per-edge supports in `O(Σ_e min(deg u, deg v))`,
 //! * [`triangle_count`] / [`list_triangles`] — global triangle statistics.
 
-use crate::graph::{Graph, VertexId};
+use crate::graph::VertexId;
+use crate::topology::GraphTopology;
 
 /// Identifier of an undirected edge in an [`EdgeIndex`].
 pub type EdgeId = u32;
@@ -32,14 +33,14 @@ pub struct EdgeIndex {
 
 impl EdgeIndex {
     /// Builds the edge index of `g`.
-    pub fn new(g: &Graph) -> Self {
+    pub fn new<G: GraphTopology>(g: &G) -> Self {
         let n = g.n();
         let mut endpoints = Vec::with_capacity(g.m());
         let mut upper_offsets = Vec::with_capacity(n + 1);
         let mut upper_neighbors = Vec::with_capacity(g.m());
         upper_offsets.push(0);
-        for u in g.vertices() {
-            for &v in g.neighbors(u) {
+        for u in g.vertices_iter() {
+            for v in g.neighbors_iter(u) {
                 if v > u {
                     endpoints.push((u, v));
                     upper_neighbors.push(v);
@@ -93,7 +94,7 @@ impl EdgeIndex {
 /// Computes the support (number of common neighbours) of every edge.
 ///
 /// Returns the [`EdgeIndex`] together with `support[e]` for every edge id.
-pub fn edge_supports(g: &Graph) -> (EdgeIndex, Vec<u32>) {
+pub fn edge_supports<G: GraphTopology>(g: &G) -> (EdgeIndex, Vec<u32>) {
     let index = EdgeIndex::new(g);
     let mut support = vec![0u32; index.len()];
     let mut buf = Vec::new();
@@ -109,7 +110,7 @@ pub fn edge_supports(g: &Graph) -> (EdgeIndex, Vec<u32>) {
 ///
 /// Uses forward-neighbourhood intersection over a degree ordering so dense
 /// graphs do not pay a quadratic factor per high-degree vertex.
-pub fn triangle_count(g: &Graph) -> u64 {
+pub fn triangle_count<G: GraphTopology>(g: &G) -> u64 {
     let n = g.n();
     // Rank vertices by (degree, id); forward edges go from lower to higher rank.
     let mut rank = vec![0u32; n];
@@ -121,9 +122,7 @@ pub fn triangle_count(g: &Graph) -> u64 {
     let forward: Vec<Vec<VertexId>> = (0..n as VertexId)
         .map(|u| {
             let mut f: Vec<VertexId> = g
-                .neighbors(u)
-                .iter()
-                .copied()
+                .neighbors_iter(u)
                 .filter(|&v| rank[v as usize] > rank[u as usize])
                 .collect();
             f.sort_unstable();
@@ -140,14 +139,19 @@ pub fn triangle_count(g: &Graph) -> u64 {
 }
 
 /// Lists every triangle of `g` exactly once as `(a, b, c)` with `a < b < c`.
-pub fn list_triangles(g: &Graph) -> Vec<(VertexId, VertexId, VertexId)> {
+pub fn list_triangles<G: GraphTopology>(g: &G) -> Vec<(VertexId, VertexId, VertexId)> {
     let mut out = Vec::new();
     let mut buf = Vec::new();
-    for (u, v) in g.edges() {
-        g.common_neighbors_into(u, v, &mut buf);
-        for &w in &buf {
-            if w > v {
-                out.push((u, v, w));
+    for u in g.vertices_iter() {
+        for v in g.neighbors_iter(u) {
+            if v <= u {
+                continue;
+            }
+            g.common_neighbors_into(u, v, &mut buf);
+            for &w in &buf {
+                if w > v {
+                    out.push((u, v, w));
+                }
             }
         }
     }
@@ -173,6 +177,7 @@ fn sorted_intersection_len(a: &[VertexId], b: &[VertexId]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::Graph;
 
     fn triangle_with_tail() -> Graph {
         // Triangle 0-1-2, tail 2-3.

@@ -13,7 +13,8 @@
 //! `O(δ·m)`-style running time (`O(Σ_e min(deg u, deg v))` for the support
 //! updates).
 
-use crate::graph::{Graph, VertexId};
+use crate::graph::VertexId;
+use crate::topology::GraphTopology;
 use crate::triangles::{edge_supports, EdgeId, EdgeIndex};
 
 /// The truss-based edge ordering of a graph.
@@ -54,7 +55,7 @@ impl TrussOrdering {
 }
 
 /// Computes the truss-based edge ordering and the truss parameter τ of `g`.
-pub fn truss_ordering(g: &Graph) -> TrussOrdering {
+pub fn truss_ordering<G: GraphTopology>(g: &G) -> TrussOrdering {
     let (index, mut support) = edge_supports(g);
     let m = index.len();
     let max_sup = support.iter().copied().max().unwrap_or(0) as usize;
@@ -123,7 +124,7 @@ pub fn truss_ordering(g: &Graph) -> TrussOrdering {
 }
 
 /// Convenience wrapper returning only τ.
-pub fn truss_number(g: &Graph) -> usize {
+pub fn truss_number<G: GraphTopology>(g: &G) -> usize {
     truss_ordering(g).tau
 }
 
@@ -131,6 +132,7 @@ pub fn truss_number(g: &Graph) -> usize {
 mod tests {
     use super::*;
     use crate::degeneracy::degeneracy;
+    use crate::graph::Graph;
 
     #[test]
     fn edgeless_graph_has_empty_ordering() {

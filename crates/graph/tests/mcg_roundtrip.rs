@@ -1,0 +1,134 @@
+//! Property and adversarial tests for the `.mcg` binary container: every
+//! graph must survive the encode → decode round trip byte-exactly, and every
+//! truncation or corruption of a valid file must be rejected with a typed
+//! error instead of a panic or a silently wrong graph.
+
+use mce_graph::mcg::{encoded_len, is_mcg, read_mcg, write_mcg, FORMAT_VERSION, MAGIC};
+use mce_graph::{Graph, GraphError};
+use proptest::prelude::*;
+
+fn encode(g: &Graph) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_mcg(g, &mut bytes).expect("encoding into a Vec cannot fail");
+    bytes
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..48).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(256))
+            .prop_map(move |edges| Graph::from_edges(n, edges).expect("endpoints in range"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn round_trip_preserves_the_graph_exactly(g in arb_graph()) {
+        let bytes = encode(&g);
+        prop_assert!(is_mcg(&bytes));
+        prop_assert_eq!(bytes.len() as u64, encoded_len(&g));
+        let back = read_mcg(&bytes[..]).expect("own encoding must load");
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(g in arb_graph()) {
+        prop_assert_eq!(encode(&g), encode(&g));
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(g in arb_graph(), cut in 0usize..10_000) {
+        let bytes = encode(&g);
+        let cut = cut % bytes.len(); // strictly shorter than the full file
+        prop_assert!(
+            read_mcg(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes must not parse",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_never_yields_a_different_graph(
+        g in arb_graph(),
+        pos in 0usize..10_000,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = encode(&g);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        // Either the typed validation rejects the file, or the flip hit a
+        // byte that does not change the decoded graph (e.g. a reserved
+        // field is not checksummed). What must never happen is decoding
+        // to a *different* graph.
+        if let Ok(back) = read_mcg(&bytes[..]) {
+            prop_assert_eq!(back, g, "flipped byte {pos} silently changed the graph");
+        }
+    }
+}
+
+#[test]
+fn empty_and_isolated_graphs_round_trip() {
+    for g in [
+        Graph::from_edges(0, std::iter::empty::<(u32, u32)>()).unwrap(),
+        Graph::from_edges(5, std::iter::empty::<(u32, u32)>()).unwrap(),
+        Graph::from_edges(6, [(0, 1), (4, 5)]).unwrap(), // isolated 2, 3
+    ] {
+        let bytes = encode(&g);
+        let back = read_mcg(&bytes[..]).expect("must load");
+        assert_eq!(back, g);
+        assert_eq!(back.n(), g.n(), "isolated vertices must survive");
+    }
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let mut bytes = encode(&Graph::complete(3));
+    bytes[0] ^= 0xff;
+    assert!(matches!(read_mcg(&bytes[..]), Err(GraphError::BadMagic)));
+    assert!(!is_mcg(&bytes));
+    // Arbitrary text is also BadMagic, not a pile of InvalidData noise.
+    assert!(matches!(
+        read_mcg(&b"0 1\n1 2\n"[..]),
+        Err(GraphError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_version_is_a_typed_error() {
+    let mut bytes = encode(&Graph::complete(3));
+    let version_at = MAGIC.len();
+    bytes[version_at..version_at + 4].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match read_mcg(&bytes[..]) {
+        Err(GraphError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_corruption_is_a_checksum_mismatch() {
+    let g = Graph::complete(8);
+    let clean = encode(&g);
+    // Flip one byte in the adjacency payload (the last section of the file).
+    let mut bytes = clean.clone();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    match read_mcg(&bytes[..]) {
+        Err(GraphError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_error_message_names_the_missing_piece() {
+    let bytes = encode(&Graph::complete(4));
+    let err = read_mcg(&bytes[..bytes.len() - 3]).unwrap_err();
+    assert!(
+        err.to_string().contains("truncated"),
+        "unhelpful truncation error: {err}"
+    );
+}

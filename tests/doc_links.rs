@@ -1,0 +1,215 @@
+//! Relative-link integrity for the committed documentation.
+//!
+//! Walks `README.md`, `ARCHITECTURE.md`, `EXPERIMENTS.md` and everything
+//! under `docs/`, extracts every markdown link (inline `[t](target)` and
+//! reference definitions `[label]: target`), and fails on any *relative*
+//! link whose target file — or `#anchor` within it — does not exist.
+//! External `http(s):`/`mailto:` links are out of scope (no network in CI);
+//! fenced code blocks and inline code spans are ignored.
+//!
+//! Std-only on purpose: the CI `docs` job runs exactly this test, so it
+//! must not drag any dependency into the build.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The documents under link-integrity enforcement.
+fn documents() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut docs = vec![
+        root.join("README.md"),
+        root.join("ARCHITECTURE.md"),
+        root.join("EXPERIMENTS.md"),
+    ];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                docs.push(path);
+            }
+        }
+    }
+    docs.sort();
+    docs
+}
+
+/// Strips fenced code blocks and inline code spans so example links and
+/// ASCII diagrams cannot register as real links.
+fn prose_only(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            out.push('\n');
+            continue;
+        }
+        if in_fence {
+            out.push('\n');
+            continue;
+        }
+        // Drop inline `code` spans (single-backtick only; good enough here).
+        let mut in_code = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                out.push(c);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts link targets: inline `](target)` and reference `[label]: target`.
+fn link_targets(prose: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = prose.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = prose[i + 2..].find(')') {
+                let inner = &prose[i + 2..i + 2 + end];
+                // Markdown allows an optional title: [t](url "title").
+                let url = inner.split_whitespace().next().unwrap_or("");
+                targets.push(url.to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    for line in prose.lines() {
+        let trimmed = line.trim_start();
+        // Reference definition: [label]: target
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            if let Some(close) = rest.find("]:") {
+                let target = rest[close + 2..].trim();
+                if !target.is_empty() {
+                    targets.push(target.split_whitespace().next().unwrap().to_string());
+                }
+            }
+        }
+    }
+    targets
+}
+
+/// GitHub-style heading slug: lowercase, alphanumerics kept, spaces and
+/// hyphens become hyphens, everything else dropped.
+fn slugify(heading: &str) -> String {
+    let mut slug = String::new();
+    for c in heading.trim().chars() {
+        if c.is_alphanumeric() {
+            slug.extend(c.to_lowercase());
+        } else if c == ' ' || c == '-' {
+            slug.push('-');
+        }
+    }
+    slug
+}
+
+/// All heading anchors defined by a markdown file.
+fn anchors(path: &Path) -> BTreeSet<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let mut out = BTreeSet::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            let heading = line.trim_start_matches('#');
+            // Headings may contain inline code; backticks don't appear in
+            // the slug.
+            out.insert(slugify(&heading.replace('`', "")));
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_links_resolve() {
+    let mut failures = Vec::new();
+    let docs = documents();
+    assert!(docs.len() >= 4, "expected README + 2 root docs + docs/*");
+    for doc in &docs {
+        let text = std::fs::read_to_string(doc)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", doc.display()));
+        let dir = doc.parent().expect("documents live in a directory");
+        let rel_doc = doc.strip_prefix(workspace_root()).unwrap_or(doc);
+        for target in link_targets(&prose_only(&text)) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, anchor) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if file_part.is_empty() {
+                doc.clone() // same-file anchor
+            } else {
+                dir.join(file_part)
+            };
+            if !resolved.exists() {
+                failures.push(format!(
+                    "{}: dangling link '{target}' (no such file {})",
+                    rel_doc.display(),
+                    resolved.display()
+                ));
+                continue;
+            }
+            if let Some(anchor) = anchor {
+                if resolved.extension().is_some_and(|e| e == "md")
+                    && !anchors(&resolved).contains(anchor)
+                {
+                    failures.push(format!(
+                        "{}: link '{target}' names a missing anchor '#{anchor}'",
+                        rel_doc.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "dangling documentation links:\n  {}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn the_documents_under_enforcement_exist() {
+    for doc in [
+        "README.md",
+        "ARCHITECTURE.md",
+        "EXPERIMENTS.md",
+        "docs/FORMAT.md",
+    ] {
+        assert!(
+            workspace_root().join(doc).exists(),
+            "{doc} is missing — it is part of the documented surface"
+        );
+    }
+}
+
+#[test]
+fn slugs_match_github_conventions() {
+    assert_eq!(slugify("Wire protocol"), "wire-protocol");
+    assert_eq!(
+        slugify("Performance notes: the allocation-free hot path"),
+        "performance-notes-the-allocation-free-hot-path"
+    );
+    assert_eq!(
+        slugify("The `.mcg` binary graph format (version 1)"),
+        "the-mcg-binary-graph-format-version-1"
+    );
+}
