@@ -1,0 +1,70 @@
+//! Maximum-clique benchmark with a JSON trajectory emitter.
+//!
+//! ```text
+//! cargo bench --bench bench_maxclique -- [--quick] [--repeats N]
+//!                                        [--variant NAME] [--json PATH]
+//! ```
+//!
+//! Runs the B&B-vs-enumeration matrix of [`mce_bench::maxclique`] and, when
+//! `--json` is given, appends one record per cell to the trajectory file
+//! (typically the workspace-level `BENCH_solver.json`), re-validating the
+//! file — including the maxclique-specific counter fields — afterwards.
+//! Unknown flags injected by the cargo bench harness (`--bench`, ...) are
+//! ignored.
+
+use std::path::PathBuf;
+
+use mce_bench::maxclique::{append_records, run_maxclique_bench, MaxCliqueBenchOptions};
+
+fn main() {
+    let mut options = MaxCliqueBenchOptions::default();
+    let mut json_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--repeats" => {
+                options.repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats takes a positive integer");
+            }
+            "--variant" => {
+                options.variant = args.next().expect("--variant takes a label");
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(args.next().expect("--json takes a path")));
+            }
+            // `cargo bench` passes `--bench`; ignore it and anything unknown.
+            other => {
+                if !other.starts_with("--bench") {
+                    eprintln!("bench_maxclique: ignoring unknown argument '{other}'");
+                }
+            }
+        }
+    }
+
+    println!(
+        "# bench_maxclique variant={} repeats={} ({} matrix)",
+        options.variant,
+        options.repeats,
+        if options.quick { "quick" } else { "full" }
+    );
+    let records = run_maxclique_bench(&options);
+
+    if let Some(path) = json_path {
+        match append_records(&path, &options.variant, &records) {
+            Ok(total) => println!(
+                "appended {} records to {} ({} maxclique records total, validated)",
+                records.len(),
+                path.display(),
+                total
+            ),
+            Err(e) => {
+                eprintln!("bench_maxclique: JSON emission failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

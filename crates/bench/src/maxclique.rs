@@ -1,0 +1,400 @@
+//! The maximum-clique benchmark behind `cargo bench --bench bench_maxclique`.
+//!
+//! The dedicated branch-and-bound engine ([`hbbmc::maximum_clique_bb`]) and
+//! the enumeration-riding baseline ([`hbbmc::maximum_clique`], a
+//! [`MaximumCliqueReporter`] over the full HBBMC++ enumeration) answer the
+//! same question; this matrix quantifies what the bounds buy, *counter-first*
+//! (the recording host exposes a single CPU): the headline columns are
+//! `recursive_calls` of the B&B search vs. the full enumeration, the derived
+//! `calls_ratio`, and the pruning counters (`branches_pruned_by_color`,
+//! `branches_pruned_by_core`, `lb_updates`) that explain *why* the search
+//! tree collapsed. Wall-clock seconds ride along for completeness.
+//!
+//! Each cell asserts the two engines return the byte-identical canonical
+//! winner before it is recorded — the benchmark doubles as a cross-engine
+//! gate. Graphs small enough for an adjacency matrix get a second `dense`
+//! cell so both [`GraphTopology`] impls are exercised; the er-scale instance
+//! runs on CSR only.
+//!
+//! One flat JSON object per cell is appended to the `BENCH_solver.json`
+//! trajectory (schema [`SCHEMA`]).
+//!
+//! [`GraphTopology`]: mce_graph::GraphTopology
+//! [`MaximumCliqueReporter`]: hbbmc::MaximumCliqueReporter
+
+use std::path::Path;
+
+use hbbmc::{
+    enumerate, maximum_clique_bb_with_state, MaxCliqueState, MaximumCliqueReporter, Outcome,
+    SolverConfig, TerminatingBound,
+};
+use mce_gen::{barabasi_albert, erdos_renyi, planted_communities, PlantedConfig};
+use mce_graph::{AdjMatrix, Graph, GraphTopology};
+
+use crate::json::{append_runs, parse, JsonValue};
+
+/// Schema tag stamped on every maximum-clique benchmark record.
+pub const SCHEMA: &str = "hbbmc-bench-maxclique/v1";
+
+/// Graphs above this vertex count skip the dense (adjacency-matrix) cell.
+const DENSE_CELL_MAX_N: usize = 1_200;
+
+/// Options of one maximum-clique benchmark invocation.
+#[derive(Clone, Debug)]
+pub struct MaxCliqueBenchOptions {
+    /// Label identifying the code state being measured.
+    pub variant: String,
+    /// Use the tiny graph matrix (CI smoke runs).
+    pub quick: bool,
+    /// Timed repetitions per cell; the best (minimum) time is recorded.
+    pub repeats: usize,
+}
+
+impl Default for MaxCliqueBenchOptions {
+    fn default() -> Self {
+        MaxCliqueBenchOptions {
+            variant: "unnamed".into(),
+            quick: false,
+            repeats: 2,
+        }
+    }
+}
+
+/// One measured branch-and-bound cell (with its enumeration baseline).
+#[derive(Clone, Debug)]
+pub struct MaxCliqueRecord {
+    /// Graph name.
+    pub graph: String,
+    /// Vertex count of the instance.
+    pub n: usize,
+    /// Edge count of the instance.
+    pub m: usize,
+    /// Topology the B&B ran on: `"csr"` or `"dense"`.
+    pub topology: String,
+    /// Best wall-clock seconds of the B&B search.
+    pub seconds: f64,
+    /// Size of the (canonical) maximum clique.
+    pub clique_size: usize,
+    /// Recursive branch evaluations of the B&B search.
+    pub recursive_calls: u64,
+    /// Branches closed by the greedy-coloring upper bound.
+    pub branches_pruned_by_color: u64,
+    /// Roots/candidates discarded by the core-number bound.
+    pub branches_pruned_by_core: u64,
+    /// Times the incumbent (lower bound) improved.
+    pub lb_updates: u64,
+    /// Which bound terminated the search (display form).
+    pub terminating_bound: String,
+    /// Best wall-clock seconds of the enumeration-riding baseline.
+    pub enum_seconds: f64,
+    /// Recursive branch evaluations of the full enumeration baseline.
+    pub enum_recursive_calls: u64,
+}
+
+impl MaxCliqueRecord {
+    /// How many times fewer branch evaluations the B&B needed.
+    pub fn calls_ratio(&self) -> f64 {
+        self.enum_recursive_calls as f64 / self.recursive_calls.max(1) as f64
+    }
+
+    /// The flat JSON object appended to the trajectory file.
+    pub fn to_json(&self, variant: &str) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schema", JsonValue::Str(SCHEMA.into())),
+            ("variant", JsonValue::Str(variant.into())),
+            ("graph", JsonValue::Str(self.graph.clone())),
+            ("n", JsonValue::Num(self.n as f64)),
+            ("m", JsonValue::Num(self.m as f64)),
+            ("topology", JsonValue::Str(self.topology.clone())),
+            ("seconds", JsonValue::Num(self.seconds)),
+            ("clique_size", JsonValue::Num(self.clique_size as f64)),
+            (
+                "recursive_calls",
+                JsonValue::Num(self.recursive_calls as f64),
+            ),
+            (
+                "branches_pruned_by_color",
+                JsonValue::Num(self.branches_pruned_by_color as f64),
+            ),
+            (
+                "branches_pruned_by_core",
+                JsonValue::Num(self.branches_pruned_by_core as f64),
+            ),
+            ("lb_updates", JsonValue::Num(self.lb_updates as f64)),
+            (
+                "terminating_bound",
+                JsonValue::Str(self.terminating_bound.clone()),
+            ),
+            ("enum_seconds", JsonValue::Num(self.enum_seconds)),
+            (
+                "enum_recursive_calls",
+                JsonValue::Num(self.enum_recursive_calls as f64),
+            ),
+            ("calls_ratio", JsonValue::Num(self.calls_ratio())),
+        ])
+    }
+}
+
+/// The benchmark instances: `(name, graph)`. Community graphs carry a large
+/// planted clique (the lower bound finds it immediately, the bounds then
+/// close almost everything); the preferential-attachment and sparse-ER
+/// instances have no planted structure, so the coloring bound does the work.
+/// The er-scale instance stresses the CSR path at a size where the full
+/// enumeration is still feasible but visibly more expensive.
+pub fn maxclique_graphs(quick: bool) -> Vec<(&'static str, Graph)> {
+    let planted = |n: usize, communities: usize, seed: u64| {
+        planted_communities(&PlantedConfig {
+            n,
+            communities,
+            min_size: 4,
+            max_size: 9,
+            intra_probability: 1.0,
+            background_edges: 2 * n,
+            seed,
+        })
+    };
+    if quick {
+        vec![
+            ("planted_n60", planted(60, 5, 5)),
+            ("er_n200_m2400", erdos_renyi(200, 2_400, 7)),
+        ]
+    } else {
+        vec![
+            ("planted_n1000", planted(1_000, 40, 5)),
+            ("ba_n2000_k10", barabasi_albert(2_000, 10, 7)),
+            ("er_n800_m24000", erdos_renyi(800, 24_000, 11)),
+            ("er_scale_n20000_m160000", erdos_renyi(20_000, 160_000, 13)),
+        ]
+    }
+}
+
+/// Runs the B&B on one topology, `repeats` times, reusing one scratch state.
+/// Returns the winner and the stats of the best (fastest) run.
+fn run_bb_cell<G: GraphTopology>(
+    g: &G,
+    repeats: usize,
+) -> (Vec<mce_graph::VertexId>, hbbmc::EnumerationStats) {
+    let mut state = MaxCliqueState::new();
+    let mut best_time = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let (clique, stats) = maximum_clique_bb_with_state(g, &mut state);
+        let secs = stats.elapsed.as_secs_f64();
+        if secs < best_time {
+            best_time = secs;
+            out = Some((clique, stats));
+        }
+    }
+    out.expect("at least one repeat")
+}
+
+/// Runs the enumeration-riding baseline (`MaximumCliqueReporter` over the
+/// full HBBMC++ enumeration). Returns the winner, best seconds, and calls.
+fn run_enum_cell(g: &Graph, repeats: usize) -> (Vec<mce_graph::VertexId>, f64, u64) {
+    let config = SolverConfig::hbbmc_pp();
+    let mut best_time = f64::INFINITY;
+    let mut winner = Vec::new();
+    let mut calls = 0u64;
+    for _ in 0..repeats.max(1) {
+        let mut reporter = MaximumCliqueReporter::new();
+        let stats = enumerate(g, &config, &mut reporter);
+        calls = stats.recursive_calls;
+        best_time = best_time.min(stats.elapsed.as_secs_f64());
+        winner = reporter.best;
+    }
+    (winner, best_time, calls)
+}
+
+/// Dense (adjacency-matrix) copy of a CSR graph.
+fn dense_copy(g: &Graph) -> AdjMatrix {
+    let mut dense = AdjMatrix::new(g.n());
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            dense.insert_sym(v as usize, u as usize);
+        }
+    }
+    dense
+}
+
+fn record_for(
+    name: &str,
+    g: &Graph,
+    topology: &str,
+    clique: &[mce_graph::VertexId],
+    stats: &hbbmc::EnumerationStats,
+    enum_seconds: f64,
+    enum_calls: u64,
+) -> MaxCliqueRecord {
+    MaxCliqueRecord {
+        graph: name.to_string(),
+        n: g.n(),
+        m: g.m(),
+        topology: topology.to_string(),
+        seconds: stats.elapsed.as_secs_f64(),
+        clique_size: clique.len(),
+        recursive_calls: stats.recursive_calls,
+        branches_pruned_by_color: stats.branches_pruned_by_color,
+        branches_pruned_by_core: stats.branches_pruned_by_core,
+        lb_updates: stats.lb_updates,
+        terminating_bound: TerminatingBound::from_run(stats, Outcome::Complete).to_string(),
+        enum_seconds,
+        enum_recursive_calls: enum_calls,
+    }
+}
+
+fn print_record(r: &MaxCliqueRecord) {
+    println!(
+        "{:<24} {:>5} ω={:<3} {:>10.4}s  calls {:>8} vs {:>9} enum ({:>6.1}x)  \
+         color-pruned {:>7}  core-pruned {:>7}  lb updates {}  [{}]",
+        r.graph,
+        r.topology,
+        r.clique_size,
+        r.seconds,
+        r.recursive_calls,
+        r.enum_recursive_calls,
+        r.calls_ratio(),
+        r.branches_pruned_by_color,
+        r.branches_pruned_by_core,
+        r.lb_updates,
+        r.terminating_bound,
+    );
+}
+
+/// Runs the B&B-vs-enumeration matrix, printing one line per cell.
+pub fn run_maxclique_bench(options: &MaxCliqueBenchOptions) -> Vec<MaxCliqueRecord> {
+    let mut records = Vec::new();
+    for (name, g) in maxclique_graphs(options.quick) {
+        let (expected, enum_seconds, enum_calls) = run_enum_cell(&g, options.repeats);
+        let (clique, stats) = run_bb_cell(&g, options.repeats);
+        assert_eq!(
+            clique, expected,
+            "{name}: B&B winner differs from the enumeration baseline"
+        );
+        let record = record_for(name, &g, "csr", &clique, &stats, enum_seconds, enum_calls);
+        print_record(&record);
+        records.push(record);
+        if g.n() <= DENSE_CELL_MAX_N {
+            let (dense_clique, dense_stats) = run_bb_cell(&dense_copy(&g), options.repeats);
+            assert_eq!(
+                dense_clique, expected,
+                "{name}: dense B&B winner differs from the enumeration baseline"
+            );
+            let record = record_for(
+                name,
+                &g,
+                "dense",
+                &dense_clique,
+                &dense_stats,
+                enum_seconds,
+                enum_calls,
+            );
+            print_record(&record);
+            records.push(record);
+        }
+    }
+    records
+}
+
+/// Appends every record to the trajectory file and re-validates it,
+/// including the maxclique-specific fields (the check the CI smoke job
+/// relies on).
+pub fn append_records(
+    path: &Path,
+    variant: &str,
+    records: &[MaxCliqueRecord],
+) -> Result<usize, String> {
+    append_runs(path, records.iter().map(|r| r.to_json(variant)).collect())?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("re-reading {}: {e}", path.display()))?;
+    let parsed = parse(&text)?;
+    let runs = parsed
+        .as_array()
+        .ok_or_else(|| format!("{} is not a JSON array", path.display()))?;
+    let mut maxclique_runs = 0usize;
+    for run in runs {
+        if run.get("schema").and_then(JsonValue::as_str) == Some(SCHEMA) {
+            maxclique_runs += 1;
+            for key in [
+                "variant",
+                "graph",
+                "topology",
+                "seconds",
+                "clique_size",
+                "recursive_calls",
+                "branches_pruned_by_color",
+                "branches_pruned_by_core",
+                "lb_updates",
+                "terminating_bound",
+                "enum_recursive_calls",
+                "calls_ratio",
+            ] {
+                if run.get(key).is_none() {
+                    return Err(format!("maxclique record missing key '{key}'"));
+                }
+            }
+        }
+    }
+    Ok(maxclique_runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_measures_and_serialises() {
+        let options = MaxCliqueBenchOptions {
+            variant: "test".into(),
+            quick: true,
+            repeats: 1,
+        };
+        let records = run_maxclique_bench(&options);
+        // Every quick graph is small enough for a dense cell too.
+        assert_eq!(records.len(), maxclique_graphs(true).len() * 2);
+        for r in &records {
+            assert!(r.clique_size >= 2, "{}: degenerate winner", r.graph);
+            assert!(
+                r.recursive_calls <= r.enum_recursive_calls,
+                "{} ({}): the bounds must not add work",
+                r.graph,
+                r.topology
+            );
+            let json = r.to_json("test");
+            assert_eq!(json.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+            assert!(json.get("calls_ratio").is_some());
+            assert!(json.get("terminating_bound").is_some());
+        }
+        // CSR and dense cells of one graph agree on the answer.
+        for pair in records.chunks(2) {
+            assert_eq!(pair[0].clique_size, pair[1].clique_size);
+            assert_eq!(pair[0].graph, pair[1].graph);
+        }
+    }
+
+    #[test]
+    fn append_records_validates_maxclique_fields() {
+        let dir = std::env::temp_dir().join("mce_bench_maxclique_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_solver.json");
+        let _ = std::fs::remove_file(&path);
+        let record = MaxCliqueRecord {
+            graph: "toy".into(),
+            n: 9,
+            m: 20,
+            topology: "csr".into(),
+            seconds: 0.01,
+            clique_size: 4,
+            recursive_calls: 12,
+            branches_pruned_by_color: 5,
+            branches_pruned_by_core: 3,
+            lb_updates: 2,
+            terminating_bound: "color bound".into(),
+            enum_seconds: 0.2,
+            enum_recursive_calls: 240,
+        };
+        assert!((record.calls_ratio() - 20.0).abs() < 1e-12);
+        let total = append_records(&path, "test", &[record]).unwrap();
+        assert_eq!(total, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

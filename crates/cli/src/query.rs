@@ -35,6 +35,14 @@ query modes (choose at most one; default: stream every maximal clique):
   --top K              the K largest maximal cliques, ranked by size with
                        ties broken by stream order; printed one per line
   --count              count maximal cliques (prints 'cliques N')
+  --max-clique         one maximum clique via dedicated branch and bound
+                       (greedy lower bound, core-number and coloring
+                       pruning — no full enumeration); prints the canonical
+                       winner: the lexicographically smallest sorted member
+                       list among all maximum cliques. With --stats, also
+                       reports which bound ended the search; a truncated
+                       run prints the best clique found without claiming
+                       it is maximum
   --kclique K          stream every clique of exactly K vertices
 
 budget options:
@@ -70,7 +78,7 @@ const VALUE_OPTS: &[&str] = &[
     "--output",
     "--out",
 ];
-const BOOL_FLAGS: &[&str] = &["--count", "--stats"];
+const BOOL_FLAGS: &[&str] = &["--count", "--max-clique", "--stats"];
 
 /// Parses `--anchor 3,17,42` into a vertex list (range-checked later, at
 /// session admission).
@@ -141,6 +149,9 @@ fn parse_spec(p: &ParsedArgs) -> Result<QuerySpec, CliError> {
     if p.flag("--count") {
         specs.push(QuerySpec::Count);
     }
+    if p.flag("--max-clique") {
+        specs.push(QuerySpec::MaximumClique);
+    }
     if let Some(raw) = p.value("--kclique") {
         let k: usize = raw
             .parse()
@@ -154,7 +165,7 @@ fn parse_spec(p: &ParsedArgs) -> Result<QuerySpec, CliError> {
         0 => Ok(QuerySpec::Enumerate),
         1 => Ok(specs.pop().expect("one spec")),
         _ => Err(CliError::usage(
-            "choose at most one of --anchor, --top, --count, --kclique",
+            "choose at most one of --anchor, --top, --count, --max-clique, --kclique",
         )),
     }
 }
@@ -256,11 +267,24 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
             writeln!(sink, "cliques {count}")?;
             result
         }
-        QuerySpec::MaximumClique => unreachable!("not constructible from CLI flags"),
+        QuerySpec::MaximumClique => {
+            let mut ignored = CountReporter::new();
+            let result = run_query(&graph, query, &mut ignored)
+                .map_err(|e| CliError::usage(e.to_string()))?;
+            let QueryValue::Maximum(clique) = &result.value else {
+                unreachable!("MaximumClique yields a Maximum value")
+            };
+            let line: Vec<String> = clique.iter().map(|v| v.to_string()).collect();
+            writeln!(sink, "{}", line.join(" "))?;
+            result
+        }
     };
     sink.flush()?;
     if p.flag("--stats") {
         print_stats(&result.stats, result.outcome);
+        if matches!(spec, QuerySpec::MaximumClique) {
+            eprintln!("terminated by: {}", result.terminating_bound());
+        }
     }
     Ok(())
 }
@@ -308,6 +332,19 @@ mod tests {
         assert_eq!(parse_spec(&p).unwrap(), QuerySpec::Enumerate);
         let p =
             ParsedArgs::parse(&["--kclique".into(), "0".into()], VALUE_OPTS, BOOL_FLAGS).unwrap();
+        assert!(parse_spec(&p).is_err());
+    }
+
+    #[test]
+    fn max_clique_flag_parses_to_spec() {
+        let p = ParsedArgs::parse(&["--max-clique".into()], VALUE_OPTS, BOOL_FLAGS).unwrap();
+        assert_eq!(parse_spec(&p).unwrap(), QuerySpec::MaximumClique);
+        let p = ParsedArgs::parse(
+            &["--max-clique".into(), "--count".into()],
+            VALUE_OPTS,
+            BOOL_FLAGS,
+        )
+        .unwrap();
         assert!(parse_spec(&p).is_err());
     }
 

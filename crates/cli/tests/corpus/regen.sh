@@ -51,4 +51,12 @@ done
   --out "$DIR/planted-60.anchor27.golden"
 "$MCE" query "$DIR/planted-60.txt" --top 3 --out "$DIR/planted-60.top3.golden"
 
+# Maximum clique via branch and bound: the canonical winner (lex-smallest
+# sorted member list) must be byte-identical to the enumeration-riding
+# `--output max` sink, on a dense text graph and on a binary .mcg one.
+"$MCE" query "$DIR/planted-60.txt" --max-clique \
+  --out "$DIR/planted-60.maxclique.golden"
+"$MCE" query "$DIR/er-sparse-48.mcg" --max-clique \
+  --out "$DIR/er-sparse-48.maxclique.golden"
+
 echo "golden corpus regenerated under $DIR"

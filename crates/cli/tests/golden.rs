@@ -186,6 +186,43 @@ fn query_top_k_golden_matches_across_threads_and_schedulers() {
 }
 
 #[test]
+fn query_max_clique_goldens_match_across_threads_and_schedulers() {
+    // The branch-and-bound search is sequential, but the winner is part of
+    // the determinism contract: the canonical (lex-smallest sorted) maximum
+    // clique must come back byte-identical at every thread count and
+    // scheduler, on a dense text graph and on a binary .mcg one — and on
+    // moon-moser-12 it must equal the enumeration-riding `--output max`
+    // golden, which ranks ties by the same canonical rule.
+    for (graph, golden) in [
+        ("planted-60.txt", "planted-60.maxclique.golden"),
+        ("er-sparse-48.mcg", "er-sparse-48.maxclique.golden"),
+        ("moon-moser-12.txt", "moon-moser-12.max.golden"),
+    ] {
+        let path = corpus_dir().join(graph);
+        let expected = std::fs::read(corpus_dir().join(golden))
+            .unwrap_or_else(|e| panic!("reading {golden}: {e}"));
+        assert!(!expected.is_empty(), "{golden} must not be empty");
+        for threads in [1usize, 2, 4] {
+            for scheduler in ["dynamic", "static", "splitting"] {
+                let got = run_mce(&[
+                    "query",
+                    path.to_str().unwrap(),
+                    "--max-clique",
+                    "--threads",
+                    &threads.to_string(),
+                    "--scheduler",
+                    scheduler,
+                ]);
+                assert_eq!(
+                    got, expected,
+                    "{graph} --max-clique differs from {golden} at {threads} threads, {scheduler}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn query_count_matches_the_count_golden() {
     let graph = corpus_dir().join("planted-60.txt");
     let count_golden =

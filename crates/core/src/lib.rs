@@ -49,6 +49,7 @@ pub mod config;
 pub mod early_term;
 pub mod kclique;
 pub mod local;
+pub mod maxclique;
 pub mod naive;
 pub mod parallel;
 pub mod pivot;
@@ -67,6 +68,10 @@ pub use config::{
 };
 pub use kclique::{
     count_k_cliques, for_each_k_clique, for_each_k_clique_budgeted, k_clique_census, list_k_cliques,
+};
+pub use maxclique::{
+    greedy_lower_bound, maximum_clique_bb, maximum_clique_bb_with_state, MaxCliqueState,
+    TerminatingBound,
 };
 pub use naive::{naive_count, naive_maximal_cliques, naive_maximal_cliques_budgeted};
 pub use parallel::{

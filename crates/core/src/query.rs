@@ -40,7 +40,7 @@ use crate::budget::{Budget, BudgetReporter, BudgetState, CancelToken, Outcome};
 use crate::config::{ConfigError, SolverConfig};
 use crate::kclique::for_each_k_clique_with_state;
 use crate::parallel::{par_enumerate_ordered_with_state, EngineError};
-use crate::report::{CliqueReporter, CountReporter, MaximumCliqueReporter, TopKReporter};
+use crate::report::{CliqueReporter, CountReporter, TopKReporter};
 use crate::scratch::WorkerState;
 use crate::solver::Solver;
 use crate::stats::EnumerationStats;
@@ -65,7 +65,14 @@ pub enum QuerySpec {
         /// The anchor vertex set (deduplicated at session admission).
         vertices: Vec<VertexId>,
     },
-    /// One maximum clique (the first largest in the deterministic stream).
+    /// One maximum clique — the **canonical** one: among all maximum
+    /// cliques, the one whose ascending-sorted member list is
+    /// lexicographically smallest. Served by the dedicated branch-and-bound
+    /// engine of [`maxclique`](crate::maxclique) (greedy lower bound,
+    /// core-number and greedy-coloring pruning) rather than by full
+    /// enumeration; the enumeration-riding
+    /// [`MaximumCliqueReporter`](crate::MaximumCliqueReporter) extracts the
+    /// byte-identical winner from any complete stream.
     MaximumClique,
     /// Stream every clique of exactly `k` vertices (not necessarily
     /// maximal), via the truss-ordered edge branching of
@@ -83,9 +90,10 @@ pub struct Query {
     pub spec: QuerySpec,
     /// How to branch (preset, scheduler, early termination, …).
     pub config: SolverConfig,
-    /// Worker threads (clamped to ≥ 1; anchored and k-clique specs run
-    /// sequentially — their single local branch has no root phase to
-    /// parallelise).
+    /// Worker threads (clamped to ≥ 1; anchored, k-clique and
+    /// maximum-clique specs run sequentially — the first two have no root
+    /// phase to parallelise, and the branch-and-bound search shares one
+    /// incumbent).
     pub threads: usize,
     /// Resource bounds of the session.
     pub budget: Budget,
@@ -131,8 +139,10 @@ pub enum QueryValue {
     Count(u64),
     /// The retained top-k cliques in ranking order (`TopKBySize`).
     TopK(Vec<Vec<VertexId>>),
-    /// One maximum clique, sorted ascending; empty when the graph has no
-    /// vertices (`MaximumClique`).
+    /// The canonical maximum clique, sorted ascending; empty when the graph
+    /// has no vertices (`MaximumClique`). On a truncated run this is only
+    /// the best clique found before the budget tripped — the outcome, not
+    /// the value, says whether it is proven maximum.
     Maximum(Vec<VertexId>),
 }
 
@@ -150,6 +160,18 @@ pub struct QueryResult {
     /// workers — the quantity [`Budget::max_steps`] bounds. Serving layers
     /// use this to charge per-client step quotas.
     pub budget_steps: u64,
+}
+
+impl QueryResult {
+    /// For `MaximumClique` queries: which bound machinery ended the
+    /// branch-and-bound search (color bound, core bound, budget, or plain
+    /// exhaustion). Meaningful only for results produced by the
+    /// [`QuerySpec::MaximumClique`] spec — other specs never populate the
+    /// pruning counters and classify as
+    /// [`TerminatingBound::Exhausted`](crate::maxclique::TerminatingBound).
+    pub fn terminating_bound(&self) -> crate::maxclique::TerminatingBound {
+        crate::maxclique::TerminatingBound::from_run(&self.stats, self.outcome)
+    }
 }
 
 /// An invalid [`Query`] (bad solver configuration, out-of-range anchor
@@ -309,14 +331,30 @@ impl<'g> ExecSession<'g> {
                 (stats, QueryValue::Count(counter.count))
             }
             QuerySpec::TopKBySize { k } => {
-                let mut top = TopKReporter::new(*k);
+                // For k == 1 the greedy clique lower bound is a proven size
+                // floor (see TopKReporter::with_size_floor): the stream
+                // contains a clique at least that large, so smaller ones
+                // can never be the single largest and are dropped without
+                // the O(log k) ranking work. For k > 1 no floor applies.
+                let mut top = if *k == 1 {
+                    TopKReporter::with_size_floor(1, crate::maxclique::greedy_lower_bound(g))
+                } else {
+                    TopKReporter::new(*k)
+                };
                 let stats = ordered(&mut top)?;
                 (stats, QueryValue::TopK(top.into_cliques()))
             }
             QuerySpec::MaximumClique => {
-                let mut best = MaximumCliqueReporter::new();
-                let stats = ordered(&mut best)?;
-                (stats, QueryValue::Maximum(best.best))
+                // Dedicated branch-and-bound engine (sequential, like the
+                // anchored and k-clique paths): exponentially fewer branch
+                // steps than riding the full enumeration, same canonical
+                // winner as MaximumCliqueReporter over a complete stream.
+                let (best, stats) = catch_unwind(AssertUnwindSafe(|| {
+                    let mut mc = crate::maxclique::MaxCliqueState::new();
+                    crate::maxclique::solve(g, &mut mc, Some(state))
+                }))
+                .map_err(engine_panic)?;
+                (stats, QueryValue::Maximum(best))
             }
             QuerySpec::KClique { k } => {
                 let start = std::time::Instant::now();
@@ -726,6 +764,74 @@ mod tests {
             QueryValue::Maximum(vec![0, 1, 2, 3]),
             "the maximum clique"
         );
+    }
+
+    #[test]
+    fn maximum_clique_agrees_with_enumeration_reporter() {
+        let g = test_graph();
+        let mut enumerated = crate::report::MaximumCliqueReporter::new();
+        run_query(&g, Query::new(QuerySpec::Enumerate), &mut enumerated).unwrap();
+        let mut sink = CountReporter::new();
+        let result = run_query(&g, Query::new(QuerySpec::MaximumClique), &mut sink).unwrap();
+        assert_eq!(result.value, QueryValue::Maximum(enumerated.best));
+        assert_eq!(result.outcome, Outcome::Complete);
+        assert_ne!(
+            result.terminating_bound(),
+            crate::maxclique::TerminatingBound::Budget
+        );
+    }
+
+    #[test]
+    fn maximum_clique_budget_truncates_without_claiming_optimality() {
+        // Moon–Moser K_{3,3,3,3}: every vertex has core number 9, so the
+        // core bound prunes nothing and the search must open branch loops —
+        // steps(0) is guaranteed to charge (and trip) a budget step. On
+        // easier graphs the bounds close the whole search without ever
+        // charging one, which is precisely the engine's point.
+        let mut edges = Vec::new();
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                if u / 3 != v / 3 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(12, edges).unwrap();
+        let mut sink = CountReporter::new();
+        let result = run_query(
+            &g,
+            Query::new(QuerySpec::MaximumClique).with_budget(Budget::steps(0)),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(
+            result.outcome,
+            Outcome::Truncated {
+                reason: TruncationReason::StepLimit
+            }
+        );
+        assert!(result.stats.terminated_by_budget >= 1);
+        assert_eq!(
+            result.terminating_bound(),
+            crate::maxclique::TerminatingBound::Budget
+        );
+        // The greedy lower-bound clique is still returned as best-so-far.
+        let QueryValue::Maximum(best) = result.value else {
+            panic!("expected Maximum value");
+        };
+        assert!(!best.is_empty());
+        assert!(g.is_clique(&best));
+    }
+
+    #[test]
+    fn top1_size_floor_matches_unfloored_selection() {
+        let g = test_graph();
+        let mut sink = CountReporter::new();
+        let result = run_query(&g, Query::new(QuerySpec::TopKBySize { k: 1 }), &mut sink).unwrap();
+        let QueryValue::TopK(top) = result.value else {
+            panic!("expected TopK value");
+        };
+        assert_eq!(top, vec![vec![0, 1, 2, 3]]);
     }
 
     #[test]

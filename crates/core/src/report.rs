@@ -105,11 +105,20 @@ impl<F: FnMut(&[VertexId])> CliqueReporter for CallbackReporter<F> {
     }
 }
 
-/// Keeps only the largest clique seen (ties broken by first occurrence).
+/// Keeps only the **canonical** maximum clique seen.
+///
+/// Ties are broken deterministically: among equal-size cliques the one whose
+/// ascending-sorted member list is lexicographically smallest wins — the
+/// first maximum in the canonical (sorted-members) enumeration order. This
+/// makes the winner independent of stream order, preset, thread count and
+/// engine, so the enumeration-riding path and the branch-and-bound engine
+/// ([`maxclique`](crate::maxclique)) return byte-identical results.
 #[derive(Clone, Debug, Default)]
 pub struct MaximumCliqueReporter {
-    /// The largest maximal clique reported so far, sorted ascending.
+    /// The canonical maximum clique reported so far, sorted ascending.
     pub best: Vec<VertexId>,
+    /// Reusable sort buffer for tie comparisons.
+    scratch: Vec<VertexId>,
 }
 
 impl MaximumCliqueReporter {
@@ -121,9 +130,25 @@ impl MaximumCliqueReporter {
 
 impl CliqueReporter for MaximumCliqueReporter {
     fn report(&mut self, clique: &[VertexId]) {
-        if clique.len() > self.best.len() {
-            self.best = clique.to_vec();
-            self.best.sort_unstable();
+        use std::cmp::Ordering;
+        match clique.len().cmp(&self.best.len()) {
+            Ordering::Less => {}
+            Ordering::Greater => {
+                self.best.clear();
+                self.best.extend_from_slice(clique);
+                self.best.sort_unstable();
+            }
+            Ordering::Equal => {
+                if clique.is_empty() {
+                    return;
+                }
+                self.scratch.clear();
+                self.scratch.extend_from_slice(clique);
+                self.scratch.sort_unstable();
+                if self.scratch < self.best {
+                    std::mem::swap(&mut self.best, &mut self.scratch);
+                }
+            }
         }
     }
 }
@@ -205,6 +230,8 @@ pub struct TopKReporter {
     /// descending size then ascending arrival.
     entries: Vec<(usize, u64, Vec<VertexId>)>,
     seen: u64,
+    /// Cliques strictly smaller than this are counted but never retained.
+    min_size: usize,
 }
 
 impl TopKReporter {
@@ -214,6 +241,29 @@ impl TopKReporter {
             k,
             entries: Vec::new(),
             seen: 0,
+            min_size: 0,
+        }
+    }
+
+    /// A reporter keeping the `k` largest cliques, never retaining one with
+    /// fewer than `min_size` members (they still count toward
+    /// [`TopKReporter::seen`]).
+    ///
+    /// The floor is only a *correct* top-k selection when the caller proves
+    /// no retained clique could rank among the k largest below it. The query
+    /// layer uses this for `TopKBySize { k: 1 }` with the greedy clique
+    /// lower bound of [`greedy_lower_bound`](crate::maxclique::greedy_lower_bound):
+    /// the bound witnesses a clique of that size, so every maximal-clique
+    /// stream contains one at least that large and nothing smaller can be
+    /// the single largest. For `k > 1` no such argument holds (the 2nd
+    /// largest may be smaller than the bound), so the query layer never
+    /// applies a floor there.
+    pub fn with_size_floor(k: usize, min_size: usize) -> Self {
+        TopKReporter {
+            k,
+            entries: Vec::new(),
+            seen: 0,
+            min_size,
         }
     }
 
@@ -237,6 +287,9 @@ impl CliqueReporter for TopKReporter {
             return;
         }
         let size = clique.len();
+        if size < self.min_size {
+            return; // below the caller-proven size floor
+        }
         if self.entries.len() == self.k && size <= self.entries.last().map(|e| e.0).unwrap_or(0) {
             return; // ties keep the earlier clique
         }
@@ -389,6 +442,32 @@ mod tests {
         r.report(&[9, 7, 8]);
         r.report(&[1, 2]);
         assert_eq!(r.best, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn maximum_clique_tie_break_is_order_independent() {
+        // Regression: the winner among equal-size cliques is the canonical
+        // (lexicographically smallest sorted) one, regardless of the order
+        // the stream delivers them in — the contract that lets the
+        // enumeration path and the branch-and-bound engine agree
+        // byte-for-byte.
+        let cliques: [&[VertexId]; 4] = [&[9, 7, 8], &[2, 6, 4], &[3, 2, 9], &[2, 4, 5]];
+        let expected = vec![2, 3, 9]; // sorted lists: [2,3,9] < [2,4,5] < [2,4,6] < [7,8,9]
+                                      // Forward arrival order.
+        let mut fwd = MaximumCliqueReporter::new();
+        for c in cliques {
+            fwd.report(c);
+        }
+        assert_eq!(fwd.best, expected);
+        // Reverse arrival order must pick the identical winner.
+        let mut rev = MaximumCliqueReporter::new();
+        for c in cliques.iter().rev() {
+            rev.report(c);
+        }
+        assert_eq!(rev.best, expected);
+        // A strictly larger clique still beats any canonical smaller one.
+        fwd.report(&[50, 40, 30, 20]);
+        assert_eq!(fwd.best, vec![20, 30, 40, 50]);
     }
 
     #[test]

@@ -1078,7 +1078,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             let Some(v0) = f.c.first() else { return };
             let Frame { c, branch, .. } = f;
             branch.clear();
-            branch.extend(c.and_not_iter(lg.cand(v0)));
+            c.and_not_collect(lg.cand(v0), branch);
         }
         while let Some(&u) = scratch.frame(depth).branch.first() {
             if ctx.budget_step_abort() {
@@ -1097,7 +1097,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             let Frame { c, branch, alt, .. } = f;
             branch.retain(|&w| w != u && c.contains(w));
             alt.clear();
-            alt.extend(c.and_not_iter(lg.cand(u)));
+            c.and_not_collect(lg.cand(u), alt);
             if alt.len() < branch.len() {
                 std::mem::swap(branch, alt);
             }
@@ -1204,7 +1204,8 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
 
 /// Rebuilds the worker's local graph over `candidates ++ excluded` and fills
 /// frame 0 of the arena with the root's `C`/`X` sets. Reuses every buffer.
-fn build_root_branch<G, F>(g: &G, worker: &mut WorkerState, keep_edge: F)
+/// Shared with the branch-and-bound engine in [`crate::maxclique`].
+pub(crate) fn build_root_branch<G, F>(g: &G, worker: &mut WorkerState, keep_edge: F)
 where
     G: GraphTopology,
     F: Fn(VertexId, VertexId) -> bool,
@@ -1249,7 +1250,7 @@ fn prune_by_pivot_into(lg: &LocalGraph, f: &mut Frame, pivot: usize) {
     } else {
         lg.gadj(pivot)
     };
-    branch.extend(c.and_not_iter(row));
+    c.and_not_collect(row, branch);
 }
 
 // ----------------------------------------------------------------------

@@ -46,6 +46,18 @@ pub struct EnumerationStats {
     /// outside the anchor and its common neighbourhood (each would be a root
     /// of a full vertex-oriented enumeration). 0 for non-anchored runs.
     pub anchored_roots_skipped: u64,
+    /// Branch-and-bound nodes pruned by the greedy-coloring upper bound:
+    /// `|R| + colors(C) ≤ lb` proved the subtree cannot beat the incumbent
+    /// (see [`maxclique`](crate::maxclique)). 0 for plain enumeration runs.
+    pub branches_pruned_by_color: u64,
+    /// Branch-and-bound root branches skipped by the core-number bound:
+    /// every clique through vertex `v` has at most `core(v) + 1` vertices,
+    /// so roots with `core(v) + 1 ≤ lb` never open. 0 for plain enumeration.
+    pub branches_pruned_by_core: u64,
+    /// Times the branch-and-bound incumbent (lower bound) improved, counting
+    /// the initial greedy clique when it is non-empty. 0 for plain
+    /// enumeration runs.
+    pub lb_updates: u64,
     /// Wall-clock time of the whole run (ordering + reduction + enumeration).
     pub elapsed: Duration,
     /// Wall-clock time spent computing the vertex/edge ordering of the root.
@@ -87,6 +99,9 @@ impl EnumerationStats {
         self.steals += other.steals;
         self.terminated_by_budget += other.terminated_by_budget;
         self.anchored_roots_skipped += other.anchored_roots_skipped;
+        self.branches_pruned_by_color += other.branches_pruned_by_color;
+        self.branches_pruned_by_core += other.branches_pruned_by_core;
+        self.lb_updates += other.lb_updates;
         self.elapsed = self.elapsed.max(other.elapsed);
         self.ordering_time += other.ordering_time;
         self.busy_time += other.busy_time;
@@ -99,7 +114,8 @@ impl std::fmt::Display for EnumerationStats {
             f,
             "{} maximal cliques (max size {}) in {:.3}s — {} calls, {} root branches, \
              ET {}/{} (ratio {:.1}%), GR reported {} over {} removed vertices, \
-             {} splits / {} steals, {} budget-terminated, {} anchored-skipped, busy {:.3}s",
+             {} splits / {} steals, {} budget-terminated, {} anchored-skipped, \
+             B&B {} color-pruned / {} core-pruned / {} lb updates, busy {:.3}s",
             self.maximal_cliques,
             self.max_clique_size,
             self.elapsed.as_secs_f64(),
@@ -114,6 +130,9 @@ impl std::fmt::Display for EnumerationStats {
             self.steals,
             self.terminated_by_budget,
             self.anchored_roots_skipped,
+            self.branches_pruned_by_color,
+            self.branches_pruned_by_core,
+            self.lb_updates,
             self.busy_time.as_secs_f64(),
         )
     }
@@ -154,6 +173,9 @@ mod tests {
             recursive_calls: 50,
             elapsed: Duration::from_millis(20),
             gr_cliques: 2,
+            branches_pruned_by_color: 11,
+            branches_pruned_by_core: 3,
+            lb_updates: 2,
             ..Default::default()
         };
         a.merge(&b);
@@ -162,6 +184,9 @@ mod tests {
         assert_eq!(a.recursive_calls, 150);
         assert_eq!(a.gr_cliques, 2);
         assert_eq!(a.elapsed, Duration::from_millis(30));
+        assert_eq!(a.branches_pruned_by_color, 11);
+        assert_eq!(a.branches_pruned_by_core, 3);
+        assert_eq!(a.lb_updates, 2);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hbbmc::{CountReporter, EnumerationState, Solver, SolverConfig};
+use hbbmc::MaxCliqueState;
+use hbbmc::{maximum_clique_bb_with_state, CountReporter, EnumerationState, Solver, SolverConfig};
 use mce_gen::{erdos_renyi, moon_moser};
 
 struct CountingAllocator;
@@ -101,6 +102,43 @@ fn steady_state_vertex_recursion_does_not_allocate() {
     assert!(
         allocs < 600 && allocs * 20 < calls,
         "warm run allocated {allocs} times over {calls} recursive calls"
+    );
+}
+
+#[test]
+fn steady_state_max_clique_search_does_not_allocate() {
+    // The branch-and-bound engine shares the enumeration's scratch arena and
+    // adds only two coloring bitsets: a warm re-run on the same
+    // MaxCliqueState must allocate a small per-plan constant (the degeneracy
+    // ordering's vectors and the returned clique), never per node.
+    let g = erdos_renyi(300, 4_500, 7);
+    let mut state = MaxCliqueState::new();
+    let (_, warmup) = maximum_clique_bb_with_state(&g, &mut state);
+    assert!(
+        warmup.recursive_calls > 100,
+        "expected a non-trivial search, got {} calls",
+        warmup.recursive_calls
+    );
+    let before = allocations();
+    let (best, stats) = maximum_clique_bb_with_state(&g, &mut state);
+    let allocs = allocations() - before;
+    assert!(!best.is_empty());
+    // The degeneracy ordering allocates one bucket vector per degree value
+    // (~240 for this instance, same budget as the vertex-root plan above);
+    // the search itself must not add to it.
+    assert!(
+        allocs < 600,
+        "warm B&B run allocated {allocs} times over {} recursive calls",
+        stats.recursive_calls
+    );
+    // And the steady state is exactly steady: a third identical run costs
+    // the same fixed plan allocations, not one more.
+    let before = allocations();
+    let _ = maximum_clique_bb_with_state(&g, &mut state);
+    let allocs_again = allocations() - before;
+    assert_eq!(
+        allocs, allocs_again,
+        "warm B&B runs must have a fixed allocation plan"
     );
 }
 

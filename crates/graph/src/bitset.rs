@@ -175,13 +175,28 @@ impl BitSet {
     // ------------------------------------------------------------------
 
     /// Number of elements of `self` whose bit is also set in `row`.
+    ///
+    /// 4×-unrolled over the shared words: the branching hot loops call this
+    /// once per candidate per pivot scan, so the popcount reduction runs on
+    /// four independent accumulator lanes before the ragged tail.
     #[inline]
     pub fn intersection_len_words(&self, row: &[u64]) -> usize {
-        self.words
-            .iter()
-            .zip(row.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        let shared = self.words.len().min(row.len());
+        let (a, b) = (&self.words[..shared], &row[..shared]);
+        let mut total = 0usize;
+        let mut i = 0;
+        while i + 4 <= shared {
+            total += (a[i] & b[i]).count_ones() as usize
+                + (a[i + 1] & b[i + 1]).count_ones() as usize
+                + (a[i + 2] & b[i + 2]).count_ones() as usize
+                + (a[i + 3] & b[i + 3]).count_ones() as usize;
+            i += 4;
+        }
+        while i < shared {
+            total += (a[i] & b[i]).count_ones() as usize;
+            i += 1;
+        }
+        total
     }
 
     /// In-place intersection with a word row; words missing from a shorter
@@ -215,35 +230,81 @@ impl BitSet {
 
     /// Writes `self ∩ row` into `out` (fused copy + intersect, no
     /// intermediate clone). `out` takes `self`'s capacity, reusing its
-    /// allocation.
+    /// allocation. 4×-unrolled over the shared words; words `row` is missing
+    /// count as zero, so the tail of `out` beyond `row` stays cleared.
     #[inline]
     pub fn intersect_into(&self, row: &[u64], out: &mut BitSet) {
-        out.words.clear();
+        self.intersect_into_count(row, out);
+    }
+
+    /// Writes `self ∩ row` into `out` and returns the element count of the
+    /// intersection — the fused variant of [`BitSet::intersect_into`] +
+    /// [`BitSet::len`] for callers that need the child set *and* its size
+    /// (the bound checks of the branch-and-bound engine), saving a second
+    /// popcount pass over the freshly written words.
+    #[inline]
+    pub fn intersect_into_count(&self, row: &[u64], out: &mut BitSet) -> usize {
         out.capacity = self.capacity;
-        let shared = self.words.len().min(row.len());
-        out.words.extend(
-            self.words[..shared]
-                .iter()
-                .zip(row.iter())
-                .map(|(a, b)| a & b),
-        );
+        out.words.clear();
         out.words.resize(self.words.len(), 0);
+        let shared = self.words.len().min(row.len());
+        let (dst, a, b) = (
+            &mut out.words[..shared],
+            &self.words[..shared],
+            &row[..shared],
+        );
+        let mut count = 0usize;
+        let mut i = 0;
+        while i + 4 <= shared {
+            let (w0, w1) = (a[i] & b[i], a[i + 1] & b[i + 1]);
+            let (w2, w3) = (a[i + 2] & b[i + 2], a[i + 3] & b[i + 3]);
+            dst[i] = w0;
+            dst[i + 1] = w1;
+            dst[i + 2] = w2;
+            dst[i + 3] = w3;
+            count +=
+                (w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones()) as usize;
+            i += 4;
+        }
+        while i < shared {
+            let w = a[i] & b[i];
+            dst[i] = w;
+            count += w.count_ones() as usize;
+            i += 1;
+        }
+        count
     }
 
     /// Writes `self \ row` into `out` (fused copy + and-not). `out` takes
-    /// `self`'s capacity, reusing its allocation.
+    /// `self`'s capacity, reusing its allocation. 4×-unrolled over the
+    /// shared words; elements of `self` in words `row` is missing all
+    /// survive (the tail is copied verbatim).
     #[inline]
     pub fn difference_into(&self, row: &[u64], out: &mut BitSet) {
-        out.words.clear();
         out.capacity = self.capacity;
+        out.words.clear();
+        out.words.resize(self.words.len(), 0);
         let shared = self.words.len().min(row.len());
-        out.words.extend(
-            self.words[..shared]
-                .iter()
-                .zip(row.iter())
-                .map(|(a, b)| a & !b),
-        );
-        out.words.extend_from_slice(&self.words[shared..]);
+        {
+            let (dst, a, b) = (
+                &mut out.words[..shared],
+                &self.words[..shared],
+                &row[..shared],
+            );
+            let mut i = 0;
+            while i + 4 <= shared {
+                dst[i] = a[i] & !b[i];
+                dst[i + 1] = a[i + 1] & !b[i + 1];
+                dst[i + 2] = a[i + 2] & !b[i + 2];
+                dst[i + 3] = a[i + 3] & !b[i + 3];
+                i += 4;
+            }
+            while i < shared {
+                dst[i] = a[i] & !b[i];
+                i += 1;
+            }
+        }
+        out.words[shared..].copy_from_slice(&self.words[shared..]);
     }
 
     /// Iterates over the set bits in increasing order, one word at a time
@@ -280,6 +341,43 @@ impl BitSet {
                 }
             })
         })
+    }
+
+    /// Appends the elements of `self \ mask` to `out` in increasing order —
+    /// the 4×-unrolled collector twin of [`BitSet::and_not_iter`] for the
+    /// branch-list builders, which always drain the iterator into a `Vec`.
+    /// The masked words are computed four at a time; bit extraction then
+    /// skips the (common) all-zero words without per-bit bounds checks.
+    /// Words missing from a shorter `mask` are treated as zero, so those
+    /// elements of `self` are all appended.
+    pub fn and_not_collect(&self, mask: &[u64], out: &mut Vec<usize>) {
+        #[inline]
+        fn push_bits(wi: usize, mut w: u64, out: &mut Vec<usize>) {
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                out.push(wi * WORD_BITS + b);
+            }
+        }
+        let shared = self.words.len().min(mask.len());
+        let (a, m) = (&self.words[..shared], &mask[..shared]);
+        let mut i = 0;
+        while i + 4 <= shared {
+            let (w0, w1) = (a[i] & !m[i], a[i + 1] & !m[i + 1]);
+            let (w2, w3) = (a[i + 2] & !m[i + 2], a[i + 3] & !m[i + 3]);
+            push_bits(i, w0, out);
+            push_bits(i + 1, w1, out);
+            push_bits(i + 2, w2, out);
+            push_bits(i + 3, w3, out);
+            i += 4;
+        }
+        while i < shared {
+            push_bits(i, a[i] & !m[i], out);
+            i += 1;
+        }
+        for wi in shared..self.words.len() {
+            push_bits(wi, self.words[wi], out);
+        }
     }
 }
 
@@ -462,6 +560,35 @@ mod tests {
         // Empty mask yields everything.
         let got: Vec<usize> = a.and_not_iter(&[]).collect();
         assert_eq!(got, vec![0, 2, 64, 66, 130]);
+    }
+
+    #[test]
+    fn intersect_into_count_matches_len_of_fused_result() {
+        let a: BitSet = [1usize, 3, 64, 100, 250, 300].into_iter().collect();
+        let row: BitSet = [3usize, 64, 99, 250].into_iter().collect();
+        let mut out = BitSet::default();
+        let count = a.intersect_into_count(row.words(), &mut out);
+        assert_eq!(count, out.len());
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![3, 64, 250]);
+        // Shorter mask: missing words count as zero, and so does the count.
+        let count = a.intersect_into_count(&row.words()[..1], &mut out);
+        assert_eq!(count, 1);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(out.words().len(), a.words().len());
+    }
+
+    #[test]
+    fn and_not_collect_matches_and_not_iter() {
+        let a: BitSet = [0usize, 2, 64, 66, 130, 200, 290].into_iter().collect();
+        let mask: BitSet = [2usize, 66, 200].into_iter().collect();
+        let mut got = Vec::new();
+        a.and_not_collect(mask.words(), &mut got);
+        assert_eq!(got, a.and_not_iter(mask.words()).collect::<Vec<_>>());
+        // Appends (does not clear), and a short mask lets everything through.
+        a.and_not_collect(&[], &mut got);
+        let mut expected: Vec<usize> = a.and_not_iter(mask.words()).collect();
+        expected.extend(a.iter());
+        assert_eq!(got, expected);
     }
 
     #[test]

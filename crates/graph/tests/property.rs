@@ -139,6 +139,60 @@ proptest! {
     }
 
     #[test]
+    fn unrolled_word_kernels_match_scalar_reference(
+        words_a in proptest::collection::vec(any::<u64>(), 0..=9),
+        mask in proptest::collection::vec(any::<u64>(), 0..=9),
+    ) {
+        // The 4×-unrolled kernels must be bit-identical to the plain
+        // one-word-at-a-time definitions on every ragged tail length:
+        // 0..=9 words covers empty, sub-chunk, exact-chunk and
+        // chunk-plus-tail shapes on both sides, including every mismatched
+        // (self longer / mask longer) combination.
+        let mut a = BitSet::with_capacity(words_a.len() * 64);
+        for (wi, &w) in words_a.iter().enumerate() {
+            for b in 0..64 {
+                if w >> b & 1 == 1 {
+                    a.insert(wi * 64 + b);
+                }
+            }
+        }
+        prop_assert_eq!(a.words(), words_a.as_slice());
+        let shared = words_a.len().min(mask.len());
+
+        // intersection_len_words == Σ popcount(a & m) over shared words.
+        let expected_len: usize = (0..shared)
+            .map(|i| (words_a[i] & mask[i]).count_ones() as usize)
+            .sum();
+        prop_assert_eq!(a.intersection_len_words(&mask), expected_len);
+
+        // intersect_into: a & m on shared words, zero tail, same word count.
+        let mut expected_inter: Vec<u64> =
+            (0..shared).map(|i| words_a[i] & mask[i]).collect();
+        expected_inter.resize(words_a.len(), 0);
+        let mut out = BitSet::default();
+        a.intersect_into(&mask, &mut out);
+        prop_assert_eq!(out.words(), expected_inter.as_slice());
+        prop_assert_eq!(out.capacity(), a.capacity());
+
+        // intersect_into_count: same words, and the count is the popcount.
+        let count = a.intersect_into_count(&mask, &mut out);
+        prop_assert_eq!(out.words(), expected_inter.as_slice());
+        prop_assert_eq!(count, expected_len);
+
+        // difference_into: a & !m on shared words, verbatim tail copy.
+        let mut expected_diff: Vec<u64> =
+            (0..shared).map(|i| words_a[i] & !mask[i]).collect();
+        expected_diff.extend_from_slice(&words_a[shared..]);
+        a.difference_into(&mask, &mut out);
+        prop_assert_eq!(out.words(), expected_diff.as_slice());
+
+        // and_not_collect: identical element stream to and_not_iter.
+        let mut collected = Vec::new();
+        a.and_not_collect(&mask, &mut collected);
+        prop_assert_eq!(collected, a.and_not_iter(&mask).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn bitset_intersection_matches_model(
         a in proptest::collection::btree_set(0usize..96, 0..60),
         b in proptest::collection::btree_set(0usize..96, 0..60),
