@@ -1,0 +1,107 @@
+//! Kernel-backend benchmark with a JSON trajectory emitter.
+//!
+//! ```text
+//! cargo bench --bench bench_kernels -- [--quick] [--repeats N]
+//!                                      [--variant NAME] [--json PATH]
+//! ```
+//!
+//! Runs the kernel matrix of [`mce_bench::kernels`]: raw words/sec cells for
+//! every fused word op on every backend the host supports (in-process, via
+//! the per-backend function tables), then the end-to-end hotpath, maxclique
+//! and top-k cells once per backend. Because the solver's backend is locked
+//! process-wide on first use, the end-to-end cells run in child re-execs of
+//! this binary (`--kernels-child`) with `MCE_KERNEL` pinned; the child hands
+//! its records back on a marker line. With `--json`, every record is
+//! appended to the trajectory file (typically the workspace-level
+//! `BENCH_solver.json`) and the file is re-validated. Unknown flags injected
+//! by the cargo bench harness (`--bench`, ...) are ignored.
+
+use std::path::PathBuf;
+
+use mce_bench::kernels::{
+    append_records, child_marker_line, run_end_to_end_cells, run_kernel_bench, KernelBenchOptions,
+};
+
+fn main() {
+    let mut options = KernelBenchOptions::default();
+    let mut json_path: Option<PathBuf> = None;
+    let mut child = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options.quick = true,
+            "--kernels-child" => child = true,
+            "--repeats" => {
+                options.repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats takes a positive integer");
+            }
+            "--variant" => {
+                options.variant = args.next().expect("--variant takes a label");
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(args.next().expect("--json takes a path")));
+            }
+            // `cargo bench` passes `--bench`; ignore it and anything unknown.
+            other => {
+                if !other.starts_with("--bench") {
+                    eprintln!("bench_kernels: ignoring unknown argument '{other}'");
+                }
+            }
+        }
+    }
+
+    if child {
+        // Child mode: the parent pinned MCE_KERNEL; measure the end-to-end
+        // cells under that backend and hand the records back.
+        let expected = std::env::var(mce_graph::kernels::ENV_VAR).ok();
+        match run_end_to_end_cells(&options, expected.as_deref()) {
+            Ok(records) => {
+                for r in &records {
+                    println!(
+                        "  {:<10} {:<10} {:<14} {:>9.4}s cliques={} evals={}",
+                        r.backend, r.kind, r.graph, r.seconds, r.cliques, r.branch_evals
+                    );
+                }
+                println!("{}", child_marker_line(&records, &options.variant));
+            }
+            Err(e) => {
+                eprintln!("bench_kernels (child): {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!(
+        "# bench_kernels variant={} repeats={} ({} matrix)",
+        options.variant,
+        options.repeats,
+        if options.quick { "quick" } else { "full" }
+    );
+    let self_exe = std::env::current_exe().expect("resolving the benchmark executable");
+    let records = match run_kernel_bench(&self_exe, &options) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("bench_kernels: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let Some(path) = json_path {
+        match append_records(&path, &options.variant, &records) {
+            Ok(total) => println!(
+                "appended {} records to {} ({} records total, validated)",
+                records.len(),
+                path.display(),
+                total
+            ),
+            Err(e) => {
+                eprintln!("bench_kernels: JSON emission failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

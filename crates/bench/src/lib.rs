@@ -29,6 +29,7 @@ pub mod datasets;
 pub mod experiments;
 pub mod hotpath;
 pub mod json;
+pub mod kernels;
 pub mod maxclique;
 pub mod query;
 pub mod runner;
@@ -41,6 +42,7 @@ pub use csr::{run_csr_bench, CsrBenchOptions, CsrRecord};
 pub use datasets::{all_datasets, dataset_by_name, Dataset, DatasetSpec};
 pub use hotpath::{run_hotpath, HotpathOptions, HotpathRecord};
 pub use json::JsonValue;
+pub use kernels::{run_kernel_bench, KernelBenchOptions, KernelRecord};
 pub use maxclique::{run_maxclique_bench, MaxCliqueBenchOptions, MaxCliqueRecord};
 pub use query::{run_query_bench, QueryBenchOptions, QueryRecord};
 pub use runner::{measure, Measurement};

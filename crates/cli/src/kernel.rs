@@ -1,0 +1,92 @@
+//! Shared `--kernel` / `MCE_KERNEL` handling for the front-end commands.
+//!
+//! `mce enumerate`, `mce query` and `mce serve` all accept
+//! `--kernel scalar|avx2|neon` and honour the `MCE_KERNEL` environment
+//! variable. The selection is process-wide and resolved exactly once
+//! ([`mce_graph::kernels`]), so the front-ends call [`init`] *before* any
+//! graph work: an unknown name or an arm the host CPU cannot run becomes a
+//! typed usage error (exit code 2) instead of a silent fallback.
+
+use mce_graph::kernels::{self, KernelBackend};
+
+use crate::error::CliError;
+
+/// Resolves and locks the process-wide kernel backend.
+///
+/// Precedence: an explicit `--kernel` value wins (the environment variable is
+/// not consulted — the flag is the override of the override); otherwise
+/// `MCE_KERNEL` is validated strictly via [`kernels::from_env`]; otherwise
+/// runtime feature detection picks the widest supported arm lazily. Every
+/// [`kernels::KernelError`] maps to [`CliError::Usage`] — bad backend
+/// requests are command-line mistakes, not runtime failures.
+pub fn init(flag: Option<&str>) -> Result<(), CliError> {
+    let requested = match flag {
+        Some(name) => Some(
+            KernelBackend::parse(name)
+                .ok_or_else(|| usage(kernels::KernelError::Unknown(name.to_string())))?,
+        ),
+        None => kernels::from_env().map_err(usage)?,
+    };
+    if let Some(backend) = requested {
+        kernels::install(backend).map_err(usage)?;
+    }
+    Ok(())
+}
+
+fn usage(e: kernels::KernelError) -> CliError {
+    CliError::usage(e.to_string())
+}
+
+/// The name of the process-wide backend, for `--stats` output and the serve
+/// `metrics` frame (resolves the backend if nothing has run a kernel yet).
+pub fn active_name() -> &'static str {
+    kernels::active_backend().name()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_backend_is_usage() {
+        let e = init(Some("sse9")).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(
+            e.to_string().contains("unknown kernel backend 'sse9'"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn unsupported_backend_is_usage() {
+        // At most one SIMD arm matches the compile target, so the other is
+        // always unsupported regardless of the host CPU.
+        let other = if cfg!(target_arch = "x86_64") {
+            "neon"
+        } else {
+            "avx2"
+        };
+        let e = init(Some(other)).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        assert!(
+            e.to_string().contains(&format!(
+                "kernel backend '{other}' is not supported on this host"
+            )),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn no_flag_no_env_is_ok() {
+        // MCE_KERNEL is unset in the test environment (CI runs a dedicated
+        // job for the env-pinned configuration).
+        if std::env::var(kernels::ENV_VAR).is_err() {
+            init(None).unwrap();
+        }
+    }
+
+    #[test]
+    fn active_name_is_a_known_backend() {
+        assert!(["scalar", "avx2", "neon"].contains(&active_name()));
+    }
+}

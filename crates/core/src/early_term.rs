@@ -13,7 +13,7 @@
 //! (lines 5–8 of Algorithm 8) yields every maximal clique of the branch in
 //! time proportional to the output.
 
-use mce_graph::{BitSet, ComplementStructure, VertexId};
+use mce_graph::{BitsRef, ComplementStructure, VertexId};
 
 use crate::local::LocalGraph;
 
@@ -28,7 +28,7 @@ use crate::local::LocalGraph;
 /// regular branching.
 pub(crate) fn enumerate_plex_branch(
     lg: &LocalGraph,
-    c: &BitSet,
+    c: BitsRef<'_>,
     s: &mut Vec<VertexId>,
     emit: &mut dyn FnMut(&[VertexId]),
 ) -> Option<u64> {
@@ -166,7 +166,7 @@ pub(crate) fn cycle_choices(cycle: &[VertexId]) -> Vec<Vec<VertexId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mce_graph::Graph;
+    use mce_graph::{BitSet, Graph};
 
     fn choices_sorted(mut v: Vec<Vec<VertexId>>) -> Vec<Vec<VertexId>> {
         for c in v.iter_mut() {
@@ -247,7 +247,7 @@ mod tests {
         let c = BitSet::full(5);
         let mut s = vec![100];
         let mut got = Vec::new();
-        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |cl| {
+        let count = enumerate_plex_branch(&lg, c.view(), &mut s, &mut |cl| {
             let mut v = cl.to_vec();
             v.sort_unstable();
             got.push(v);
@@ -274,7 +274,7 @@ mod tests {
         let c = BitSet::full(6);
         let mut s = Vec::new();
         let mut got = Vec::new();
-        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |cl| {
+        let count = enumerate_plex_branch(&lg, c.view(), &mut s, &mut |cl| {
             let mut v = cl.to_vec();
             v.sort_unstable();
             got.push(v);
@@ -310,7 +310,7 @@ mod tests {
         let c = BitSet::full(6);
         let mut s = Vec::new();
         let mut got = Vec::new();
-        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |cl| {
+        let count = enumerate_plex_branch(&lg, c.view(), &mut s, &mut |cl| {
             let mut v = cl.to_vec();
             v.sort_unstable();
             got.push(v);
@@ -339,7 +339,7 @@ mod tests {
         let c = BitSet::full(6);
         let mut s = Vec::new();
         let mut calls = 0;
-        let result = enumerate_plex_branch(&lg, &c, &mut s, &mut |_| calls += 1);
+        let result = enumerate_plex_branch(&lg, c.view(), &mut s, &mut |_| calls += 1);
         assert!(result.is_none());
         assert_eq!(calls, 0);
     }
@@ -350,7 +350,7 @@ mod tests {
         let lg = LocalGraph::from_vertices(&g, &[0, 1, 2]);
         let c = BitSet::with_capacity(3);
         let mut s = vec![9];
-        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |_| {}).unwrap();
+        let count = enumerate_plex_branch(&lg, c.view(), &mut s, &mut |_| {}).unwrap();
         assert_eq!(count, 0);
     }
 
@@ -372,7 +372,7 @@ mod tests {
         let lg = LocalGraph::from_vertices(&g, &(0..n as u32).collect::<Vec<_>>());
         let c = BitSet::full(n);
         let mut s = Vec::new();
-        let count = enumerate_plex_branch(&lg, &c, &mut s, &mut |_| {}).unwrap();
+        let count = enumerate_plex_branch(&lg, c.view(), &mut s, &mut |_| {}).unwrap();
         assert_eq!(count, 2 * 2 * 5);
     }
 }

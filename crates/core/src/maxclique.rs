@@ -51,9 +51,11 @@
 //! [`EnumerationStats::branches_pruned_by_color`]: crate::EnumerationStats::branches_pruned_by_color
 //! [`EnumerationStats::et_terminated`]: crate::EnumerationStats::et_terminated
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use mce_graph::{degeneracy_ordering, BitSet, GraphTopology, VertexId};
+use mce_graph::{degeneracy_ordering, BitSet, BitsRef, GraphTopology, VertexId};
 
 use crate::budget::{BudgetState, Outcome};
 use crate::local::LocalGraph;
@@ -68,12 +70,115 @@ use crate::stats::EnumerationStats;
 #[derive(Debug, Default)]
 pub struct MaxCliqueState {
     worker: WorkerState,
-    /// Vertices not yet assigned a color class during the greedy coloring.
+    /// Scratch of the greedy-coloring upper bound.
+    coloring: ColoringScratch,
+    /// Incumbent clique (original vertex ids, ascending).
+    best: Vec<VertexId>,
+}
+
+/// Reusable scratch of the bit-parallel greedy coloring — the two bitsets the
+/// class construction sweeps. Shared by the branch-and-bound engine and the
+/// size bound of `TopKBySize` queries ([`TopKBound`]); steady-state colorings
+/// over same-sized candidate sets do not allocate.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ColoringScratch {
+    /// Vertices not yet assigned a color class.
     uncolored: BitSet,
     /// Vertices still assignable to the class currently being built.
     avail: BitSet,
-    /// Incumbent clique (original vertex ids, ascending).
-    best: Vec<VertexId>,
+}
+
+impl ColoringScratch {
+    /// Greedy coloring of `c` over the candidate adjacency of `lg`: returns
+    /// the number of color classes — an upper bound on the largest clique
+    /// inside `c`, and exactly `|c|` iff the candidate graph is complete.
+    /// Each class is an independent set built by repeatedly taking the
+    /// smallest still-available vertex and discarding its neighbours.
+    pub(crate) fn color_count(&mut self, lg: &LocalGraph, c: BitsRef<'_>) -> usize {
+        self.uncolored.copy_from_view(c);
+        let mut colors = 0usize;
+        while !self.uncolored.is_empty() {
+            colors += 1;
+            self.avail.copy_from(&self.uncolored);
+            while let Some(v) = self.avail.first() {
+                self.uncolored.remove(v);
+                self.avail.remove(v);
+                self.avail.difference_with_words(lg.cand(v));
+            }
+        }
+        colors
+    }
+}
+
+/// The pruning state of a `TopKBySize` query: the sizes of the `k` largest
+/// cliques observed so far (a min-heap, so the current k-th size is the
+/// peek), an optional seeded size floor, and the coloring scratch of the
+/// upper bound. The enumeration observes every emitted clique through
+/// [`TopKBound::observe`] and asks [`TopKBound::min_interesting`] before
+/// opening a branch: a subtree whose size upper bound (candidate count, then
+/// greedy-coloring count) falls below that threshold cannot change the
+/// retained top-k — every clique under it either loses on size or ties with
+/// an earlier-arrived retained clique and loses the tie — so it is skipped
+/// and counted in `branches_pruned_by_color` / `branches_pruned_by_core`.
+#[derive(Debug, Default)]
+pub(crate) struct TopKBound {
+    k: usize,
+    /// Min-heap over the sizes of the `k` largest cliques observed so far.
+    sizes: BinaryHeap<Reverse<usize>>,
+    /// Cliques smaller than this can never rank: for `k == 1` the greedy
+    /// lower bound witnesses a clique at least this large somewhere in the
+    /// stream, so nothing smaller can be the single largest. Zero when no
+    /// floor is proven (`k > 1`).
+    seed_floor: usize,
+    /// Scratch of the greedy-coloring upper bound.
+    pub(crate) coloring: ColoringScratch,
+}
+
+impl TopKBound {
+    /// A bound for a top-`k` query; `seed_floor` is zero or a proven size
+    /// floor (see [`TopKBound::seed_floor`]).
+    pub(crate) fn new(k: usize, seed_floor: usize) -> Self {
+        TopKBound {
+            k,
+            sizes: BinaryHeap::new(),
+            seed_floor,
+            coloring: ColoringScratch::default(),
+        }
+    }
+
+    /// Records one emitted clique size (same retention rule as
+    /// `TopKReporter`: sizes only, ties keep the incumbent).
+    pub(crate) fn observe(&mut self, size: usize) {
+        if self.k == 0 {
+            return;
+        }
+        if self.sizes.len() < self.k {
+            self.sizes.push(Reverse(size));
+        } else if self.sizes.peek().is_some_and(|&Reverse(kth)| size > kth) {
+            self.sizes.pop();
+            self.sizes.push(Reverse(size));
+        }
+    }
+
+    /// The smallest clique size that could still change the result: once `k`
+    /// cliques are retained, anything not strictly larger than the k-th size
+    /// loses (equal sizes lose the arrival tie-break), and anything below the
+    /// seeded floor always loses. `None` while every size is still
+    /// interesting (fewer than `k` cliques seen, no floor).
+    pub(crate) fn min_interesting(&self) -> Option<usize> {
+        if self.k == 0 {
+            // Top-0 retains nothing; every branch is prunable.
+            return Some(usize::MAX);
+        }
+        let full = (self.sizes.len() == self.k)
+            .then(|| self.sizes.peek().map_or(0, |&Reverse(kth)| kth + 1));
+        match (full, self.seed_floor) {
+            (Some(f), s) if s > 0 => Some(f.max(s)),
+            (Some(f), _) => Some(f),
+            (None, s) if s > 0 => Some(s),
+            (None, _) => None,
+        }
+    }
 }
 
 impl MaxCliqueState {
@@ -163,7 +268,11 @@ pub fn greedy_lower_bound<G: GraphTopology>(g: &G) -> usize {
 /// Grows a greedy clique along the reverse of `order` into `clique`
 /// (original ids, ascending after the final sort). Deterministic and
 /// representation-independent, since the degeneracy ordering is.
-fn greedy_clique<G: GraphTopology>(g: &G, order: &[VertexId], clique: &mut Vec<VertexId>) {
+pub(crate) fn greedy_clique<G: GraphTopology>(
+    g: &G,
+    order: &[VertexId],
+    clique: &mut Vec<VertexId>,
+) {
     clique.clear();
     for &v in order.iter().rev() {
         if clique.iter().all(|&u| g.has_edge(u, v)) {
@@ -184,8 +293,7 @@ pub(crate) fn solve<G: GraphTopology>(
     let mut stats = EnumerationStats::default();
     let MaxCliqueState {
         worker,
-        uncolored,
-        avail,
+        coloring,
         best,
     } = state;
     best.clear();
@@ -209,8 +317,7 @@ pub(crate) fn solve<G: GraphTopology>(
     let mut bb = Bb {
         stats: &mut stats,
         budget,
-        uncolored,
-        avail,
+        coloring,
         best,
         aborted: false,
     };
@@ -315,8 +422,7 @@ pub(crate) fn solve<G: GraphTopology>(
 struct Bb<'a> {
     stats: &'a mut EnumerationStats,
     budget: Option<&'a BudgetState>,
-    uncolored: &'a mut BitSet,
-    avail: &'a mut BitSet,
+    coloring: &'a mut ColoringScratch,
     best: &'a mut Vec<VertexId>,
     aborted: bool,
 }
@@ -339,24 +445,10 @@ impl Bb<'_> {
         }
     }
 
-    /// Greedy coloring of `c` over the candidate adjacency of `lg`: returns
-    /// the number of color classes — an upper bound on the largest clique
-    /// inside `c`, and exactly `|c|` iff the candidate graph is complete.
-    /// Each class is an independent set built by repeatedly taking the
-    /// smallest still-available vertex and discarding its neighbours.
-    fn color_count(&mut self, lg: &LocalGraph, c: &BitSet) -> usize {
-        self.uncolored.copy_from(c);
-        let mut colors = 0usize;
-        while !self.uncolored.is_empty() {
-            colors += 1;
-            self.avail.copy_from(self.uncolored);
-            while let Some(v) = self.avail.first() {
-                self.uncolored.remove(v);
-                self.avail.remove(v);
-                self.avail.difference_with_words(lg.cand(v));
-            }
-        }
-        colors
+    /// Greedy-coloring upper bound over `c` (see
+    /// [`ColoringScratch::color_count`]).
+    fn color_count(&mut self, lg: &LocalGraph, c: BitsRef<'_>) -> usize {
+        self.coloring.color_count(lg, c)
     }
 
     /// Phase-1 node: bounded descent maximising the clique size. Reads its
@@ -383,7 +475,7 @@ impl Bb<'_> {
             self.stats.branches_pruned_by_color += 1;
             return;
         }
-        let colors = self.color_count(lg, &scratch.frame(depth).c);
+        let colors = self.color_count(lg, scratch.frame(depth).c());
         if partial.len() + colors <= self.best.len() {
             self.stats.branches_pruned_by_color += 1;
             return;
@@ -396,8 +488,7 @@ impl Bb<'_> {
             self.stats.et_eligible += 1;
             self.stats.et_terminated += 1;
             let f = scratch.frame_mut(depth);
-            f.branch.clear();
-            f.branch.extend(f.c.iter());
+            f.branch_from_c();
             self.best.clear();
             self.best.extend_from_slice(partial);
             self.best.extend(f.branch.iter().map(|&i| lg.orig[i]));
@@ -407,9 +498,7 @@ impl Bb<'_> {
         }
         // Branch on every candidate in ascending local-id order (canonical),
         // removing each from C afterwards so later siblings exclude it.
-        let f = scratch.frame_mut(depth);
-        f.branch.clear();
-        f.branch.extend(f.c.iter());
+        scratch.frame_mut(depth).branch_from_c();
         let mut remaining = c_len;
         for bi in 0..c_len {
             if self.step_aborts() {
@@ -420,17 +509,14 @@ impl Bb<'_> {
                 return;
             }
             let v = scratch.frame(depth).branch[bi];
-            let child_len = {
-                let (parent, child) = scratch.pair(depth);
-                parent.c.intersect_into_count(lg.cand(v), &mut child.c)
-            };
+            let child_len = scratch.make_child_c(depth, lg.cand(v));
             partial.push(lg.orig[v]);
             self.search_max(lg, scratch, partial, depth + 1, child_len);
             partial.pop();
             if self.aborted {
                 return;
             }
-            scratch.frame_mut(depth).c.remove(v);
+            scratch.frame_mut(depth).c_mut().remove(v);
             remaining -= 1;
         }
     }
@@ -460,7 +546,7 @@ impl Bb<'_> {
             self.stats.branches_pruned_by_color += 1;
             return false;
         }
-        let colors = self.color_count(lg, &scratch.frame(depth).c);
+        let colors = self.color_count(lg, scratch.frame(depth).c());
         if partial.len() + colors < target {
             self.stats.branches_pruned_by_color += 1;
             return false;
@@ -471,8 +557,7 @@ impl Bb<'_> {
             self.stats.et_eligible += 1;
             self.stats.et_terminated += 1;
             let f = scratch.frame_mut(depth);
-            f.branch.clear();
-            f.branch.extend(f.c.iter());
+            f.branch_from_c();
             let take = target - partial.len();
             self.best.clear();
             self.best.extend_from_slice(partial);
@@ -480,9 +565,7 @@ impl Bb<'_> {
                 .extend(f.branch.iter().take(take).map(|&i| lg.orig[i]));
             return true;
         }
-        let f = scratch.frame_mut(depth);
-        f.branch.clear();
-        f.branch.extend(f.c.iter());
+        scratch.frame_mut(depth).branch_from_c();
         let mut remaining = c_len;
         for bi in 0..c_len {
             if self.step_aborts() {
@@ -493,17 +576,14 @@ impl Bb<'_> {
                 return false;
             }
             let v = scratch.frame(depth).branch[bi];
-            let child_len = {
-                let (parent, child) = scratch.pair(depth);
-                parent.c.intersect_into_count(lg.cand(v), &mut child.c)
-            };
+            let child_len = scratch.make_child_c(depth, lg.cand(v));
             partial.push(lg.orig[v]);
             let found = self.search_lex(lg, scratch, partial, depth + 1, child_len, target);
             partial.pop();
             if found || self.aborted {
                 return found;
             }
-            scratch.frame_mut(depth).c.remove(v);
+            scratch.frame_mut(depth).c_mut().remove(v);
             remaining -= 1;
         }
         false

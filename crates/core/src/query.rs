@@ -53,7 +53,16 @@ pub enum QuerySpec {
     /// Count maximal cliques without streaming them.
     Count,
     /// The `k` largest maximal cliques, ranked by size with ties broken by
-    /// stream order (deterministic at any thread count).
+    /// stream order (deterministic at any thread count). Served by a
+    /// dedicated sequential search that extends the branch-and-bound
+    /// machinery of [`maxclique`](crate::maxclique) to top-k selection:
+    /// roots and branches whose core-number / candidate-count /
+    /// greedy-coloring upper bound cannot beat the current k-th retained
+    /// size are pruned (reported through
+    /// [`EnumerationStats::branches_pruned_by_core`](crate::EnumerationStats::branches_pruned_by_core)
+    /// and
+    /// [`EnumerationStats::branches_pruned_by_color`](crate::EnumerationStats::branches_pruned_by_color)),
+    /// without changing the retained ranking.
     TopKBySize {
         /// How many cliques to keep.
         k: usize,
@@ -90,10 +99,10 @@ pub struct Query {
     pub spec: QuerySpec,
     /// How to branch (preset, scheduler, early termination, …).
     pub config: SolverConfig,
-    /// Worker threads (clamped to ≥ 1; anchored, k-clique and
+    /// Worker threads (clamped to ≥ 1; anchored, k-clique, top-k and
     /// maximum-clique specs run sequentially — the first two have no root
-    /// phase to parallelise, and the branch-and-bound search shares one
-    /// incumbent).
+    /// phase to parallelise, and the bounded searches share one incumbent /
+    /// retained set).
     pub threads: usize,
     /// Resource bounds of the session.
     pub budget: Budget,
@@ -331,17 +340,23 @@ impl<'g> ExecSession<'g> {
                 (stats, QueryValue::Count(counter.count))
             }
             QuerySpec::TopKBySize { k } => {
-                // For k == 1 the greedy clique lower bound is a proven size
-                // floor (see TopKReporter::with_size_floor): the stream
-                // contains a clique at least that large, so smaller ones
-                // can never be the single largest and are dropped without
-                // the O(log k) ranking work. For k > 1 no floor applies.
-                let mut top = if *k == 1 {
-                    TopKReporter::with_size_floor(1, crate::maxclique::greedy_lower_bound(g))
-                } else {
-                    TopKReporter::new(*k)
-                };
-                let stats = ordered(&mut top)?;
+                // Dedicated sequential path (like the anchored and
+                // maximum-clique specs): the enumeration runs with the
+                // branch-and-bound pruning machinery extended to top-k — the
+                // core-number bound closes roots and the candidate-count /
+                // greedy-coloring bounds close branches that cannot contain
+                // a clique large enough to change the retained top-k. The
+                // sequential stream order equals the ordered pipeline's, so
+                // the retained ranking is byte-identical to riding the full
+                // enumeration through this reporter, at any thread count.
+                let solver = Solver::new(g, config).expect("configuration validated at admission");
+                let mut top = TopKReporter::new(*k);
+                let stats = catch_unwind(AssertUnwindSafe(|| {
+                    let mut worker = WorkerState::new();
+                    let mut gated = BudgetReporter::new(&mut top, state);
+                    solver.run_topk(*k, &mut worker, Some(state), &mut gated)
+                }))
+                .map_err(engine_panic)?;
                 (stats, QueryValue::TopK(top.into_cliques()))
             }
             QuerySpec::MaximumClique => {
@@ -865,6 +880,12 @@ mod tests {
         // Moon–Moser K_{3,3,3,3}: no vertex neighbourhood is a clique, so
         // graph reduction removes nothing and the branching loops (the
         // step-gated work) always run — steps(0) is guaranteed to truncate.
+        // The top-k case asks for more cliques than the graph has (k = 100):
+        // the size bound then never activates, so its branching loops run
+        // like the others'. (A small k can legitimately COMPLETE under
+        // steps(0) now — the core/coloring bounds close every branch before
+        // any step-gated work runs; see
+        // top_k_small_k_completes_under_zero_step_budget.)
         let mut edges = Vec::new();
         for u in 0..12u32 {
             for v in (u + 1)..12 {
@@ -877,7 +898,7 @@ mod tests {
         for threads in [1usize, 3] {
             for (label, spec) in [
                 ("count", QuerySpec::Count),
-                ("topk", QuerySpec::TopKBySize { k: 3 }),
+                ("topk", QuerySpec::TopKBySize { k: 100 }),
                 ("kclique", QuerySpec::KClique { k: 3 }),
             ] {
                 let mut sink = CountReporter::new();
@@ -903,6 +924,77 @@ mod tests {
                 assert!(
                     result.budget_steps > 0,
                     "{label} x{threads}: a step tripped the bound, so >= 1 was charged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_small_k_completes_under_zero_step_budget() {
+        // The flip side of truncated_outcomes_always_report_budget_termination:
+        // on Moon–Moser K_{3,3,3,3} with a small k, the early-termination
+        // emitter serves the first root without charging a step and the
+        // coloring bound then closes every other root — the whole query
+        // completes without any step-gated work, even under steps(0).
+        let mut edges = Vec::new();
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                if u / 3 != v / 3 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(12, edges).unwrap();
+        let mut sink = CountReporter::new();
+        let unbudgeted =
+            run_query(&g, Query::new(QuerySpec::TopKBySize { k: 3 }), &mut sink).unwrap();
+        let result = run_query(
+            &g,
+            Query::new(QuerySpec::TopKBySize { k: 3 }).with_budget(Budget::steps(0)),
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(result.outcome, Outcome::Complete);
+        assert_eq!(result.value, unbudgeted.value);
+        assert!(
+            result.stats.branches_pruned_by_color > 0 || result.stats.branches_pruned_by_core > 0,
+            "the bounds, not brute force, closed the search"
+        );
+    }
+
+    #[test]
+    fn top_k_bounds_match_enumeration_riding_selection() {
+        // The pruned top-k path must retain exactly what a TopKReporter
+        // riding the full ordered enumeration retains — same cliques, same
+        // ranking — for every preset and for k values below, at and above
+        // the number of maximal cliques, while evaluating no more branches.
+        let g = test_graph();
+        for (name, config) in SolverConfig::named_presets() {
+            for k in [1usize, 2, 3, 5, 64] {
+                let mut riding = TopKReporter::new(k);
+                let full = run_query(
+                    &g,
+                    Query::new(QuerySpec::Enumerate).with_config(config),
+                    &mut riding,
+                )
+                .unwrap();
+                let mut sink = CountReporter::new();
+                let result = run_query(
+                    &g,
+                    Query::new(QuerySpec::TopKBySize { k }).with_config(config),
+                    &mut sink,
+                )
+                .unwrap();
+                assert_eq!(
+                    result.value,
+                    QueryValue::TopK(riding.into_cliques()),
+                    "{name} k={k}"
+                );
+                assert!(
+                    result.stats.recursive_calls <= full.stats.recursive_calls,
+                    "{name} k={k}: bounded run opened more branches ({} > {})",
+                    result.stats.recursive_calls,
+                    full.stats.recursive_calls,
                 );
             }
         }

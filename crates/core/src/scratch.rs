@@ -10,23 +10,51 @@
 //! depth is enough, and after the arena has grown to the deepest branch every
 //! further node runs with **zero heap allocations**.
 //!
+//! # Frame slab layout
+//!
+//! Each [`Frame`] stores its `C` and `X` rows in **one contiguous `Vec<u64>`
+//! slab**: the `C` row starts at a 64-byte-aligned offset and the `X` row
+//! follows at a stride rounded up to a whole number of cache lines (8 words).
+//! The node's two hottest bit rows therefore live on adjacent cache lines
+//! with no pointer chase between them, and `C`/`X` never share a line (no
+//! false sharing between the intersect and exclusion kernels of one child
+//! derivation). Rows are exposed as [`BitsRef`]/[`BitsMut`] views carrying
+//! the exact `BitSet` word semantics; the branch/alt/edge lists stay separate
+//! `Vec`s because their lengths are data-dependent.
+//!
+//! After [`Frame::set_cap`] changes the row geometry the row *contents* are
+//! unspecified — every caller either fully rewrites both rows (the child
+//! derivation) or explicitly resets them ([`Frame::reset`], the root loader).
+//!
 //! [`WorkerState`] bundles the arena with the root-phase buffers (the
 //! candidate/exclusion splits, the dense [`LocalGraph`] whose adjacency
 //! matrices are rebuilt in place per root, and the original-id → local-id
 //! position map), so a whole enumeration run touches the allocator only while
 //! warming up.
 
-use mce_graph::{BitSet, VertexId};
+use mce_graph::{kernels, BitSet, BitsMut, BitsRef, VertexId};
 
 use crate::local::LocalGraph;
 
-/// Scratch buffers of one recursion depth.
+const WORD_BITS: usize = 64;
+/// Words per cache line; row strides are rounded up to this.
+const LINE_WORDS: usize = 8;
+
+/// Scratch buffers of one recursion depth. `C` and `X` live in one
+/// cache-line-aligned slab (see the module docs); the vertex/edge lists are
+/// plain `Vec`s.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Frame {
-    /// Candidate set `C` of the node at this depth.
-    pub c: BitSet,
-    /// Exclusion set `X` of the node at this depth.
-    pub x: BitSet,
+    /// The C/X slab: alignment padding, then the `C` row, then the `X` row.
+    cx: Vec<u64>,
+    /// Start offset (in words) of the `C` row within the slab.
+    base: usize,
+    /// Row stride in words (`live` rounded up to a cache line).
+    row_words: usize,
+    /// Live words per row: `cap.div_ceil(64)`, the `BitSet` invariant.
+    live: usize,
+    /// Capacity (universe size) of both rows.
+    cap: usize,
     /// Branch vertex list (pivot-pruned candidates, or the member list of an
     /// edge-oriented step).
     pub branch: Vec<usize>,
@@ -34,6 +62,124 @@ pub(crate) struct Frame {
     pub alt: Vec<usize>,
     /// Candidate edges of an edge-oriented step: `(global position, a, b)`.
     pub edges: Vec<(usize, usize, usize)>,
+}
+
+impl Frame {
+    /// Capacity (universe size) of the frame's `C`/`X` rows.
+    #[inline]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Adjusts the slab geometry for rows of capacity `cap`. Row contents are
+    /// **unspecified** after a capacity change (callers fully rewrite or
+    /// [`Frame::reset`]); a same-capacity call keeps the rows intact.
+    pub fn set_cap(&mut self, cap: usize) {
+        if cap == self.cap && !self.cx.is_empty() {
+            return;
+        }
+        let live = cap.div_ceil(WORD_BITS);
+        let row_words = live.div_ceil(LINE_WORDS).max(1) * LINE_WORDS;
+        // Up to 7 leading words bring the C row to a 64-byte boundary.
+        self.cx.resize(LINE_WORDS - 1 + 2 * row_words, 0);
+        // align_offset counts elements; a u64 pointer is 8-byte aligned, so
+        // the offset is always < 8 and fits the padding above. Alignment is a
+        // performance property only — offsets stay valid if the Vec is ever
+        // cloned onto a differently aligned allocation.
+        let base = self.cx.as_ptr().align_offset(64).min(LINE_WORDS - 1);
+        self.base = base;
+        self.row_words = row_words;
+        self.live = live;
+        self.cap = cap;
+    }
+
+    /// [`Frame::set_cap`] followed by zeroing both rows — the slab analogue
+    /// of `BitSet::reset` on `C` and `X`.
+    pub fn reset(&mut self, cap: usize) {
+        self.set_cap(cap);
+        let end = self.base + self.row_words + self.live;
+        self.cx[self.base..end].iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// The candidate row `C` as a read-only view.
+    #[inline]
+    pub fn c(&self) -> BitsRef<'_> {
+        BitsRef::new(&self.cx[self.base..self.base + self.live], self.cap)
+    }
+
+    /// The exclusion row `X` as a read-only view.
+    #[inline]
+    pub fn x(&self) -> BitsRef<'_> {
+        let x0 = self.base + self.row_words;
+        BitsRef::new(&self.cx[x0..x0 + self.live], self.cap)
+    }
+
+    /// The candidate row `C` as a mutable view.
+    #[inline]
+    pub fn c_mut(&mut self) -> BitsMut<'_> {
+        BitsMut::new(&mut self.cx[self.base..self.base + self.live], self.cap)
+    }
+
+    /// The exclusion row `X` as a mutable view.
+    #[inline]
+    pub fn x_mut(&mut self) -> BitsMut<'_> {
+        let x0 = self.base + self.row_words;
+        BitsMut::new(&mut self.cx[x0..x0 + self.live], self.cap)
+    }
+
+    /// Both rows as simultaneous mutable views.
+    #[inline]
+    pub fn cx_mut(&mut self) -> (BitsMut<'_>, BitsMut<'_>) {
+        let x0 = self.base + self.row_words;
+        let (left, right) = self.cx.split_at_mut(x0);
+        (
+            BitsMut::new(&mut left[self.base..self.base + self.live], self.cap),
+            BitsMut::new(&mut right[..self.live], self.cap),
+        )
+    }
+
+    /// Rebuilds the branch list from the current contents of `C` (ascending
+    /// local ids), reusing the list's allocation.
+    #[inline]
+    pub fn branch_from_c(&mut self) {
+        let c = BitsRef::new(&self.cx[self.base..self.base + self.live], self.cap);
+        self.branch.clear();
+        self.branch.extend(c.iter());
+    }
+
+    /// Rebuilds the branch list as `C \ row` (the pivot-pruned candidate
+    /// list), reusing the list's allocation.
+    #[inline]
+    pub fn branch_from_c_and_not(&mut self, row: &[u64]) {
+        let c = BitsRef::new(&self.cx[self.base..self.base + self.live], self.cap);
+        self.branch.clear();
+        c.and_not_collect(row, &mut self.branch);
+    }
+
+    /// Splits the frame into disjoint mutable borrows of every buffer, for
+    /// callers that mix row kernels with list edits in one pass.
+    pub fn parts(&mut self) -> FrameParts<'_> {
+        let x0 = self.base + self.row_words;
+        let (left, right) = self.cx.split_at_mut(x0);
+        FrameParts {
+            c: BitsMut::new(&mut left[self.base..self.base + self.live], self.cap),
+            x: BitsMut::new(&mut right[..self.live], self.cap),
+            branch: &mut self.branch,
+            alt: &mut self.alt,
+        }
+    }
+}
+
+/// Disjoint mutable borrows of one [`Frame`]'s buffers (see [`Frame::parts`]).
+pub(crate) struct FrameParts<'a> {
+    /// The candidate row `C`.
+    pub c: BitsMut<'a>,
+    /// The exclusion row `X`.
+    pub x: BitsMut<'a>,
+    /// The branch vertex list.
+    pub branch: &'a mut Vec<usize>,
+    /// The alternative branching list of `BK_Fac`.
+    pub alt: &'a mut Vec<usize>,
 }
 
 /// Depth-indexed arena of [`Frame`]s for one worker.
@@ -78,10 +224,12 @@ impl SearchScratch {
     /// `(C, X)` sets and the remaining branch list, reusing the frame's
     /// buffers.
     pub fn load_root(&mut self, c: &BitSet, x: &BitSet, branch: &[usize]) {
+        debug_assert_eq!(c.capacity(), x.capacity());
         self.ensure(0);
         let f0 = self.frame_mut(0);
-        f0.c.copy_from(c);
-        f0.x.copy_from(x);
+        f0.set_cap(c.capacity());
+        f0.c_mut().copy_from(c.view());
+        f0.x_mut().copy_from(x.view());
         f0.branch.clear();
         f0.branch.extend_from_slice(branch);
     }
@@ -94,15 +242,40 @@ impl SearchScratch {
     /// (their edge was excluded by an edge-oriented ancestor) move to the
     /// exclusion side, preserving maximality checks against the original
     /// graph. Performs no heap allocation once the frame's buffers have grown
-    /// to the branch size.
+    /// to the branch size. Returns `|C'|` (free from the fused intersect
+    /// kernel).
     #[inline]
-    pub fn make_child(&mut self, depth: usize, lg: &LocalGraph, v: usize) {
+    pub fn make_child(&mut self, depth: usize, lg: &LocalGraph, v: usize) -> usize {
         let (parent, child) = self.pair(depth);
-        parent.c.intersect_into(lg.cand(v), &mut child.c);
-        child.x.copy_from(&parent.c);
-        child.x.union_with(&parent.x);
-        child.x.intersect_with_words(lg.gadj(v));
-        child.x.difference_with(&child.c);
+        child.set_cap(parent.cap());
+        let (pc, px) = (parent.c(), parent.x());
+        let (mut cc, mut cx) = child.cx_mut();
+        let count = cc.assign_and_count(pc, lg.cand(v));
+        cx.copy_from(pc);
+        cx.union_with_words(px.words());
+        cx.intersect_with_words(lg.gadj(v));
+        cx.difference_with_words(cc.as_ref().words());
+        count
+    }
+
+    /// The `C`-only child derivation of the branch-and-bound engine:
+    /// `C' = C ∩ row`, returning `|C'|`. The child's `X` row is left
+    /// untouched (the B&B recursion never reads it).
+    #[inline]
+    pub fn make_child_c(&mut self, depth: usize, row: &[u64]) -> usize {
+        let (parent, child) = self.pair(depth);
+        child.set_cap(parent.cap());
+        let pc = parent.c();
+        child.c_mut().assign_and_count(pc, row)
+    }
+
+    /// Prefetches the adjacency rows the *next* branch iteration will
+    /// intersect against, overlapping the memory fetch with the current
+    /// child's subtree.
+    #[inline]
+    pub fn prefetch_rows(lg: &LocalGraph, v: usize) {
+        kernels::prefetch(lg.cand(v));
+        kernels::prefetch(lg.gadj(v));
     }
 }
 
@@ -179,6 +352,59 @@ mod tests {
     }
 
     #[test]
+    fn frame_rows_share_one_slab_with_line_stride() {
+        let mut f = Frame::default();
+        f.reset(130); // 3 live words → stride 8
+        assert_eq!(f.cap(), 130);
+        assert_eq!(f.c().words().len(), 3);
+        assert_eq!(f.x().words().len(), 3);
+        let c0 = f.c().words().as_ptr() as usize;
+        let x0 = f.x().words().as_ptr() as usize;
+        assert_eq!(x0 - c0, 8 * 8, "X starts one cache-line stride after C");
+        assert_eq!(c0 % 64, 0, "C row is cache-line aligned");
+    }
+
+    #[test]
+    fn frame_reset_zeroes_and_set_cap_keeps_same_cap() {
+        let mut f = Frame::default();
+        f.reset(70);
+        f.c_mut().insert(69);
+        f.x_mut().insert(1);
+        // Same capacity: rows intact.
+        f.set_cap(70);
+        assert!(f.c().contains(69) && f.x().contains(1));
+        // Reset clears both rows.
+        f.reset(70);
+        assert!(f.c().is_empty() && f.x().is_empty());
+    }
+
+    #[test]
+    fn frame_rows_have_bitset_out_of_range_contract() {
+        let mut f = Frame::default();
+        f.reset(70);
+        let mut c = f.c_mut();
+        assert!(!c.insert(70), "insert past cap is a no-op");
+        assert!(!c.insert(1000));
+        assert!(c.is_empty());
+        assert!(!c.contains(70));
+        assert!(!c.remove(70));
+        assert!(c.insert(69));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn branch_from_c_lists_candidates_in_order() {
+        let mut f = Frame::default();
+        f.reset(100);
+        for v in [70, 3, 65] {
+            f.c_mut().insert(v);
+        }
+        f.branch.push(999); // stale content is replaced
+        f.branch_from_c();
+        assert_eq!(f.branch, vec![3, 65, 70]);
+    }
+
+    #[test]
     fn make_child_matches_formula() {
         // Diamond: 0-1-2-3 cycle with chord (0,2).
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
@@ -186,18 +412,34 @@ mod tests {
         let mut s = SearchScratch::default();
         s.ensure(0);
         let f0 = s.frame_mut(0);
-        f0.c.reset(4);
+        f0.reset(4);
         for v in [1, 2, 3] {
-            f0.c.insert(v);
+            f0.c_mut().insert(v);
         }
-        f0.x.reset(4);
-        f0.x.insert(0);
+        f0.x_mut().insert(0);
         // Branch on local vertex 2: C' = {1, 3}, X' = {0} (0 adjacent to 2).
-        s.make_child(0, &lg, 2);
-        assert_eq!(s.frame(1).c.iter().collect::<Vec<_>>(), vec![1, 3]);
-        assert_eq!(s.frame(1).x.iter().collect::<Vec<_>>(), vec![0]);
+        let count = s.make_child(0, &lg, 2);
+        assert_eq!(count, 2, "fused count is |C'|");
+        assert_eq!(s.frame(1).c().iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.frame(1).x().iter().collect::<Vec<_>>(), vec![0]);
         // Parent frame is untouched.
-        assert_eq!(s.frame(0).c.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(s.frame(0).c().iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn make_child_c_intersects_without_touching_x() {
+        let g = Graph::complete(3);
+        let lg = LocalGraph::from_vertices(&g, &[0, 1, 2]);
+        let mut s = SearchScratch::default();
+        s.ensure(0);
+        let f0 = s.frame_mut(0);
+        f0.reset(3);
+        for v in [0, 1, 2] {
+            f0.c_mut().insert(v);
+        }
+        let count = s.make_child_c(0, lg.cand(0));
+        assert_eq!(count, 2);
+        assert_eq!(s.frame(1).c().iter().collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]
@@ -209,12 +451,12 @@ mod tests {
         let mut x = BitSet::with_capacity(6);
         x.insert(0);
         s.load_root(&c, &x, &[4, 1]);
-        assert_eq!(s.frame(0).c.iter().collect::<Vec<_>>(), vec![1, 4]);
-        assert_eq!(s.frame(0).x.iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.frame(0).c().iter().collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(s.frame(0).x().iter().collect::<Vec<_>>(), vec![0]);
         assert_eq!(s.frame(0).branch, vec![4, 1]);
         // Reloading reuses the frame and replaces its contents.
         s.load_root(&x, &c, &[2]);
-        assert_eq!(s.frame(0).c.iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(s.frame(0).c().iter().collect::<Vec<_>>(), vec![0]);
         assert_eq!(s.frame(0).branch, vec![2]);
     }
 

@@ -38,7 +38,9 @@
 use std::time::{Duration, Instant};
 
 use mce_graph::ordering::{edge_ordering, vertex_ordering, EdgeOrdering};
-use mce_graph::{connected_components, Graph, GraphTopology, VertexId};
+use mce_graph::{
+    connected_components, degeneracy_ordering, BitsRef, Graph, GraphTopology, VertexId,
+};
 
 use crate::budget::BudgetState;
 use crate::config::{
@@ -46,6 +48,7 @@ use crate::config::{
 };
 use crate::early_term::enumerate_plex_branch;
 use crate::local::LocalGraph;
+use crate::maxclique::{greedy_clique, TopKBound};
 use crate::pivot::{plex_condition, scan_branch};
 use crate::pool::{BranchTask, DonationSink, SeqKey, SPLIT_CHUNK};
 use crate::reduction::{reduce, Reduction};
@@ -248,13 +251,45 @@ struct Ctx<'a> {
     donor: Option<Donor<'a>>,
     /// `Some` only when running inside a budgeted session.
     budget: Option<&'a BudgetState>,
+    /// `Some` only on the sequential `TopKBySize` path
+    /// ([`Solver::run_topk`]): observes every emitted clique size and prunes
+    /// branches that cannot change the retained top-k.
+    topk: Option<&'a mut TopKBound>,
 }
 
 impl Ctx<'_> {
     fn report(&mut self, clique: &[VertexId]) {
         self.stats.maximal_cliques += 1;
         self.stats.max_clique_size = self.stats.max_clique_size.max(clique.len());
+        if let Some(tb) = self.topk.as_deref_mut() {
+            tb.observe(clique.len());
+        }
         self.reporter.report(clique);
+    }
+
+    /// The `TopKBySize` bound check at one branch `(S, C, X)`: `true` when
+    /// the branch cannot contain a clique large enough to change the
+    /// retained top-k — first by the candidate count (`|S| + |C|`), then by
+    /// the greedy-coloring upper bound on `C` — and was pruned (counted in
+    /// [`EnumerationStats::branches_pruned_by_color`]). Always `false`
+    /// outside a top-k run or before `k` cliques have been observed.
+    fn topk_prunes(&mut self, lg: &LocalGraph, c: BitsRef<'_>, partial_len: usize) -> bool {
+        let Some(tb) = self.topk.as_deref_mut() else {
+            return false;
+        };
+        let Some(min) = tb.min_interesting() else {
+            return false;
+        };
+        if partial_len.saturating_add(c.len()) < min {
+            self.stats.branches_pruned_by_color += 1;
+            return true;
+        }
+        let colors = tb.coloring.color_count(lg, c);
+        if partial_len.saturating_add(colors) < min {
+            self.stats.branches_pruned_by_color += 1;
+            return true;
+        }
+        false
     }
 
     /// Accounts one branch step against the session budget; `true` means the
@@ -450,6 +485,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             reporter,
             donor: None,
             budget,
+            topk: None,
         };
         worker.prepare_for(self.graph.n());
         if with_static {
@@ -488,6 +524,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             reporter,
             donor: Some(Donor::new(sink)),
             budget,
+            topk: None,
         };
         worker.prepare_for(self.graph.n());
         for rank in ranks {
@@ -529,6 +566,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             reporter,
             donor: Some(donor),
             budget,
+            topk: None,
         };
         let BranchTask {
             partial: prefix,
@@ -582,6 +620,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             reporter,
             donor: None,
             budget,
+            topk: None,
         };
         worker.prepare_for(g.n());
         // Common neighbourhood of the anchor, walked from its smallest
@@ -609,6 +648,77 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             ..
         } = worker;
         self.dispatch(lg, partial, 0, 0, None, &mut ctx, scratch);
+        ctx.stats.elapsed = start.elapsed();
+        ctx.stats.busy_time = ctx.stats.elapsed;
+        ctx.stats
+    }
+
+    /// Runs a `TopKBySize { k }` query sequentially with the bound
+    /// machinery of [`crate::maxclique`] extended to top-k selection: the
+    /// core-number bound closes roots, and the candidate-count and
+    /// greedy-coloring upper bounds close branches that cannot contain a
+    /// clique large enough to change the retained top-k (counted in
+    /// `branches_pruned_by_core` / `branches_pruned_by_color`). Emission
+    /// follows the deterministic sequential stream order, so the retained
+    /// ranking — larger first, ties by arrival — is byte-identical to riding
+    /// the full ordered enumeration through a
+    /// [`TopKReporter`](crate::TopKReporter), with strictly fewer branch
+    /// evaluations whenever any bound fires. Like the anchored, k-clique and
+    /// maximum-clique paths the search is sequential; the query's thread
+    /// count does not affect it.
+    pub(crate) fn run_topk(
+        &self,
+        k: usize,
+        worker: &mut WorkerState,
+        budget: Option<&BudgetState>,
+        reporter: &mut dyn CliqueReporter,
+    ) -> EnumerationStats {
+        let g = self.graph;
+        let start = Instant::now();
+        let plan = self.prepare();
+        // Core numbers bound every root: a clique through `v` has at most
+        // core(v) + 1 members. For k == 1 the greedy clique along the
+        // reverse degeneracy order seeds a proven size floor — the stream
+        // contains a clique at least that large, and among equal sizes the
+        // earlier arrival wins the tie.
+        let deg = degeneracy_ordering(g);
+        let seed_floor = if k == 1 {
+            greedy_clique(g, &deg.order, &mut worker.partial);
+            worker.partial.len()
+        } else {
+            0
+        };
+        let mut bound = TopKBound::new(k, seed_floor);
+        let mut ctx = Ctx {
+            config: self.config,
+            stats: EnumerationStats::default(),
+            reporter,
+            donor: None,
+            budget,
+            topk: Some(&mut bound),
+        };
+        worker.prepare_for(g.n());
+        ctx.stats.ordering_time = plan.ordering_time;
+        self.emit_static(&plan, &mut ctx);
+        for rank in 0..plan.root_count() {
+            if ctx.budget_stopped() {
+                break;
+            }
+            if let Some(min) = ctx.topk.as_deref().and_then(TopKBound::min_interesting) {
+                let core_bound = match &plan.kind {
+                    RootKind::Vertex { order, .. } => deg.core[order[rank] as usize] + 1,
+                    RootKind::Edge { eo, .. } => {
+                        let (u, v) = eo.index.endpoints(eo.order[rank]);
+                        deg.core[u as usize].min(deg.core[v as usize]) + 1
+                    }
+                };
+                if core_bound < min {
+                    ctx.stats.branches_pruned_by_core += 1;
+                    continue;
+                }
+            }
+            self.run_root(&plan, rank, worker, &mut ctx);
+        }
         ctx.stats.elapsed = start.elapsed();
         ctx.stats.busy_time = ctx.stats.elapsed;
         ctx.stats
@@ -643,16 +753,19 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             if entry.next_idx >= f.branch.len() {
                 continue; // the current vertex is this loop's last
             }
-            if !f.branch[entry.next_idx..].iter().any(|&w| f.c.contains(w)) {
+            if !f.branch[entry.next_idx..]
+                .iter()
+                .any(|&w| f.c().contains(w))
+            {
                 continue;
             }
             // The loop is inside `branch[next_idx - 1]`'s subtree: in the
             // sequential order the donated siblings run *after* it finishes,
             // with the current vertex moved from C to X.
             let cur = f.branch[entry.next_idx - 1];
-            let mut c = f.c.clone();
+            let mut c = f.c().to_bitset();
             c.remove(cur);
-            let mut x = f.x.clone();
+            let mut x = f.x().to_bitset();
             x.insert(cur);
             let task = BranchTask {
                 rank: donor.rank,
@@ -848,32 +961,31 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
         ctx.stats.recursive_calls += 1;
         {
             let f = scratch.frame(depth);
-            if f.c.is_empty() && f.x.is_empty() {
+            if f.c().is_empty() && f.x().is_empty() {
                 ctx.report(partial);
                 return;
             }
+        }
+        if ctx.topk_prunes(lg, scratch.frame(depth).c(), partial.len()) {
+            return;
         }
 
         // Members of C and their candidate edges, ordered by global position
         // (the branch inherits π_τ), collected into the frame's buffers.
         {
             let f = scratch.frame_mut(depth);
-            let Frame {
-                c, branch, edges, ..
-            } = f;
-            branch.clear();
-            branch.extend(c.iter());
-            edges.clear();
-            for (i, &a) in branch.iter().enumerate() {
-                for &b in &branch[i + 1..] {
+            f.branch_from_c();
+            f.edges.clear();
+            for (i, &a) in f.branch.iter().enumerate() {
+                for &b in &f.branch[i + 1..] {
                     if lg.cand_contains(a, b) {
                         if let Some(e) = eo.index.edge_id(lg.orig[a], lg.orig[b]) {
-                            edges.push((eo.position[e as usize], a, b));
+                            f.edges.push((eo.position[e as usize], a, b));
                         }
                     }
                 }
             }
-            edges.sort_unstable();
+            f.edges.sort_unstable();
         }
 
         let mut i = 0;
@@ -893,14 +1005,16 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             });
             {
                 let (parent, child) = scratch.pair(depth);
-                parent.c.intersect_into(child_lg.cand(a), &mut child.c);
-                child.c.intersect_with_words(child_lg.cand(b));
-                child.x.copy_from(&parent.c);
-                child.x.union_with(&parent.x);
-                child.x.intersect_with_words(lg.gadj(a));
-                child.x.intersect_with_words(lg.gadj(b));
-                let Frame { c, x, .. } = child;
-                x.difference_with(c);
+                child.set_cap(parent.cap());
+                let (pc, px) = (parent.c(), parent.x());
+                let (mut cc, mut cx) = child.cx_mut();
+                cc.assign_and_count(pc, child_lg.cand(a));
+                cc.intersect_with_words(child_lg.cand(b));
+                cx.copy_from(pc);
+                cx.union_with_words(px.words());
+                cx.intersect_with_words(lg.gadj(a));
+                cx.intersect_with_words(lg.gadj(b));
+                cx.difference_with_words(cc.as_ref().words());
             }
             partial.push(lg.orig[a]);
             partial.push(lg.orig[b]);
@@ -924,10 +1038,10 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
                 return;
             }
             let f = scratch.frame(depth);
-            if f.c.intersection_len_words(lg.cand(w)) == 0 {
+            if f.c().intersection_len_words(lg.cand(w)) == 0 {
                 ctx.stats.recursive_calls += 1;
-                let extendable = f.c.intersection_len_words(lg.gadj(w)) > 0
-                    || f.x.intersection_len_words(lg.gadj(w)) > 0;
+                let extendable = f.c().intersection_len_words(lg.gadj(w)) > 0
+                    || f.x().intersection_len_words(lg.gadj(w)) > 0;
                 if !extendable {
                     partial.push(lg.orig[w]);
                     ctx.report(partial);
@@ -951,20 +1065,23 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
         ctx.stats.recursive_calls += 1;
         let (c_len, x_empty) = {
             let f = scratch.frame(depth);
-            if f.c.is_empty() {
-                if f.x.is_empty() {
+            if f.c().is_empty() {
+                if f.x().is_empty() {
                     ctx.report(partial);
                 }
                 return;
             }
-            (f.c.len(), f.x.is_empty())
+            (f.c().len(), f.x().is_empty())
         };
+        if ctx.topk_prunes(lg, scratch.frame(depth).c(), partial.len()) {
+            return;
+        }
         let t = ctx.config.early_termination_t;
         let need_scan =
             t >= 1 || matches!(strategy, PivotStrategy::Classic | PivotStrategy::Refined);
         let scan = if need_scan {
             let f = scratch.frame(depth);
-            Some(scan_branch(lg, &f.c, &f.x))
+            Some(scan_branch(lg, f.c(), f.x()))
         } else {
             None
         };
@@ -980,10 +1097,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
 
         match strategy {
             PivotStrategy::None => {
-                let f = scratch.frame_mut(depth);
-                let Frame { c, branch, .. } = f;
-                branch.clear();
-                branch.extend(c.iter());
+                scratch.frame_mut(depth).branch_from_c();
                 self.branch_on(lg, partial, depth, strategy, ctx, scratch);
             }
             PivotStrategy::Classic => {
@@ -1001,10 +1115,13 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
                     // maximal clique of this branch, so absorb it without branching.
                     {
                         let (parent, child) = scratch.pair(depth);
-                        child.c.copy_from(&parent.c);
-                        child.c.remove(u);
-                        child.x.copy_from(&parent.x);
-                        child.x.intersect_with_words(lg.gadj(u));
+                        child.set_cap(parent.cap());
+                        let (pc, px) = (parent.c(), parent.x());
+                        let (mut cc, mut cx) = child.cx_mut();
+                        cc.copy_from(pc);
+                        cc.remove(u);
+                        cx.copy_from(px);
+                        cx.intersect_with_words(lg.gadj(u));
                     }
                     partial.push(lg.orig[u]);
                     self.pivot_rec(lg, partial, depth + 1, strategy, ctx, scratch);
@@ -1041,7 +1158,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
         let mut i = 0;
         while let Some(&v) = scratch.frame(depth).branch.get(i) {
             i += 1;
-            if !scratch.frame(depth).c.contains(v) {
+            if !scratch.frame(depth).c().contains(v) {
                 continue;
             }
             if ctx.budget_step_abort() {
@@ -1050,13 +1167,19 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             ctx.advance_branch_loop(slot, i);
             self.maybe_donate(lg, partial, ctx, scratch);
             scratch.make_child(depth, lg, v);
+            // Overlap the next sibling's adjacency fetch with this child's
+            // whole subtree: by the time the loop comes back around, the rows
+            // the next make_child intersects against are already in cache.
+            if let Some(&next) = scratch.frame(depth).branch.get(i) {
+                SearchScratch::prefetch_rows(lg, next);
+            }
             partial.push(lg.orig[v]);
             self.pivot_rec(lg, partial, depth + 1, strategy, ctx, scratch);
             partial.pop();
             if ctx.branch_loop_donated(slot) {
                 break;
             }
-            let f = scratch.frame_mut(depth);
+            let mut f = scratch.frame_mut(depth).parts();
             f.c.remove(v);
             f.x.insert(v);
         }
@@ -1075,31 +1198,29 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
     ) {
         {
             let f = scratch.frame_mut(depth);
-            let Some(v0) = f.c.first() else { return };
-            let Frame { c, branch, .. } = f;
-            branch.clear();
-            c.and_not_collect(lg.cand(v0), branch);
+            let Some(v0) = f.c().first() else { return };
+            f.branch_from_c_and_not(lg.cand(v0));
         }
         while let Some(&u) = scratch.frame(depth).branch.first() {
             if ctx.budget_step_abort() {
                 return;
             }
-            if scratch.frame(depth).c.contains(u) {
+            if scratch.frame(depth).c().contains(u) {
                 scratch.make_child(depth, lg, u);
                 partial.push(lg.orig[u]);
                 self.pivot_rec(lg, partial, depth + 1, PivotStrategy::Factor, ctx, scratch);
                 partial.pop();
-                let f = scratch.frame_mut(depth);
+                let mut f = scratch.frame_mut(depth).parts();
                 f.c.remove(u);
                 f.x.insert(u);
             }
-            let f = scratch.frame_mut(depth);
-            let Frame { c, branch, alt, .. } = f;
-            branch.retain(|&w| w != u && c.contains(w));
-            alt.clear();
-            c.and_not_collect(lg.cand(u), alt);
-            if alt.len() < branch.len() {
-                std::mem::swap(branch, alt);
+            let f = scratch.frame_mut(depth).parts();
+            let c = f.c.as_ref();
+            f.branch.retain(|&w| w != u && c.contains(w));
+            f.alt.clear();
+            c.and_not_collect(lg.cand(u), f.alt);
+            if f.alt.len() < f.branch.len() {
+                std::mem::swap(f.branch, f.alt);
             }
         }
     }
@@ -1117,7 +1238,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
         ctx.stats.recursive_calls += 1;
         {
             let f = scratch.frame(depth);
-            if f.c.is_empty() && f.x.is_empty() {
+            if f.c().is_empty() && f.x().is_empty() {
                 ctx.report(partial);
                 return;
             }
@@ -1129,14 +1250,17 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             }
             let (c_len, x_empty) = {
                 let f = scratch.frame(depth);
-                if f.c.is_empty() {
+                if f.c().is_empty() {
                     return;
                 }
-                (f.c.len(), f.x.is_empty())
+                (f.c().len(), f.x().is_empty())
             };
+            if ctx.topk_prunes(lg, scratch.frame(depth).c(), partial.len()) {
+                return;
+            }
             let scan = {
                 let f = scratch.frame(depth);
-                scan_branch(lg, &f.c, &f.x)
+                scan_branch(lg, f.c(), f.x())
             };
             if t >= 1 && plex_condition(&scan, c_len, t) {
                 ctx.stats.et_eligible += 1;
@@ -1149,7 +1273,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             if candidate_is_clique {
                 if !scan.dominated_by_exclusion {
                     let before = partial.len();
-                    for v in scratch.frame(depth).c.iter() {
+                    for v in scratch.frame(depth).c().iter() {
                         partial.push(lg.orig[v]);
                     }
                     ctx.report(partial);
@@ -1162,7 +1286,7 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
             partial.push(lg.orig[v]);
             self.rcd_rec(lg, partial, depth + 1, ctx, scratch);
             partial.pop();
-            let f = scratch.frame_mut(depth);
+            let mut f = scratch.frame_mut(depth).parts();
             f.c.remove(v);
             f.x.insert(v);
         }
@@ -1179,14 +1303,18 @@ impl<'g, G: GraphTopology> Solver<'g, G> {
         ctx: &mut Ctx<'_>,
         scratch: &SearchScratch,
     ) -> bool {
-        let c = &scratch.frame(depth).c;
+        let c = scratch.frame(depth).c();
         // Split borrows: the emit closure updates clique statistics and streams to
         // the reporter while the remaining counters are updated afterwards.
         let stats = &mut ctx.stats;
         let reporter = &mut *ctx.reporter;
+        let topk = &mut ctx.topk;
         let mut emitted_sizes_max = 0usize;
         let mut emit = |clique: &[VertexId]| {
             emitted_sizes_max = emitted_sizes_max.max(clique.len());
+            if let Some(tb) = topk.as_deref_mut() {
+                tb.observe(clique.len());
+            }
             reporter.report(clique);
         };
         match enumerate_plex_branch(lg, c, partial, &mut emit) {
@@ -1226,31 +1354,30 @@ where
     let k = vertices.len();
     scratch.ensure(0);
     let f0 = scratch.frame_mut(0);
-    f0.c.reset(k);
+    f0.reset(k);
+    let mut c = f0.c_mut();
     for i in 0..candidates.len() {
-        f0.c.insert(i);
+        c.insert(i);
     }
-    f0.x.reset(k);
+    let mut x = f0.x_mut();
     for i in candidates.len()..k {
-        f0.x.insert(i);
+        x.insert(i);
     }
 }
 
 /// Fills the frame's branch list with the candidates that survive pruning by
 /// the pivot's candidate neighbourhood.
 fn prune_by_pivot_into(lg: &LocalGraph, f: &mut Frame, pivot: usize) {
-    let Frame { c, branch, .. } = f;
-    branch.clear();
     if pivot == usize::MAX {
-        branch.extend(c.iter());
+        f.branch_from_c();
         return;
     }
-    let row = if c.contains(pivot) {
+    let row = if f.c().contains(pivot) {
         lg.cand(pivot)
     } else {
         lg.gadj(pivot)
     };
-    c.and_not_collect(row, branch);
+    f.branch_from_c_and_not(row);
 }
 
 // ----------------------------------------------------------------------

@@ -143,6 +143,85 @@ fn steady_state_max_clique_search_does_not_allocate() {
 }
 
 #[test]
+fn fused_kernels_are_allocation_free_on_every_backend() {
+    // The SIMD arms must share the scalar path's zero-allocation property:
+    // once the destination bitset and branch vector are warm, the fused
+    // word kernels — pinned per backend through the `*_with` variants, so
+    // one process covers scalar *and* the native SIMD arm — touch the
+    // allocator exactly never.
+    use mce_graph::{BitSet, KernelBackend};
+    let mut a = BitSet::with_capacity(4096);
+    let row: Vec<u64> = (0..64u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1 << (i % 64))
+        .collect();
+    for i in (0..4096).step_by(3) {
+        a.insert(i);
+    }
+    let mut out = BitSet::with_capacity(4096);
+    let mut bits = Vec::with_capacity(4096);
+    for backend in KernelBackend::available() {
+        let k = backend.table().expect("available implies table");
+        // Warm the destination buffers under this backend.
+        a.intersect_into_count_with(k, &row, &mut out);
+        a.difference_into_with(k, &row, &mut out);
+        bits.clear();
+        a.and_not_collect_with(k, &row, &mut bits);
+
+        let before = allocations();
+        for _ in 0..256 {
+            a.intersect_into_count_with(k, &row, &mut out);
+            a.difference_into_with(k, &row, &mut out);
+            let _ = a.intersection_len_words_with(k, &row);
+            bits.clear();
+            a.and_not_collect_with(k, &row, &mut bits);
+        }
+        assert_eq!(
+            allocations() - before,
+            0,
+            "{backend}: fused kernels allocated in the steady state"
+        );
+    }
+}
+
+#[test]
+fn steady_state_top_k_search_reuses_its_worker() {
+    // The dedicated top-k search rides the same WorkerState scratch slab as
+    // plain enumeration: a warm re-run pays the per-plan vectors (root
+    // ordering, degeneracy cores, the bound's k-entry heap) but never
+    // allocates per node, even with the coloring bound firing.
+    use hbbmc::{CollectReporter, Query, QuerySpec};
+    let g = erdos_renyi(200, 3_000, 13);
+    let run = |reporter: &mut CollectReporter| {
+        hbbmc::run_query(&g, Query::new(QuerySpec::TopKBySize { k: 4 }), reporter)
+            .expect("valid top-k query")
+    };
+    let mut reporter = CollectReporter::new();
+    let warm = run(&mut reporter);
+    assert!(warm.stats.recursive_calls > 100, "trivial search");
+    let before = allocations();
+    let mut reporter = CollectReporter::new();
+    let rerun = run(&mut reporter);
+    let allocs = allocations() - before;
+    // The query layer rebuilds its per-run state (no cross-run cache), so
+    // each run pays the per-plan vectors — but that cost is a constant of
+    // the plan, never of the branch count: a second identical run costs
+    // exactly the same, and the total stays far below the call volume.
+    let before = allocations();
+    let mut reporter = CollectReporter::new();
+    let _ = run(&mut reporter);
+    let allocs_again = allocations() - before;
+    assert_eq!(
+        allocs, allocs_again,
+        "top-k runs must have a fixed allocation plan"
+    );
+    assert!(
+        allocs < 1_200 && allocs * 4 < rerun.stats.recursive_calls,
+        "top-k run allocated {allocs} times over {} recursive calls",
+        rerun.stats.recursive_calls
+    );
+}
+
+#[test]
 fn allocations_stay_flat_as_recursion_grows() {
     // Tripling the recursion volume must not move the warm-run allocation
     // count beyond the constant root-phase budget: allocations are

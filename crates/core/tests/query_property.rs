@@ -4,9 +4,12 @@
 
 use hbbmc::{
     naive_maximal_cliques, run_query, Budget, CancelToken, CliqueLineFormat, CollectReporter,
-    Outcome, Query, QuerySpec, RootScheduler, SolverConfig, WriterReporter,
+    CountReporter, Outcome, Query, QuerySpec, QueryValue, RootScheduler, SolverConfig,
+    TopKReporter, WriterReporter,
 };
-use mce_gen::{erdos_renyi_gnp, planted_communities, PlantedConfig};
+use mce_gen::{
+    barabasi_albert, erdos_renyi_gnp, moon_moser, planted_communities, turan_graph, PlantedConfig,
+};
 use mce_graph::{Graph, VertexId};
 use proptest::prelude::*;
 
@@ -176,6 +179,79 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The dedicated top-k search (core-number root pruning + candidate and
+    /// coloring upper bounds) must select *exactly* the cliques an unbounded
+    /// [`TopKReporter`] riding full enumeration selects — same cliques, same
+    /// tie-breaks — while never evaluating more branches. Checked across four
+    /// structurally distinct generator families: G(n, p), planted
+    /// communities, Barabási–Albert and Moon–Moser.
+    #[test]
+    fn top_k_with_bounds_matches_unbounded_selection_on_four_families(
+        n in 8usize..28,
+        p in 0.1f64..0.6,
+        seed in 0u64..500,
+        k in 1usize..8,
+    ) {
+        let graphs = [
+            erdos_renyi_gnp(n, p, seed),
+            planted_communities(&PlantedConfig {
+                n: n.max(16),
+                communities: 3,
+                min_size: 3,
+                max_size: 6,
+                intra_probability: 1.0,
+                background_edges: n,
+                seed,
+            }),
+            barabasi_albert(n, 3, seed),
+            moon_moser((n / 6).max(1)),
+        ];
+        for g in &graphs {
+            let mut riding = TopKReporter::new(k);
+            let full = run_query(g, Query::new(QuerySpec::Enumerate), &mut riding)
+                .expect("valid enumerate query");
+            let expected = riding.into_cliques();
+
+            let mut ignored = CountReporter::new();
+            let result = run_query(g, Query::new(QuerySpec::TopKBySize { k }), &mut ignored)
+                .expect("valid top-k query");
+            prop_assert_eq!(result.outcome, Outcome::Complete);
+            let QueryValue::TopK(got) = result.value else {
+                panic!("TopKBySize yields a TopK value");
+            };
+            prop_assert_eq!(got, expected, "k={} n={}", k, g.n());
+            prop_assert!(
+                result.stats.recursive_calls <= full.stats.recursive_calls,
+                "bounded search did more work: {} > {}",
+                result.stats.recursive_calls,
+                full.stats.recursive_calls
+            );
+        }
+    }
+
+    /// Same selection-equivalence on Turán graphs (many same-size maximal
+    /// cliques — all ties, so this pins the earlier-arrival tie rule), with
+    /// the bounded search's prune counters actually firing for small k.
+    #[test]
+    fn top_k_tie_handling_matches_on_turan(
+        n in 6usize..30,
+        r in 2usize..6,
+        k in 1usize..5,
+    ) {
+        let g = turan_graph(n, r.min(n));
+        let mut riding = TopKReporter::new(k);
+        run_query(&g, Query::new(QuerySpec::Enumerate), &mut riding)
+            .expect("valid enumerate query");
+        let expected = riding.into_cliques();
+        let mut ignored = CountReporter::new();
+        let result = run_query(&g, Query::new(QuerySpec::TopKBySize { k }), &mut ignored)
+            .expect("valid top-k query");
+        let QueryValue::TopK(got) = result.value else {
+            panic!("TopKBySize yields a TopK value");
+        };
+        prop_assert_eq!(got, expected, "k={} on T({}, {})", k, n, r);
     }
 
     /// Anchored queries respect budgets too: the truncated stream is a prefix

@@ -23,6 +23,24 @@
 //! loops can intersect against contiguous adjacency-matrix rows without
 //! materialising a second `BitSet`. Words missing from a shorter slice are
 //! treated as zero; words beyond `self`'s length are ignored.
+//!
+//! # Kernel backends
+//!
+//! The dense word loops of the fused kernels run through the process-wide
+//! [`kernels`] backend (scalar / AVX2 / NEON, resolved once
+//! at startup). Tail and out-of-range semantics live *here*: `BitSet` slices
+//! both operands to their shared word prefix, hands the equal-length dense
+//! part to the backend, and handles ragged tails itself, so every backend is
+//! bit-identical by construction on the dense part and the tail rules cannot
+//! diverge between backends. The `*_with` variants take an explicit
+//! [`Kernels`] table — used by the backend-equivalence tests and
+//! `bench_kernels` to pin a specific backend regardless of the process-wide
+//! selection.
+//!
+//! [`BitsRef`]/[`BitsMut`] are borrowed views with the same semantics over
+//! word rows owned elsewhere (the per-depth scratch slab of the solver).
+
+use crate::kernels::{self, push_bits, Kernels};
 
 /// A fixed-capacity bit set over the universe `0..capacity`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -92,7 +110,7 @@ impl BitSet {
 
     /// Number of set bits.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        (kernels::active().popcount)(&self.words)
     }
 
     /// Inserts `value`. Returns `true` if the value was not previously
@@ -176,27 +194,18 @@ impl BitSet {
 
     /// Number of elements of `self` whose bit is also set in `row`.
     ///
-    /// 4×-unrolled over the shared words: the branching hot loops call this
-    /// once per candidate per pivot scan, so the popcount reduction runs on
-    /// four independent accumulator lanes before the ragged tail.
+    /// The branching hot loops call this once per candidate per pivot scan;
+    /// the dense reduction runs on the active kernel backend.
     #[inline]
     pub fn intersection_len_words(&self, row: &[u64]) -> usize {
+        self.intersection_len_words_with(kernels::active(), row)
+    }
+
+    /// [`BitSet::intersection_len_words`] with an explicitly pinned backend.
+    #[inline]
+    pub fn intersection_len_words_with(&self, k: &Kernels, row: &[u64]) -> usize {
         let shared = self.words.len().min(row.len());
-        let (a, b) = (&self.words[..shared], &row[..shared]);
-        let mut total = 0usize;
-        let mut i = 0;
-        while i + 4 <= shared {
-            total += (a[i] & b[i]).count_ones() as usize
-                + (a[i + 1] & b[i + 1]).count_ones() as usize
-                + (a[i + 2] & b[i + 2]).count_ones() as usize
-                + (a[i + 3] & b[i + 3]).count_ones() as usize;
-            i += 4;
-        }
-        while i < shared {
-            total += (a[i] & b[i]).count_ones() as usize;
-            i += 1;
-        }
-        total
+        (k.intersection_len)(&self.words[..shared], &row[..shared])
     }
 
     /// In-place intersection with a word row; words missing from a shorter
@@ -230,8 +239,8 @@ impl BitSet {
 
     /// Writes `self ∩ row` into `out` (fused copy + intersect, no
     /// intermediate clone). `out` takes `self`'s capacity, reusing its
-    /// allocation. 4×-unrolled over the shared words; words `row` is missing
-    /// count as zero, so the tail of `out` beyond `row` stays cleared.
+    /// allocation. Words `row` is missing count as zero, so the tail of
+    /// `out` beyond `row` stays cleared.
     #[inline]
     pub fn intersect_into(&self, row: &[u64], out: &mut BitSet) {
         self.intersect_into_count(row, out);
@@ -244,66 +253,43 @@ impl BitSet {
     /// popcount pass over the freshly written words.
     #[inline]
     pub fn intersect_into_count(&self, row: &[u64], out: &mut BitSet) -> usize {
+        self.intersect_into_count_with(kernels::active(), row, out)
+    }
+
+    /// [`BitSet::intersect_into_count`] with an explicitly pinned backend.
+    #[inline]
+    pub fn intersect_into_count_with(&self, k: &Kernels, row: &[u64], out: &mut BitSet) -> usize {
         out.capacity = self.capacity;
         out.words.clear();
         out.words.resize(self.words.len(), 0);
         let shared = self.words.len().min(row.len());
-        let (dst, a, b) = (
-            &mut out.words[..shared],
+        (k.intersect_count)(
             &self.words[..shared],
             &row[..shared],
-        );
-        let mut count = 0usize;
-        let mut i = 0;
-        while i + 4 <= shared {
-            let (w0, w1) = (a[i] & b[i], a[i + 1] & b[i + 1]);
-            let (w2, w3) = (a[i + 2] & b[i + 2], a[i + 3] & b[i + 3]);
-            dst[i] = w0;
-            dst[i + 1] = w1;
-            dst[i + 2] = w2;
-            dst[i + 3] = w3;
-            count +=
-                (w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones()) as usize;
-            i += 4;
-        }
-        while i < shared {
-            let w = a[i] & b[i];
-            dst[i] = w;
-            count += w.count_ones() as usize;
-            i += 1;
-        }
-        count
+            &mut out.words[..shared],
+        )
     }
 
     /// Writes `self \ row` into `out` (fused copy + and-not). `out` takes
-    /// `self`'s capacity, reusing its allocation. 4×-unrolled over the
-    /// shared words; elements of `self` in words `row` is missing all
-    /// survive (the tail is copied verbatim).
+    /// `self`'s capacity, reusing its allocation. Elements of `self` in
+    /// words `row` is missing all survive (the tail is copied verbatim).
     #[inline]
     pub fn difference_into(&self, row: &[u64], out: &mut BitSet) {
+        self.difference_into_with(kernels::active(), row, out);
+    }
+
+    /// [`BitSet::difference_into`] with an explicitly pinned backend.
+    #[inline]
+    pub fn difference_into_with(&self, k: &Kernels, row: &[u64], out: &mut BitSet) {
         out.capacity = self.capacity;
         out.words.clear();
         out.words.resize(self.words.len(), 0);
         let shared = self.words.len().min(row.len());
-        {
-            let (dst, a, b) = (
-                &mut out.words[..shared],
-                &self.words[..shared],
-                &row[..shared],
-            );
-            let mut i = 0;
-            while i + 4 <= shared {
-                dst[i] = a[i] & !b[i];
-                dst[i + 1] = a[i + 1] & !b[i + 1];
-                dst[i + 2] = a[i + 2] & !b[i + 2];
-                dst[i + 3] = a[i + 3] & !b[i + 3];
-                i += 4;
-            }
-            while i < shared {
-                dst[i] = a[i] & !b[i];
-                i += 1;
-            }
-        }
+        (k.difference)(
+            &self.words[..shared],
+            &row[..shared],
+            &mut out.words[..shared],
+        );
         out.words[shared..].copy_from_slice(&self.words[shared..]);
     }
 
@@ -344,40 +330,319 @@ impl BitSet {
     }
 
     /// Appends the elements of `self \ mask` to `out` in increasing order —
-    /// the 4×-unrolled collector twin of [`BitSet::and_not_iter`] for the
-    /// branch-list builders, which always drain the iterator into a `Vec`.
-    /// The masked words are computed four at a time; bit extraction then
-    /// skips the (common) all-zero words without per-bit bounds checks.
-    /// Words missing from a shorter `mask` are treated as zero, so those
-    /// elements of `self` are all appended.
+    /// the collector twin of [`BitSet::and_not_iter`] for the branch-list
+    /// builders, which always drain the iterator into a `Vec`. The dense
+    /// prefix runs on the active kernel backend (which skips all-zero word
+    /// blocks without per-bit bounds checks). Words missing from a shorter
+    /// `mask` are treated as zero, so those elements of `self` are all
+    /// appended.
     pub fn and_not_collect(&self, mask: &[u64], out: &mut Vec<usize>) {
-        #[inline]
-        fn push_bits(wi: usize, mut w: u64, out: &mut Vec<usize>) {
-            while w != 0 {
-                let b = w.trailing_zeros() as usize;
-                w &= w - 1;
-                out.push(wi * WORD_BITS + b);
-            }
-        }
+        self.and_not_collect_with(kernels::active(), mask, out);
+    }
+
+    /// [`BitSet::and_not_collect`] with an explicitly pinned backend.
+    pub fn and_not_collect_with(&self, k: &Kernels, mask: &[u64], out: &mut Vec<usize>) {
         let shared = self.words.len().min(mask.len());
-        let (a, m) = (&self.words[..shared], &mask[..shared]);
-        let mut i = 0;
-        while i + 4 <= shared {
-            let (w0, w1) = (a[i] & !m[i], a[i + 1] & !m[i + 1]);
-            let (w2, w3) = (a[i + 2] & !m[i + 2], a[i + 3] & !m[i + 3]);
-            push_bits(i, w0, out);
-            push_bits(i + 1, w1, out);
-            push_bits(i + 2, w2, out);
-            push_bits(i + 3, w3, out);
-            i += 4;
-        }
-        while i < shared {
-            push_bits(i, a[i] & !m[i], out);
-            i += 1;
-        }
+        (k.and_not_collect)(&self.words[..shared], &mask[..shared], out);
         for wi in shared..self.words.len() {
             push_bits(wi, self.words[wi], out);
         }
+    }
+
+    /// A borrowed read-only view of the whole set.
+    #[inline]
+    pub fn view(&self) -> BitsRef<'_> {
+        BitsRef {
+            words: &self.words,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Makes `self` a copy of `view` (capacity and contents), reusing the
+    /// existing allocation whenever possible.
+    #[inline]
+    pub fn copy_from_view(&mut self, view: BitsRef<'_>) {
+        self.words.clear();
+        self.words.extend_from_slice(view.words);
+        self.capacity = view.capacity;
+    }
+}
+
+/// A borrowed, read-only bit-set view over a word row owned elsewhere.
+///
+/// Semantically identical to an immutable [`BitSet`] with `words().len() ==
+/// capacity.div_ceil(64)`: the solver's per-depth scratch slab stores its C/X
+/// rows in one contiguous allocation and hands them out as views, so the hot
+/// path keeps the exact `BitSet` word semantics without per-row `Vec`s.
+#[derive(Clone, Copy, Debug)]
+pub struct BitsRef<'a> {
+    words: &'a [u64],
+    capacity: usize,
+}
+
+impl<'a> BitsRef<'a> {
+    /// Wraps a word row as a read-only view; `words.len()` must equal
+    /// `capacity.div_ceil(64)` (the `BitSet` invariant).
+    #[inline]
+    pub fn new(words: &'a [u64], capacity: usize) -> Self {
+        debug_assert_eq!(words.len(), capacity.div_ceil(WORD_BITS));
+        BitsRef { words, capacity }
+    }
+
+    /// The capacity (universe size) of the viewed set.
+    #[inline]
+    pub fn capacity(self) -> usize {
+        self.capacity
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn len(self) -> usize {
+        (kernels::active().popcount)(self.words)
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Membership test; `false` for any value `>= capacity`.
+    #[inline]
+    pub fn contains(self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.words[value / WORD_BITS] & (1 << (value % WORD_BITS)) != 0
+    }
+
+    /// The smallest element of the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|wi| wi * WORD_BITS + self.words[wi].trailing_zeros() as usize)
+    }
+
+    /// Iterates over the set bits in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> + 'a {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Number of elements of the view whose bit is also set in `row`.
+    #[inline]
+    pub fn intersection_len_words(self, row: &[u64]) -> usize {
+        let shared = self.words.len().min(row.len());
+        (kernels::active().intersection_len)(&self.words[..shared], &row[..shared])
+    }
+
+    /// Appends the elements of `self \ mask` to `out` in increasing order
+    /// (same tail semantics as [`BitSet::and_not_collect`]).
+    pub fn and_not_collect(self, mask: &[u64], out: &mut Vec<usize>) {
+        let shared = self.words.len().min(mask.len());
+        (kernels::active().and_not_collect)(&self.words[..shared], &mask[..shared], out);
+        for wi in shared..self.words.len() {
+            push_bits(wi, self.words[wi], out);
+        }
+    }
+
+    /// Iterates over the elements of `self \ mask` in increasing order (same
+    /// tail semantics as [`BitSet::and_not_iter`]).
+    pub fn and_not_iter(self, mask: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut w = word & !mask.get(wi).copied().unwrap_or(0);
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Copies the view into an owned [`BitSet`].
+    pub fn to_bitset(self) -> BitSet {
+        BitSet {
+            words: self.words.to_vec(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Copies the view into `out`, reusing `out`'s allocation.
+    pub fn write_to(self, out: &mut BitSet) {
+        out.copy_from_view(self);
+    }
+}
+
+/// A borrowed, mutable bit-set view over a word row owned elsewhere — the
+/// writable twin of [`BitsRef`], with the fused assign kernels the search
+/// frames need (`self = a ∩ row`, `self = a \ row`).
+#[derive(Debug)]
+pub struct BitsMut<'a> {
+    words: &'a mut [u64],
+    capacity: usize,
+}
+
+impl<'a> BitsMut<'a> {
+    /// Wraps a word row as a mutable view; `words.len()` must equal
+    /// `capacity.div_ceil(64)` (the `BitSet` invariant).
+    #[inline]
+    pub fn new(words: &'a mut [u64], capacity: usize) -> Self {
+        debug_assert_eq!(words.len(), capacity.div_ceil(WORD_BITS));
+        BitsMut { words, capacity }
+    }
+
+    /// Reborrows as a read-only view.
+    #[inline]
+    pub fn as_ref(&self) -> BitsRef<'_> {
+        BitsRef {
+            words: self.words,
+            capacity: self.capacity,
+        }
+    }
+
+    /// The capacity (universe size) of the viewed set.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (kernels::active().popcount)(self.words)
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Membership test; `false` for any value `>= capacity`.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        self.as_ref().contains(value)
+    }
+
+    /// Inserts `value` (out-of-range is a no-op returning `false`, the
+    /// [`BitSet::insert`] contract).
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `value` (out-of-range returns `false`, the
+    /// [`BitSet::remove`] contract).
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Removes all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Makes the view a copy of `other`, which must have the same capacity
+    /// (views cannot resize their backing row).
+    #[inline]
+    pub fn copy_from(&mut self, other: BitsRef<'_>) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.copy_from_slice(other.words);
+    }
+
+    /// In-place intersection with a word row; words missing from a shorter
+    /// `row` count as zero.
+    #[inline]
+    pub fn intersect_with_words(&mut self, row: &[u64]) {
+        let shared = self.words.len().min(row.len());
+        for (a, b) in self.words[..shared].iter_mut().zip(row.iter()) {
+            *a &= *b;
+        }
+        for a in self.words[shared..].iter_mut() {
+            *a = 0;
+        }
+    }
+
+    /// In-place union with a word row (bits beyond the view's length
+    /// ignored).
+    #[inline]
+    pub fn union_with_words(&mut self, row: &[u64]) {
+        for (a, b) in self.words.iter_mut().zip(row.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference with a word row.
+    #[inline]
+    pub fn difference_with_words(&mut self, row: &[u64]) {
+        for (a, b) in self.words.iter_mut().zip(row.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// `self = a ∩ row`, returning the element count — the view twin of
+    /// [`BitSet::intersect_into_count`]. `a` must have the view's capacity.
+    #[inline]
+    pub fn assign_and_count(&mut self, a: BitsRef<'_>, row: &[u64]) -> usize {
+        debug_assert_eq!(self.capacity, a.capacity);
+        let shared = self.words.len().min(row.len());
+        let count = (kernels::active().intersect_count)(
+            &a.words[..shared],
+            &row[..shared],
+            &mut self.words[..shared],
+        );
+        for w in self.words[shared..].iter_mut() {
+            *w = 0;
+        }
+        count
+    }
+
+    /// `self = a \ row` — the view twin of [`BitSet::difference_into`]
+    /// (elements of `a` in words `row` is missing all survive). `a` must
+    /// have the view's capacity.
+    #[inline]
+    pub fn assign_difference(&mut self, a: BitsRef<'_>, row: &[u64]) {
+        debug_assert_eq!(self.capacity, a.capacity);
+        let shared = self.words.len().min(row.len());
+        (kernels::active().difference)(
+            &a.words[..shared],
+            &row[..shared],
+            &mut self.words[..shared],
+        );
+        self.words[shared..].copy_from_slice(&a.words[shared..]);
     }
 }
 

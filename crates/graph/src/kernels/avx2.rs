@@ -1,0 +1,173 @@
+//! AVX2 backend (`x86_64`): 256-bit vector loops over 4 words at a time.
+//!
+//! # Safety
+//!
+//! Every kernel here is a safe wrapper around an `unsafe fn` annotated
+//! `#[target_feature(enable = "avx2,popcnt")]`. Calling such a function on a
+//! CPU without those features is undefined behaviour, which is why this
+//! module is private and its [`TABLE`] is only reachable through
+//! [`KernelBackend::table`](super::KernelBackend::table) — that accessor
+//! returns `None` unless `is_x86_feature_detected!` confirmed both features
+//! at runtime. The `popcnt` enable also matters for speed: inside these
+//! functions `u64::count_ones` compiles to the hardware `popcnt` instruction
+//! instead of the ~15-instruction SWAR fallback the portable scalar build
+//! gets, which is a large part of the backend's win on the counting kernels.
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::{
+    __m256i, _mm256_and_si256, _mm256_andnot_si256, _mm256_loadu_si256, _mm256_storeu_si256,
+    _mm256_testz_si256,
+};
+
+use super::scalar::push_bits;
+use super::Kernels;
+
+pub(super) static TABLE: Kernels = Kernels {
+    name: "avx2",
+    intersect_count,
+    intersection_len,
+    difference,
+    and_not_collect,
+    popcount,
+};
+
+fn intersect_count(a: &[u64], b: &[u64], dst: &mut [u64]) -> usize {
+    // SAFETY: reachable only via a table gated on runtime avx2+popcnt
+    // detection (see module docs).
+    unsafe { intersect_count_impl(a, b, dst) }
+}
+
+fn intersection_len(a: &[u64], b: &[u64]) -> usize {
+    // SAFETY: as above.
+    unsafe { intersection_len_impl(a, b) }
+}
+
+fn difference(a: &[u64], b: &[u64], dst: &mut [u64]) {
+    // SAFETY: as above.
+    unsafe { difference_impl(a, b, dst) }
+}
+
+fn and_not_collect(a: &[u64], mask: &[u64], out: &mut Vec<usize>) {
+    // SAFETY: as above.
+    unsafe { and_not_collect_impl(a, mask, out) }
+}
+
+fn popcount(a: &[u64]) -> usize {
+    // SAFETY: as above.
+    unsafe { popcount_impl(a) }
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn intersect_count_impl(a: &[u64], b: &[u64], dst: &mut [u64]) -> usize {
+    debug_assert!(a.len() == b.len() && a.len() == dst.len());
+    let n = a.len();
+    let mut count = 0usize;
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let vw = _mm256_and_si256(va, vb);
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, vw);
+        count += (dst[i].count_ones()
+            + dst[i + 1].count_ones()
+            + dst[i + 2].count_ones()
+            + dst[i + 3].count_ones()) as usize;
+        i += 4;
+    }
+    while i < n {
+        let w = a[i] & b[i];
+        dst[i] = w;
+        count += w.count_ones() as usize;
+        i += 1;
+    }
+    count
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn intersection_len_impl(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut total = 0usize;
+    let mut buf = [0u64; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, _mm256_and_si256(va, vb));
+        total +=
+            (buf[0].count_ones() + buf[1].count_ones() + buf[2].count_ones() + buf[3].count_ones())
+                as usize;
+        i += 4;
+    }
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as usize;
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn difference_impl(a: &[u64], b: &[u64], dst: &mut [u64]) {
+    debug_assert!(a.len() == b.len() && a.len() == dst.len());
+    let n = a.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        // andnot computes !b & a — exactly the difference kernel.
+        let vw = _mm256_andnot_si256(vb, va);
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut __m256i, vw);
+        i += 4;
+    }
+    while i < n {
+        dst[i] = a[i] & !b[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn and_not_collect_impl(a: &[u64], mask: &[u64], out: &mut Vec<usize>) {
+    debug_assert_eq!(a.len(), mask.len());
+    let n = a.len();
+    let mut buf = [0u64; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vm = _mm256_loadu_si256(mask.as_ptr().add(i) as *const __m256i);
+        let vw = _mm256_andnot_si256(vm, va);
+        // Branch lists are usually sparse relative to the word row, so an
+        // all-zero 256-bit block is the common case — testz skips the store
+        // and the four bit-extraction loops in one instruction.
+        if _mm256_testz_si256(vw, vw) == 0 {
+            _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, vw);
+            push_bits(i, buf[0], out);
+            push_bits(i + 1, buf[1], out);
+            push_bits(i + 2, buf[2], out);
+            push_bits(i + 3, buf[3], out);
+        }
+        i += 4;
+    }
+    while i < n {
+        push_bits(i, a[i] & !mask[i], out);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2,popcnt")]
+unsafe fn popcount_impl(a: &[u64]) -> usize {
+    let n = a.len();
+    let mut total = 0usize;
+    let mut i = 0;
+    while i + 4 <= n {
+        total += (a[i].count_ones()
+            + a[i + 1].count_ones()
+            + a[i + 2].count_ones()
+            + a[i + 3].count_ones()) as usize;
+        i += 4;
+    }
+    while i < n {
+        total += a[i].count_ones() as usize;
+        i += 1;
+    }
+    total
+}

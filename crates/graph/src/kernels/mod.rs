@@ -1,0 +1,449 @@
+//! Runtime-dispatched word kernels: scalar baseline plus explicit SIMD arms.
+//!
+//! Every hot path of the enumeration engine bottoms out in a handful of fused
+//! word loops over `&[u64]` slices — intersection with popcount, and-not,
+//! branch-list collection. This module extracts those loops behind a
+//! [`Kernels`] function-pointer table with three implementations:
+//!
+//! * **`scalar`** — the portable 4×-unrolled `u64` loops (always available;
+//!   bit-identical to the pre-backend code),
+//! * **`avx2`** — explicit `std::arch` 256-bit AVX2 on `x86_64` (requires the
+//!   `avx2` and `popcnt` CPU features at runtime),
+//! * **`neon`** — explicit `std::arch` 128-bit NEON on `aarch64`.
+//!
+//! # Dispatch rules
+//!
+//! The backend is resolved **once per process** and cached in a [`OnceLock`]:
+//! after the first kernel call the hot loops go through plain function
+//! pointers with zero per-call dispatch logic. Resolution order:
+//!
+//! 1. an explicit [`install`] call (the CLI/serve `--kernel` flag) wins,
+//! 2. otherwise the [`ENV_VAR`] environment variable (`MCE_KERNEL=scalar`,
+//!    `avx2`, `neon`) if set to a *supported* backend — front-ends validate
+//!    the variable eagerly via [`from_env`] so typos and unsupported arms
+//!    become typed errors; the lazy library path ignores an invalid value and
+//!    falls back to detection,
+//! 3. otherwise runtime feature detection ([`KernelBackend::detect`]): the
+//!    widest supported SIMD arm, scalar as the universal fallback.
+//!
+//! # Equal-length contract
+//!
+//! Every function in the table operates on **equal-length** word slices.
+//! Callers — the fused [`BitSet`](crate::BitSet) kernels — slice both
+//! operands to the shared prefix and handle ragged tails themselves, so each
+//! backend only has to be bit-identical on the dense common part. This keeps
+//! the out-of-range/tail semantics in exactly one place (`bitset.rs`) and
+//! makes backend equivalence a pure word-math property (tested by proptest in
+//! `tests/property.rs`).
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+mod scalar;
+
+pub(crate) use scalar::push_bits;
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Environment variable overriding backend selection (`scalar|avx2|neon`).
+pub const ENV_VAR: &str = "MCE_KERNEL";
+
+/// Function-pointer table for the fused word kernels.
+///
+/// All slices are equal-length (see the module-level contract); `dst` is
+/// fully overwritten. The table is `'static` and the hot paths fetch it once
+/// per fused operation via [`active`], so the only per-call cost over a
+/// direct call is one indirect jump.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernels {
+    /// Backend name as reported in stats, metrics and bench cells.
+    pub name: &'static str,
+    /// `dst = a & b`; returns the popcount of the result.
+    pub intersect_count: fn(a: &[u64], b: &[u64], dst: &mut [u64]) -> usize,
+    /// Popcount of `a & b` without materialising it.
+    pub intersection_len: fn(a: &[u64], b: &[u64]) -> usize,
+    /// `dst = a & !b`.
+    pub difference: fn(a: &[u64], b: &[u64], dst: &mut [u64]),
+    /// Appends the bit positions of `a & !mask` in increasing order
+    /// (word `i`, bit `b` → `i * 64 + b`).
+    pub and_not_collect: fn(a: &[u64], mask: &[u64], out: &mut Vec<usize>),
+    /// Total popcount of `a`.
+    pub popcount: fn(a: &[u64]) -> usize,
+}
+
+/// A selectable kernel backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Portable 4×-unrolled `u64` loops; always available.
+    Scalar,
+    /// 256-bit AVX2 (`x86_64` with the `avx2` + `popcnt` features).
+    Avx2,
+    /// 128-bit NEON (`aarch64`).
+    Neon,
+}
+
+impl KernelBackend {
+    /// Every backend name the override syntax accepts, supported or not.
+    pub const ALL: [KernelBackend; 3] = [
+        KernelBackend::Scalar,
+        KernelBackend::Avx2,
+        KernelBackend::Neon,
+    ];
+
+    /// The backend's canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Neon => "neon",
+        }
+    }
+
+    /// Parses a backend name (case-insensitive).
+    pub fn parse(s: &str) -> Option<KernelBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "avx2" => Some(KernelBackend::Avx2),
+            "neon" => Some(KernelBackend::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current host (compile target ×
+    /// runtime CPU feature detection).
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            KernelBackend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("popcnt")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelBackend::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                {
+                    std::arch::is_aarch64_feature_detected!("neon")
+                }
+                #[cfg(not(target_arch = "aarch64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The widest backend supported on this host.
+    pub fn detect() -> KernelBackend {
+        if KernelBackend::Avx2.is_supported() {
+            KernelBackend::Avx2
+        } else if KernelBackend::Neon.is_supported() {
+            KernelBackend::Neon
+        } else {
+            KernelBackend::Scalar
+        }
+    }
+
+    /// All backends supported on this host (scalar first).
+    pub fn available() -> Vec<KernelBackend> {
+        KernelBackend::ALL
+            .into_iter()
+            .filter(|b| b.is_supported())
+            .collect()
+    }
+
+    /// This backend's kernel table, or `None` when the host cannot run it.
+    ///
+    /// Gating the table on [`KernelBackend::is_supported`] is what keeps the
+    /// `std::arch` arms sound: their `#[target_feature]` functions are only
+    /// reachable through a table that is never handed out without a positive
+    /// runtime feature check.
+    pub fn table(self) -> Option<&'static Kernels> {
+        match self {
+            KernelBackend::Scalar => Some(&scalar::TABLE),
+            KernelBackend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    self.is_supported().then_some(&avx2::TABLE)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    None
+                }
+            }
+            KernelBackend::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                {
+                    self.is_supported().then_some(&neon::TABLE)
+                }
+                #[cfg(not(target_arch = "aarch64"))]
+                {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a backend request could not be honoured.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// The name is not one of `scalar|avx2|neon`.
+    Unknown(String),
+    /// The backend exists but this host cannot run it.
+    Unsupported(KernelBackend),
+    /// A different backend was already resolved for this process.
+    AlreadyActive {
+        /// The backend the caller asked for.
+        requested: KernelBackend,
+        /// The backend already locked in.
+        active: KernelBackend,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Unknown(name) => {
+                write!(
+                    f,
+                    "unknown kernel backend '{name}' (expected scalar, avx2 or neon)"
+                )
+            }
+            KernelError::Unsupported(b) => {
+                write!(f, "kernel backend '{b}' is not supported on this host")
+            }
+            KernelError::AlreadyActive { requested, active } => write!(
+                f,
+                "kernel backend '{requested}' requested but '{active}' is already active \
+                 for this process"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+static ACTIVE: OnceLock<(KernelBackend, &'static Kernels)> = OnceLock::new();
+
+fn resolve() -> (KernelBackend, &'static Kernels) {
+    // The lazy library path tolerates a bad env value (falls back to
+    // detection); front-ends call `from_env` eagerly to turn the same
+    // condition into a typed error before any kernel runs.
+    let backend = from_env()
+        .ok()
+        .flatten()
+        .unwrap_or_else(KernelBackend::detect);
+    let table = backend.table().unwrap_or_else(|| scalar_table());
+    (backend, table)
+}
+
+fn scalar_table() -> &'static Kernels {
+    &scalar::TABLE
+}
+
+/// The process-wide kernel table, resolving it on first use.
+#[inline]
+pub fn active() -> &'static Kernels {
+    ACTIVE.get_or_init(resolve).1
+}
+
+/// The process-wide backend, resolving it on first use.
+pub fn active_backend() -> KernelBackend {
+    ACTIVE.get_or_init(resolve).0
+}
+
+/// Reads [`ENV_VAR`] strictly: `Ok(None)` when unset, a typed error for an
+/// unknown name or an unsupported backend.
+pub fn from_env() -> Result<Option<KernelBackend>, KernelError> {
+    match std::env::var(ENV_VAR) {
+        Ok(value) => {
+            let backend =
+                KernelBackend::parse(&value).ok_or_else(|| KernelError::Unknown(value.clone()))?;
+            if !backend.is_supported() {
+                return Err(KernelError::Unsupported(backend));
+            }
+            Ok(Some(backend))
+        }
+        Err(_) => Ok(None),
+    }
+}
+
+/// Locks the process-wide backend to `backend`.
+///
+/// Idempotent when the same backend is requested again; fails with
+/// [`KernelError::Unsupported`] when the host cannot run it and
+/// [`KernelError::AlreadyActive`] when a different backend has already been
+/// resolved (front-ends call this before any kernel use, so in practice the
+/// requested backend wins).
+pub fn install(backend: KernelBackend) -> Result<(), KernelError> {
+    let table = backend.table().ok_or(KernelError::Unsupported(backend))?;
+    let (got, _) = *ACTIVE.get_or_init(|| (backend, table));
+    if got != backend {
+        return Err(KernelError::AlreadyActive {
+            requested: backend,
+            active: got,
+        });
+    }
+    Ok(())
+}
+
+/// Hints the CPU to pull the start of `row` into cache.
+///
+/// Used by the branch loop to prefetch the *next* branch vertex's adjacency
+/// row while the current child is being derived. A pure performance hint —
+/// no-op on architectures without an explicit prefetch instruction, and safe
+/// for any slice (prefetching never faults).
+#[inline]
+#[allow(unsafe_code)]
+pub fn prefetch(row: &[u64]) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(first) = row.first() {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        // SAFETY: _mm_prefetch is a hint; it never faults, for any address,
+        // and requires only SSE which is part of the x86_64 baseline.
+        unsafe { _mm_prefetch::<_MM_HINT_T0>(first as *const u64 as *const i8) };
+        if row.len() > 8 {
+            // A second line covers rows past one cache line (8 words).
+            // SAFETY: as above; the index is in bounds by the length check.
+            unsafe { _mm_prefetch::<_MM_HINT_T0>(&row[8] as *const u64 as *const i8) };
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = row;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for b in KernelBackend::ALL {
+            assert_eq!(KernelBackend::parse(b.name()), Some(b));
+            assert_eq!(KernelBackend::parse(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(KernelBackend::parse("avx512"), None);
+        assert_eq!(KernelBackend::parse(""), None);
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(KernelBackend::Scalar.is_supported());
+        assert!(KernelBackend::available().contains(&KernelBackend::Scalar));
+        assert!(KernelBackend::Scalar.table().is_some());
+    }
+
+    #[test]
+    fn detect_returns_a_supported_backend_with_a_table() {
+        let b = KernelBackend::detect();
+        assert!(b.is_supported());
+        assert!(b.table().is_some());
+    }
+
+    #[test]
+    fn unsupported_backend_has_no_table() {
+        for b in KernelBackend::ALL {
+            if !b.is_supported() {
+                assert!(b.table().is_none(), "{b} unsupported but has a table");
+            }
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_backend() {
+        let e = KernelError::Unknown("sse9".into());
+        assert!(e.to_string().contains("sse9"));
+        let e = KernelError::Unsupported(KernelBackend::Neon);
+        assert!(e.to_string().contains("neon"));
+        let e = KernelError::AlreadyActive {
+            requested: KernelBackend::Scalar,
+            active: KernelBackend::Avx2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("scalar") && msg.contains("avx2"));
+    }
+
+    #[test]
+    fn active_backend_is_supported_and_stable() {
+        let first = active_backend();
+        assert!(first.is_supported());
+        assert_eq!(active_backend(), first, "resolution is process-wide");
+        assert_eq!(active().name, first.name());
+        // Installing the already-active backend is idempotent…
+        assert_eq!(install(first), Ok(()));
+        // …and installing a different (supported) one reports the conflict.
+        if let Some(&other) = KernelBackend::available().iter().find(|&&b| b != first) {
+            assert_eq!(
+                install(other),
+                Err(KernelError::AlreadyActive {
+                    requested: other,
+                    active: first,
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_accepts_any_slice() {
+        prefetch(&[]);
+        prefetch(&[1]);
+        prefetch(&vec![0u64; 64]);
+    }
+
+    /// Cross-backend equivalence smoke test (the exhaustive version lives in
+    /// `tests/property.rs`): every available backend computes identical
+    /// results on a word pattern with ragged-tail-shaped data.
+    #[test]
+    fn all_available_backends_agree() {
+        let a: Vec<u64> = (0..37u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(i as u32))
+            .collect();
+        let b: Vec<u64> = (0..37u64)
+            .map(|i| i.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) | (1 << (i % 64)))
+            .collect();
+        let scalar = KernelBackend::Scalar.table().unwrap();
+        let mut want_dst = vec![0u64; a.len()];
+        let want_count = (scalar.intersect_count)(&a, &b, &mut want_dst);
+        let want_len = (scalar.intersection_len)(&a, &b);
+        let mut want_diff = vec![0u64; a.len()];
+        (scalar.difference)(&a, &b, &mut want_diff);
+        let mut want_bits = Vec::new();
+        (scalar.and_not_collect)(&a, &b, &mut want_bits);
+        let want_pop = (scalar.popcount)(&a);
+
+        for backend in KernelBackend::available() {
+            let k = backend.table().unwrap();
+            let mut dst = vec![!0u64; a.len()];
+            assert_eq!(
+                (k.intersect_count)(&a, &b, &mut dst),
+                want_count,
+                "{backend}"
+            );
+            assert_eq!(dst, want_dst, "{backend}");
+            assert_eq!((k.intersection_len)(&a, &b), want_len, "{backend}");
+            let mut diff = vec![!0u64; a.len()];
+            (k.difference)(&a, &b, &mut diff);
+            assert_eq!(diff, want_diff, "{backend}");
+            let mut bits = Vec::new();
+            (k.and_not_collect)(&a, &b, &mut bits);
+            assert_eq!(bits, want_bits, "{backend}");
+            assert_eq!((k.popcount)(&a), want_pop, "{backend}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! NEON backend (`aarch64`): 128-bit vector loops over 2 words at a time.
+//!
+//! # Safety
+//!
+//! Mirrors the AVX2 module: safe wrappers around `#[target_feature(enable =
+//! "neon")]` functions, reachable only through
+//! [`KernelBackend::table`](super::KernelBackend::table) after a positive
+//! `is_aarch64_feature_detected!("neon")` check. NEON is mandatory in the
+//! standard `aarch64` targets, so the arm is effectively always available
+//! there — the detection gate keeps the soundness argument uniform across
+//! backends. Kept deliberately minimal (no popcount vectorisation): `vcntq` +
+//! horizontal adds only pay off on much wider loops, and `u64::count_ones`
+//! already lowers to `cnt`/`addv` on aarch64.
+#![allow(unsafe_code)]
+
+use core::arch::aarch64::{vandq_u64, vbicq_u64, vld1q_u64, vst1q_u64};
+
+use super::scalar::push_bits;
+use super::Kernels;
+
+pub(super) static TABLE: Kernels = Kernels {
+    name: "neon",
+    intersect_count,
+    intersection_len,
+    difference,
+    and_not_collect,
+    popcount,
+};
+
+fn intersect_count(a: &[u64], b: &[u64], dst: &mut [u64]) -> usize {
+    // SAFETY: reachable only via a table gated on runtime neon detection.
+    unsafe { intersect_count_impl(a, b, dst) }
+}
+
+fn intersection_len(a: &[u64], b: &[u64]) -> usize {
+    // SAFETY: as above.
+    unsafe { intersection_len_impl(a, b) }
+}
+
+fn difference(a: &[u64], b: &[u64], dst: &mut [u64]) {
+    // SAFETY: as above.
+    unsafe { difference_impl(a, b, dst) }
+}
+
+fn and_not_collect(a: &[u64], mask: &[u64], out: &mut Vec<usize>) {
+    // SAFETY: as above.
+    unsafe { and_not_collect_impl(a, mask, out) }
+}
+
+fn popcount(a: &[u64]) -> usize {
+    let mut total = 0usize;
+    for &w in a {
+        total += w.count_ones() as usize;
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn intersect_count_impl(a: &[u64], b: &[u64], dst: &mut [u64]) -> usize {
+    debug_assert!(a.len() == b.len() && a.len() == dst.len());
+    let n = a.len();
+    let mut count = 0usize;
+    let mut i = 0;
+    while i + 2 <= n {
+        let va = vld1q_u64(a.as_ptr().add(i));
+        let vb = vld1q_u64(b.as_ptr().add(i));
+        vst1q_u64(dst.as_mut_ptr().add(i), vandq_u64(va, vb));
+        count += (dst[i].count_ones() + dst[i + 1].count_ones()) as usize;
+        i += 2;
+    }
+    while i < n {
+        let w = a[i] & b[i];
+        dst[i] = w;
+        count += w.count_ones() as usize;
+        i += 1;
+    }
+    count
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn intersection_len_impl(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut total = 0usize;
+    let mut buf = [0u64; 2];
+    let mut i = 0;
+    while i + 2 <= n {
+        let va = vld1q_u64(a.as_ptr().add(i));
+        let vb = vld1q_u64(b.as_ptr().add(i));
+        vst1q_u64(buf.as_mut_ptr(), vandq_u64(va, vb));
+        total += (buf[0].count_ones() + buf[1].count_ones()) as usize;
+        i += 2;
+    }
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as usize;
+        i += 1;
+    }
+    total
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn difference_impl(a: &[u64], b: &[u64], dst: &mut [u64]) {
+    debug_assert!(a.len() == b.len() && a.len() == dst.len());
+    let n = a.len();
+    let mut i = 0;
+    while i + 2 <= n {
+        let va = vld1q_u64(a.as_ptr().add(i));
+        let vb = vld1q_u64(b.as_ptr().add(i));
+        // vbic computes a & !b — exactly the difference kernel.
+        vst1q_u64(dst.as_mut_ptr().add(i), vbicq_u64(va, vb));
+        i += 2;
+    }
+    while i < n {
+        dst[i] = a[i] & !b[i];
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn and_not_collect_impl(a: &[u64], mask: &[u64], out: &mut Vec<usize>) {
+    debug_assert_eq!(a.len(), mask.len());
+    let n = a.len();
+    let mut buf = [0u64; 2];
+    let mut i = 0;
+    while i + 2 <= n {
+        let va = vld1q_u64(a.as_ptr().add(i));
+        let vm = vld1q_u64(mask.as_ptr().add(i));
+        vst1q_u64(buf.as_mut_ptr(), vbicq_u64(va, vm));
+        if buf[0] | buf[1] != 0 {
+            push_bits(i, buf[0], out);
+            push_bits(i + 1, buf[1], out);
+        }
+        i += 2;
+    }
+    while i < n {
+        push_bits(i, a[i] & !mask[i], out);
+        i += 1;
+    }
+}

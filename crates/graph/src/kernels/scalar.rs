@@ -1,0 +1,120 @@
+//! Portable scalar backend: the 4×-unrolled `u64` loops that were inlined in
+//! `bitset.rs` before the kernel layer existed. Always available; the
+//! reference implementation every SIMD arm must match bit-for-bit.
+
+use super::Kernels;
+
+pub(super) static TABLE: Kernels = Kernels {
+    name: "scalar",
+    intersect_count,
+    intersection_len,
+    difference,
+    and_not_collect,
+    popcount,
+};
+
+fn intersect_count(a: &[u64], b: &[u64], dst: &mut [u64]) -> usize {
+    debug_assert!(a.len() == b.len() && a.len() == dst.len());
+    let n = a.len();
+    let mut count = 0usize;
+    let mut i = 0;
+    while i + 4 <= n {
+        let (w0, w1) = (a[i] & b[i], a[i + 1] & b[i + 1]);
+        let (w2, w3) = (a[i + 2] & b[i + 2], a[i + 3] & b[i + 3]);
+        dst[i] = w0;
+        dst[i + 1] = w1;
+        dst[i + 2] = w2;
+        dst[i + 3] = w3;
+        count += (w0.count_ones() + w1.count_ones() + w2.count_ones() + w3.count_ones()) as usize;
+        i += 4;
+    }
+    while i < n {
+        let w = a[i] & b[i];
+        dst[i] = w;
+        count += w.count_ones() as usize;
+        i += 1;
+    }
+    count
+}
+
+fn intersection_len(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut total = 0usize;
+    let mut i = 0;
+    while i + 4 <= n {
+        total += (a[i] & b[i]).count_ones() as usize
+            + (a[i + 1] & b[i + 1]).count_ones() as usize
+            + (a[i + 2] & b[i + 2]).count_ones() as usize
+            + (a[i + 3] & b[i + 3]).count_ones() as usize;
+        i += 4;
+    }
+    while i < n {
+        total += (a[i] & b[i]).count_ones() as usize;
+        i += 1;
+    }
+    total
+}
+
+fn difference(a: &[u64], b: &[u64], dst: &mut [u64]) {
+    debug_assert!(a.len() == b.len() && a.len() == dst.len());
+    let n = a.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        dst[i] = a[i] & !b[i];
+        dst[i + 1] = a[i + 1] & !b[i + 1];
+        dst[i + 2] = a[i + 2] & !b[i + 2];
+        dst[i + 3] = a[i + 3] & !b[i + 3];
+        i += 4;
+    }
+    while i < n {
+        dst[i] = a[i] & !b[i];
+        i += 1;
+    }
+}
+
+#[inline]
+pub(crate) fn push_bits(wi: usize, mut w: u64, out: &mut Vec<usize>) {
+    while w != 0 {
+        let b = w.trailing_zeros() as usize;
+        w &= w - 1;
+        out.push(wi * 64 + b);
+    }
+}
+
+fn and_not_collect(a: &[u64], mask: &[u64], out: &mut Vec<usize>) {
+    debug_assert_eq!(a.len(), mask.len());
+    let n = a.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let (w0, w1) = (a[i] & !mask[i], a[i + 1] & !mask[i + 1]);
+        let (w2, w3) = (a[i + 2] & !mask[i + 2], a[i + 3] & !mask[i + 3]);
+        push_bits(i, w0, out);
+        push_bits(i + 1, w1, out);
+        push_bits(i + 2, w2, out);
+        push_bits(i + 3, w3, out);
+        i += 4;
+    }
+    while i < n {
+        push_bits(i, a[i] & !mask[i], out);
+        i += 1;
+    }
+}
+
+fn popcount(a: &[u64]) -> usize {
+    let n = a.len();
+    let mut total = 0usize;
+    let mut i = 0;
+    while i + 4 <= n {
+        total += (a[i].count_ones()
+            + a[i + 1].count_ones()
+            + a[i + 2].count_ones()
+            + a[i + 3].count_ones()) as usize;
+        i += 4;
+    }
+    while i < n {
+        total += a[i].count_ones() as usize;
+        i += 1;
+    }
+    total
+}

@@ -32,8 +32,12 @@
 //!
 //! All structures are implemented from scratch on `std` only; identifiers are
 //! `u32` ([`VertexId`]) to keep hot data small.
+//!
+//! `unsafe` is denied crate-wide and allowed in exactly one place: the
+//! private `std::arch` SIMD arms of [`kernels`], whose `#[target_feature]`
+//! functions are only reachable behind a positive runtime feature check.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adjmatrix;
@@ -45,6 +49,7 @@ pub mod error;
 pub mod graph;
 pub mod hindex;
 pub mod io;
+pub mod kernels;
 pub mod kplex;
 pub mod mcg;
 pub mod ordering;
@@ -54,7 +59,7 @@ pub mod triangles;
 pub mod truss;
 
 pub use adjmatrix::AdjMatrix;
-pub use bitset::BitSet;
+pub use bitset::{BitSet, BitsMut, BitsRef};
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, ConnectedComponents};
 pub use degeneracy::{core_numbers, degeneracy_ordering, DegeneracyOrdering};
@@ -62,6 +67,7 @@ pub use error::GraphError;
 pub use graph::{CsrGraph, Graph, VertexId};
 pub use hindex::h_index;
 pub use io::GraphFormat;
+pub use kernels::{KernelBackend, KernelError, Kernels};
 pub use kplex::{ComplementStructure, PlexCheck};
 pub use ordering::{EdgeOrderingKind, VertexOrderingKind};
 pub use stats::GraphStats;

@@ -7,8 +7,24 @@ use std::collections::BTreeSet;
 use mce_graph::degeneracy::degeneracy_ordering;
 use mce_graph::triangles::{edge_supports, triangle_count};
 use mce_graph::truss::truss_ordering;
-use mce_graph::{BitSet, Graph, GraphStats, PlexCheck};
+use mce_graph::{AdjMatrix, BitSet, Graph, GraphStats, KernelBackend, PlexCheck};
 use proptest::prelude::*;
+
+/// Word vectors biased toward the shapes where SIMD arms can diverge from
+/// scalar code: all-zero words (empty rows), all-one words (full rows) and
+/// arbitrary bit soup, at every length from empty through several SIMD chunks
+/// plus a ragged tail.
+fn arb_words() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u32..9, any::<u64>()), 0..=21).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, soup)| match kind {
+                0 | 1 => 0u64,
+                2 | 3 => !0u64,
+                _ => soup,
+            })
+            .collect()
+    })
+}
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..40).prop_flat_map(|n| {
@@ -210,5 +226,122 @@ proptest! {
         diff.difference_with(&sb);
         let expected_diff: Vec<usize> = a.difference(&b).copied().collect();
         prop_assert_eq!(diff.iter().collect::<Vec<_>>(), expected_diff);
+    }
+
+    /// Every available SIMD backend is bit-identical to scalar on the raw
+    /// equal-length kernel tables, for empty, full and arbitrary words at
+    /// every chunk/tail shape.
+    #[test]
+    fn kernel_backends_match_scalar_on_raw_tables(a in arb_words(), b in arb_words()) {
+        let shared = a.len().min(b.len());
+        let (a, b) = (&a[..shared], &b[..shared]);
+        let scalar = KernelBackend::Scalar.table().expect("scalar is always available");
+        let mut want_inter = vec![0u64; shared];
+        let want_count = (scalar.intersect_count)(a, b, &mut want_inter);
+        let want_len = (scalar.intersection_len)(a, b);
+        let mut want_diff = vec![0u64; shared];
+        (scalar.difference)(a, b, &mut want_diff);
+        let mut want_bits = vec![usize::MAX]; // non-empty: appends must preserve
+        (scalar.and_not_collect)(a, b, &mut want_bits);
+        let want_pop = (scalar.popcount)(a);
+
+        for backend in KernelBackend::available() {
+            let k = backend.table().expect("available implies table");
+            let mut inter = vec![!0u64; shared];
+            prop_assert_eq!((k.intersect_count)(a, b, &mut inter), want_count, "{}", backend);
+            prop_assert_eq!(&inter, &want_inter, "{}", backend);
+            prop_assert_eq!((k.intersection_len)(a, b), want_len, "{}", backend);
+            let mut diff = vec![!0u64; shared];
+            (k.difference)(a, b, &mut diff);
+            prop_assert_eq!(&diff, &want_diff, "{}", backend);
+            let mut bits = vec![usize::MAX];
+            (k.and_not_collect)(a, b, &mut bits);
+            prop_assert_eq!(&bits, &want_bits, "{}", backend);
+            prop_assert_eq!((k.popcount)(a), want_pop, "{}", backend);
+        }
+    }
+
+    /// Backend equivalence through the `BitSet` fused operations, where the
+    /// operands are ragged (different word counts) and the set's capacity
+    /// need not be word-aligned — the tail and out-of-range handling in
+    /// `bitset.rs` must compose identically with every backend.
+    #[test]
+    fn kernel_backends_match_scalar_through_bitset(
+        a_words in arb_words(),
+        row in arb_words(),
+        slack in 0usize..64,
+    ) {
+        let cap = (a_words.len() * 64).saturating_sub(slack);
+        let mut a = BitSet::with_capacity(cap);
+        for (wi, &w) in a_words.iter().enumerate() {
+            for bit in 0..64 {
+                let idx = wi * 64 + bit;
+                if idx < cap && w >> bit & 1 == 1 {
+                    a.insert(idx);
+                }
+            }
+        }
+        let scalar = KernelBackend::Scalar.table().expect("scalar is always available");
+        let want_len = a.intersection_len_words_with(scalar, &row);
+        let mut want_inter = BitSet::default();
+        let want_count = a.intersect_into_count_with(scalar, &row, &mut want_inter);
+        let mut want_diff = BitSet::default();
+        a.difference_into_with(scalar, &row, &mut want_diff);
+        let mut want_bits = Vec::new();
+        a.and_not_collect_with(scalar, &row, &mut want_bits);
+
+        for backend in KernelBackend::available() {
+            let k = backend.table().expect("available implies table");
+            prop_assert_eq!(a.intersection_len_words_with(k, &row), want_len, "{}", backend);
+            let mut inter = BitSet::default();
+            prop_assert_eq!(
+                a.intersect_into_count_with(k, &row, &mut inter), want_count, "{}", backend
+            );
+            prop_assert_eq!(inter.words(), want_inter.words(), "{}", backend);
+            let mut diff = BitSet::default();
+            a.difference_into_with(k, &row, &mut diff);
+            prop_assert_eq!(diff.words(), want_diff.words(), "{}", backend);
+            let mut bits = Vec::new();
+            a.and_not_collect_with(k, &row, &mut bits);
+            prop_assert_eq!(&bits, &want_bits, "{}", backend);
+        }
+    }
+
+    /// Backend equivalence on real adjacency data, both representations: the
+    /// dense `AdjMatrix` rows (stride-padded, so SIMD sees the padding words)
+    /// and bitsets built from the sparse CSR neighbour lists.
+    #[test]
+    fn kernel_backends_agree_on_dense_and_csr_rows(g in arb_graph()) {
+        let n = g.n();
+        let mut dense = AdjMatrix::new(n);
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                dense.insert(v as usize, u as usize);
+            }
+        }
+        let scalar = KernelBackend::Scalar.table().expect("scalar is always available");
+        for v in g.vertices() {
+            // CSR side: the neighbour list as a bitset…
+            let mut csr_row = BitSet::with_capacity(n);
+            for &u in g.neighbors(v) {
+                csr_row.insert(u as usize);
+            }
+            // …must see the same counts over the dense rows on every backend.
+            let dense_row = dense.row(v as usize);
+            prop_assert_eq!((scalar.popcount)(dense_row), g.neighbors(v).len());
+            let want = csr_row.intersection_len_words_with(scalar, dense_row);
+            let mut want_branch = Vec::new();
+            csr_row.and_not_collect_with(scalar, dense_row, &mut want_branch);
+            for backend in KernelBackend::available() {
+                let k = backend.table().expect("available implies table");
+                prop_assert_eq!((k.popcount)(dense_row), g.neighbors(v).len(), "{}", backend);
+                prop_assert_eq!(
+                    csr_row.intersection_len_words_with(k, dense_row), want, "{}", backend
+                );
+                let mut branch = Vec::new();
+                csr_row.and_not_collect_with(k, dense_row, &mut branch);
+                prop_assert_eq!(&branch, &want_branch, "{}", backend);
+            }
+        }
     }
 }
