@@ -1156,7 +1156,16 @@ fn ordered_pulling_workers<G: GraphTopology + Sync, R: CliqueReporter + Send + ?
                                     return false;
                                 }
                             };
-                            let truncated = s.terminated_by_budget > 0;
+                            // Re-check the budget after the run: a sibling may
+                            // exhaust the shared budget between the pre-check
+                            // above and the solver's own uncharged between-rank
+                            // check, in which case the rank returns empty stats
+                            // with `terminated_by_budget == 0` even though it
+                            // never ran. Marking a fully-completed rank
+                            // truncated is harmless — the outcome is truncated
+                            // anyway and the closed stream stays a prefix.
+                            let truncated = s.terminated_by_budget > 0
+                                || budget.is_some_and(BudgetState::should_stop);
                             stats.merge(&s);
                             hook.root_done();
                             bounded_deposit(
@@ -1278,7 +1287,14 @@ fn ordered_splitting_workers<G: GraphTopology + Sync, R: CliqueReporter + Send +
                                     match run {
                                         Ok(s) => {
                                             hook.root_done();
-                                            let truncated = s.terminated_by_budget > 0;
+                                            // Same post-run re-check as the
+                                            // pulling path: a sibling's budget
+                                            // exhaustion between our pre-check
+                                            // and the solver's between-rank
+                                            // check yields empty stats for a
+                                            // never-run rank.
+                                            let truncated = s.terminated_by_budget > 0
+                                                || budget.is_some_and(BudgetState::should_stop);
                                             stats.merge(&s);
                                             deposit(
                                                 rank,
@@ -1312,7 +1328,8 @@ fn ordered_splitting_workers<G: GraphTopology + Sync, R: CliqueReporter + Send +
                                     }));
                                     match run {
                                         Ok(s) => {
-                                            let truncated = s.terminated_by_budget > 0;
+                                            let truncated = s.terminated_by_budget > 0
+                                                || budget.is_some_and(BudgetState::should_stop);
                                             stats.merge(&s);
                                             deposit(rank, key, buffer.cliques, truncated);
                                         }
